@@ -1,0 +1,400 @@
+//! Benign workload generators, standing in for the paper's SPEC CPU 2006
+//! selection (§VII: compression, optimization scheduling, an Ethernet
+//! network simulator, artificial intelligence, discrete-event simulation,
+//! gene-sequence protein analysis, the A* algorithm, "and more").
+//!
+//! Each generator emits a program with the *microarchitectural character* of
+//! its SPEC counterpart: branchy vs. streaming, pointer-chasing vs. dense,
+//! compute-bound vs. memory-bound — so the detector's "benign" class covers
+//! a diverse utilization space (the property §VIII-C credits for EVAX's
+//! generalization).
+
+use evax_sim::isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+use rand::Rng;
+
+use crate::common::{emit_loop, layout, regs};
+
+/// A scale knob: roughly how many dynamic instructions the workload should
+/// execute (the builders translate it to loop bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale(pub u64);
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale(20_000)
+    }
+}
+
+fn a(i: u8) -> Reg {
+    regs::attack(i)
+}
+
+/// Compression-like (bzip2/gzip analog): byte histogram + match scanning —
+/// sequential loads, data-dependent branches, stores to a table.
+pub fn compression(scale: Scale, rng: &mut impl Rng) -> Program {
+    let (src, tbl, i, byte, cnt, cmp) = (a(0), a(1), a(2), a(3), a(4), a(5));
+    let mut b = ProgramBuilder::new("benign-compression");
+    b.li(src, layout::SCRATCH + (rng.gen_range(0..16u64)) * 4096);
+    b.li(tbl, layout::SCRATCH + 0x40_0000);
+    let iters = scale.0 / 10;
+    emit_loop(&mut b, i, iters, |b| {
+        b.alu_imm(AluOp::Shl, byte, i, 3);
+        b.alu(AluOp::Add, byte, src, byte);
+        b.load(byte, byte, 0);
+        b.alu_imm(AluOp::And, byte, byte, 0xFF);
+        // Histogram update.
+        b.alu_imm(AluOp::Shl, cmp, byte, 3);
+        b.alu(AluOp::Add, cmp, tbl, cmp);
+        b.load(cnt, cmp, 0);
+        b.alu_imm(AluOp::Add, cnt, cnt, 1);
+        b.store(cnt, cmp, 0);
+        // Match heuristic: branch on byte value.
+        let skip = b.forward_label();
+        b.alu_imm(AluOp::And, cmp, byte, 0x7);
+        b.branch(Cond::Ne, cmp, Reg::ZERO, skip);
+        b.alu(AluOp::Xor, cnt, cnt, byte);
+        b.bind(skip);
+    });
+    b.halt();
+    b.build()
+}
+
+/// A*-like grid search (astar analog): irregular loads over a grid, a
+/// priority frontier approximated by min-scans, heavy branching.
+pub fn astar(scale: Scale, rng: &mut impl Rng) -> Program {
+    let (grid, i, node, cost, best, tmp) = (a(0), a(1), a(2), a(3), a(4), a(5));
+    let mut b = ProgramBuilder::new("benign-astar");
+    b.li(
+        grid,
+        layout::SCRATCH + 0x50_0000 + (rng.gen_range(0..8u64)) * 64,
+    );
+    b.li(best, u64::MAX);
+    b.li(node, 1);
+    let iters = scale.0 / 12;
+    emit_loop(&mut b, i, iters, |b| {
+        // Expand: hash-walk to a neighbour.
+        b.alu_imm(AluOp::Mul, node, node, 0x9E37);
+        b.alu_imm(AluOp::Shr, tmp, node, 7);
+        b.alu(AluOp::Xor, node, node, tmp);
+        b.alu_imm(AluOp::And, tmp, node, 0x3FFF);
+        b.alu_imm(AluOp::Shl, tmp, tmp, 3);
+        b.alu(AluOp::Add, tmp, grid, tmp);
+        b.load(cost, tmp, 0);
+        b.alu_imm(AluOp::And, cost, cost, 0xFFFF);
+        // Relax: keep the best.
+        let skip = b.forward_label();
+        b.branch(Cond::Ge, cost, best, skip);
+        b.alu(AluOp::Add, best, cost, Reg::ZERO);
+        b.store(best, tmp, 0);
+        b.bind(skip);
+    });
+    b.halt();
+    b.build()
+}
+
+/// Dense matrix kernel (AI analog, e.g. the paper's "high-rank artificial
+/// intelligence programs"): streaming loads, multiply-accumulate, few
+/// branches.
+pub fn matrix_ai(scale: Scale, rng: &mut impl Rng) -> Program {
+    let (ma, mb, i, x, y, acc) = (a(0), a(1), a(2), a(3), a(4), a(5));
+    let n = 24u64;
+    let mut b = ProgramBuilder::new("benign-matrix");
+    b.li(
+        ma,
+        layout::SCRATCH + 0x60_0000 + (rng.gen_range(0..4u64)) * 4096,
+    );
+    b.li(mb, layout::SCRATCH + 0x62_0000);
+    b.li(acc, 0);
+    let iters = (scale.0 / 8).max(n);
+    emit_loop(&mut b, i, iters, |b| {
+        b.alu_imm(AluOp::And, x, i, n - 1);
+        b.alu_imm(AluOp::Shl, x, x, 3);
+        b.alu(AluOp::Add, x, ma, x);
+        b.load(x, x, 0);
+        b.alu_imm(AluOp::And, y, i, (n * 2) - 1);
+        b.alu_imm(AluOp::Shl, y, y, 3);
+        b.alu(AluOp::Add, y, mb, y);
+        b.load(y, y, 0);
+        b.alu(AluOp::Mul, x, x, y);
+        b.alu(AluOp::Add, acc, acc, x);
+    });
+    b.li(x, layout::RESULT);
+    b.store(acc, x, 0);
+    b.halt();
+    b.build()
+}
+
+/// Discrete-event simulation (omnetpp analog): a calendar-queue walk with
+/// pointer-chasing loads and stores of event records.
+pub fn discrete_event(scale: Scale, rng: &mut impl Rng) -> Program {
+    let (q, i, ev, nxt, t) = (a(0), a(1), a(2), a(3), a(4));
+    let mut b = ProgramBuilder::new("benign-devent");
+    b.li(
+        q,
+        layout::SCRATCH + 0x70_0000 + (rng.gen_range(0..8u64)) * 512,
+    );
+    b.li(ev, 0);
+    let iters = scale.0 / 9;
+    emit_loop(&mut b, i, iters, |b| {
+        // Pop: chase the next-event pointer.
+        b.alu_imm(AluOp::And, nxt, ev, 0x1FFF);
+        b.alu_imm(AluOp::Shl, nxt, nxt, 3);
+        b.alu(AluOp::Add, nxt, q, nxt);
+        b.load(ev, nxt, 0);
+        // Process: schedule a follow-up event.
+        b.alu_imm(AluOp::Add, t, ev, 17);
+        b.alu_imm(AluOp::Mul, ev, ev, 31);
+        b.alu_imm(AluOp::Add, ev, ev, 7);
+        b.store(t, nxt, 8);
+    });
+    b.halt();
+    b.build()
+}
+
+/// Gene-sequence DP (hmmer analog): a banded dynamic-programming sweep —
+/// regular loads/stores with short dependence chains.
+pub fn gene_dp(scale: Scale, rng: &mut impl Rng) -> Program {
+    let (dp, i, up, left, cur) = (a(0), a(1), a(2), a(3), a(4));
+    let mut b = ProgramBuilder::new("benign-gene");
+    b.li(
+        dp,
+        layout::SCRATCH + 0x78_0000 + (rng.gen_range(0..4u64)) * 1024,
+    );
+    let iters = scale.0 / 8;
+    emit_loop(&mut b, i, iters, |b| {
+        b.alu_imm(AluOp::And, cur, i, 0xFF);
+        b.alu_imm(AluOp::Shl, cur, cur, 3);
+        b.alu(AluOp::Add, cur, dp, cur);
+        b.load(up, cur, 0);
+        b.load(left, cur, 8);
+        b.alu(AluOp::Add, up, up, left);
+        let skip = b.forward_label();
+        b.alu_imm(AluOp::And, left, i, 3);
+        b.branch(Cond::Ne, left, Reg::ZERO, skip);
+        b.alu_imm(AluOp::Add, up, up, 2); // match bonus
+        b.bind(skip);
+        b.store(up, cur, 16);
+    });
+    b.halt();
+    b.build()
+}
+
+/// Scheduling/sorting (libquantum/mcf-flavored): repeated partial sorting
+/// passes over a worklist — compare-and-swap loads/stores, very branchy.
+pub fn scheduler(scale: Scale, rng: &mut impl Rng) -> Program {
+    let (arr, i, x, y, addr) = (a(0), a(1), a(2), a(3), a(4));
+    let mut b = ProgramBuilder::new("benign-sched");
+    b.li(
+        arr,
+        layout::SCRATCH + 0x7C_0000 + (rng.gen_range(0..8u64)) * 256,
+    );
+    let iters = scale.0 / 11;
+    emit_loop(&mut b, i, iters, |b| {
+        b.alu_imm(AluOp::And, addr, i, 0x7F);
+        b.alu_imm(AluOp::Shl, addr, addr, 3);
+        b.alu(AluOp::Add, addr, arr, addr);
+        b.load(x, addr, 0);
+        b.load(y, addr, 8);
+        let inorder = b.forward_label();
+        b.branch(Cond::Lt, x, y, inorder);
+        b.store(y, addr, 0);
+        b.store(x, addr, 8);
+        b.bind(inorder);
+    });
+    b.halt();
+    b.build()
+}
+
+/// Ethernet/network simulation: random pointer chasing across a large
+/// footprint — TLB- and cache-miss heavy, the workload whose misses most
+/// resemble attack noise.
+pub fn network_sim(scale: Scale, rng: &mut impl Rng) -> Program {
+    let (heap, i, p, tmp) = (a(0), a(1), a(2), a(3));
+    let mut b = ProgramBuilder::new("benign-netsim");
+    b.li(heap, layout::SCRATCH + 0x100_0000);
+    b.li(p, rng.gen_range(0..0x4000u64));
+    let iters = scale.0 / 7;
+    emit_loop(&mut b, i, iters, |b| {
+        b.alu_imm(AluOp::Mul, p, p, 0x5851_F42D);
+        b.alu_imm(AluOp::Add, p, p, 12345);
+        b.alu_imm(AluOp::Shr, tmp, p, 16);
+        b.alu_imm(AluOp::And, tmp, tmp, 0x1F_FFC0);
+        b.alu(AluOp::Add, tmp, heap, tmp);
+        b.load(tmp, tmp, 0);
+        b.alu(AluOp::Xor, p, p, tmp);
+    });
+    b.halt();
+    b.build()
+}
+
+/// Syscall-flavored interactive workload: bursts of compute punctuated by
+/// kernel crossings — the "full-system noise" the paper says pollutes
+/// samples (§VIII-D).
+pub fn syscall_heavy(scale: Scale, rng: &mut impl Rng) -> Program {
+    let (i, x, buf) = (a(0), a(1), a(2));
+    let mut b = ProgramBuilder::new("benign-syscalls");
+    b.li(
+        buf,
+        layout::SCRATCH + 0x7E_0000 + (rng.gen_range(0..8u64)) * 128,
+    );
+    let iters = (scale.0 / 40).max(4);
+    emit_loop(&mut b, i, iters, |b| {
+        for k in 0..6i64 {
+            b.load(x, buf, k * 8);
+            b.alu_imm(AluOp::Add, x, x, 1);
+            b.store(x, buf, k * 8);
+        }
+        b.syscall();
+    });
+    b.halt();
+    b.build()
+}
+
+/// Profiler-like workload: a *benign* heavy user of the timing primitives —
+/// `rdcycle` around measured sections, exactly the instructions timing
+/// attacks use. This is what makes real-world detection hard: the paper's
+/// full-system traces contain legitimate timer users, so the detector must
+/// key on conjunctions, not the mere presence of timing reads.
+pub fn profiler(scale: Scale, rng: &mut impl Rng) -> Program {
+    let (buf, i, t1, t2, acc, x) = (a(0), a(1), a(2), a(3), a(4), a(5));
+    let mut b = ProgramBuilder::new("benign-profiler");
+    b.li(
+        buf,
+        layout::SCRATCH + 0x74_0000 + (rng.gen_range(0..8u64)) * 256,
+    );
+    b.li(acc, 0);
+    let iters = scale.0 / 30;
+    emit_loop(&mut b, i, iters, |b| {
+        // Measured section: a small unit of work.
+        b.rdcycle(t1);
+        for k in 0..4i64 {
+            b.load(x, buf, k * 8);
+            b.alu(AluOp::Add, acc, acc, x);
+        }
+        b.alu_imm(AluOp::Mul, x, acc, 31);
+        b.rdcycle(t2);
+        b.alu(AluOp::Sub, t2, t2, t1);
+        // Record the measurement.
+        b.store(t2, buf, 64);
+    });
+    b.halt();
+    b.build()
+}
+
+/// Persistent-memory flush pattern: a *benign* heavy user of `clflush` —
+/// store, flush the line, fence — the durability idiom of pmem libraries.
+/// Shares the flush-dense footprint of Flush+Flush/Flush+Reload without any
+/// victim, probe array or timing correlation.
+pub fn pmem_flusher(scale: Scale, rng: &mut impl Rng) -> Program {
+    let (log, i, val, addr) = (a(0), a(1), a(2), a(3));
+    let mut b = ProgramBuilder::new("benign-pmem");
+    b.li(
+        log,
+        layout::SCRATCH + 0x76_0000 + (rng.gen_range(0..4u64)) * 4096,
+    );
+    let iters = scale.0 / 14;
+    emit_loop(&mut b, i, iters, |b| {
+        // Append a record and make it durable.
+        b.alu_imm(AluOp::And, addr, i, 0x3F);
+        b.alu_imm(AluOp::Shl, addr, addr, 6);
+        b.alu(AluOp::Add, addr, log, addr);
+        b.alu_imm(AluOp::Mul, val, i, 0x9E37);
+        b.store(val, addr, 0);
+        b.store(i, addr, 8);
+        b.flush(addr, 0);
+        b.fence();
+    });
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evax_sim::{Cpu, CpuConfig};
+    use rand::SeedableRng;
+
+    fn run(p: &Program) -> (evax_sim::RunResult, Cpu) {
+        let mut cpu = Cpu::new(CpuConfig::default());
+        let res = cpu.run(p, 1_000_000);
+        assert!(res.halted, "workload {} must halt", p.name());
+        (res, cpu)
+    }
+
+    #[test]
+    fn all_workloads_run_to_completion() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let scale = Scale(5_000);
+        for prog in [
+            compression(scale, &mut rng),
+            astar(scale, &mut rng),
+            matrix_ai(scale, &mut rng),
+            discrete_event(scale, &mut rng),
+            gene_dp(scale, &mut rng),
+            scheduler(scale, &mut rng),
+            network_sim(scale, &mut rng),
+            syscall_heavy(scale, &mut rng),
+            profiler(scale, &mut rng),
+            pmem_flusher(scale, &mut rng),
+        ] {
+            let (res, _) = run(&prog);
+            assert!(
+                res.committed_instructions > 1_000,
+                "{} too short",
+                prog.name()
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_do_not_fault_or_flush() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for prog in [
+            compression(Scale(4_000), &mut rng),
+            network_sim(Scale(4_000), &mut rng),
+            scheduler(Scale(4_000), &mut rng),
+        ] {
+            let (_, cpu) = run(&prog);
+            assert_eq!(cpu.stats().faults_raised, 0, "{}", prog.name());
+            assert_eq!(cpu.dcache().stats().flushes, 0, "{}", prog.name());
+        }
+    }
+
+    #[test]
+    fn profiles_are_distinct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let (_, stream) = run(&matrix_ai(Scale(8_000), &mut rng));
+        let (_, chase) = run(&network_sim(Scale(8_000), &mut rng));
+        let stream_miss = stream.dcache().stats().read_misses as f64
+            / (stream.dcache().stats().read_hits + stream.dcache().stats().read_misses).max(1)
+                as f64;
+        let chase_miss = chase.dcache().stats().read_misses as f64
+            / (chase.dcache().stats().read_hits + chase.dcache().stats().read_misses).max(1) as f64;
+        assert!(
+            chase_miss > stream_miss * 2.0,
+            "pointer chasing should miss far more: {chase_miss} vs {stream_miss}"
+        );
+    }
+
+    #[test]
+    fn hard_benign_workloads_share_attack_primitives() {
+        // The profiler times like a side channel; the pmem flusher flushes
+        // like Flush+Flush — benign programs that stress the detector.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let (_, prof) = run(&profiler(Scale(6_000), &mut rng));
+        assert!(prof.stats().commit_membars > 20, "profiler must use timers");
+        let (_, pmem) = run(&pmem_flusher(Scale(6_000), &mut rng));
+        assert!(
+            pmem.dcache().stats().flushes > 50,
+            "pmem must flush heavily"
+        );
+        assert_eq!(pmem.stats().faults_raised, 0);
+    }
+
+    #[test]
+    fn syscall_workload_crosses_kernel() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let (_, cpu) = run(&syscall_heavy(Scale(4_000), &mut rng));
+        assert!(cpu.stats().syscalls > 0);
+    }
+}

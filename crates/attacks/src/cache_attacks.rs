@@ -1,0 +1,229 @@
+//! Classic cache side-channel kernels: Flush+Reload, Flush+Flush,
+//! Prime+Probe, and FlushConflict (the KASLR bypass from Osiris that "is not
+//! mitigated by any of the current hardware fixes", paper §VIII-C).
+
+use evax_sim::isa::{AluOp, Program, ProgramBuilder};
+use rand::Rng;
+
+use crate::common::{emit_decoys, emit_delay, emit_loop, layout, regs, KernelParams};
+
+/// Flush+Reload: flush shared probe lines, let the victim touch the
+/// secret-selected one, reload each line and time it.
+pub fn flush_reload(p: &KernelParams, rng: &mut impl Rng) -> Program {
+    let (rpr, sec, t1, t2, tmp, victim) = (
+        regs::attack(0),
+        regs::attack(1),
+        regs::attack(2),
+        regs::attack(3),
+        regs::attack(4),
+        regs::attack(5),
+    );
+    let lines = p.probe_lines.max(2) as i64;
+    let stride = p.stride as i64;
+    let mut b = ProgramBuilder::new("flush-reload");
+    b.li(rpr, layout::PROBE);
+    b.li(victim, layout::VICTIM);
+    b.li(sec, layout::DEFAULT_SECRET ^ (p.seed & 0x7));
+    b.store(sec, victim, 0);
+    let rounds = regs::attack(7);
+    emit_loop(&mut b, rounds, p.iterations as u64, |b| {
+        // Flush phase.
+        for i in 0..lines {
+            b.flush(rpr, i * stride);
+        }
+        // Victim phase: touch PROBE + secret*stride.
+        b.load(sec, victim, 0);
+        b.alu_imm(AluOp::Mul, tmp, sec, stride as u64);
+        b.alu(AluOp::Add, tmp, rpr, tmp);
+        b.load(tmp, tmp, 0);
+        // Reload + time each line (recovery).
+        for i in 0..lines {
+            b.rdcycle(t1);
+            b.load(sec, rpr, i * stride);
+            b.rdcycle(t2);
+            b.alu(AluOp::Sub, t2, t2, t1);
+        }
+    });
+    emit_decoys(&mut b, p.decoy_ops, rng);
+    emit_delay(&mut b, p.delay_ops);
+    b.halt();
+    b.build()
+}
+
+/// Flush+Flush: like Flush+Reload but times the `clflush` itself (flushing
+/// a cached line is slower), never loading the probe — the stealthier
+/// variant with a flush-heavy, load-light footprint.
+pub fn flush_flush(p: &KernelParams, rng: &mut impl Rng) -> Program {
+    let (rpr, sec, t1, t2, tmp, victim) = (
+        regs::attack(0),
+        regs::attack(1),
+        regs::attack(2),
+        regs::attack(3),
+        regs::attack(4),
+        regs::attack(5),
+    );
+    let lines = p.probe_lines.max(2) as i64;
+    let stride = p.stride as i64;
+    let mut b = ProgramBuilder::new("flush-flush");
+    b.li(rpr, layout::PROBE2);
+    b.li(victim, layout::VICTIM);
+    b.li(sec, layout::DEFAULT_SECRET ^ (p.seed & 0x7));
+    b.store(sec, victim, 0);
+    let rounds = regs::attack(7);
+    emit_loop(&mut b, rounds, p.iterations as u64, |b| {
+        // Victim phase.
+        b.load(sec, victim, 0);
+        b.alu_imm(AluOp::Mul, tmp, sec, stride as u64);
+        b.alu(AluOp::Add, tmp, rpr, tmp);
+        b.load(tmp, tmp, 0);
+        // Timed-flush phase.
+        for i in 0..lines {
+            b.rdcycle(t1);
+            b.flush(rpr, i * stride);
+            b.rdcycle(t2);
+            b.alu(AluOp::Sub, t2, t2, t1);
+        }
+    });
+    emit_decoys(&mut b, p.decoy_ops, rng);
+    emit_delay(&mut b, p.delay_ops);
+    b.halt();
+    b.build()
+}
+
+/// Prime+Probe: fill a cache set with attacker lines, let the victim evict
+/// one, re-probe the set and time it — no flush instruction needed.
+pub fn prime_probe(p: &KernelParams, rng: &mut impl Rng) -> Program {
+    let (rbase, sec, t1, t2, tmp, victim) = (
+        regs::attack(0),
+        regs::attack(1),
+        regs::attack(2),
+        regs::attack(3),
+        regs::attack(4),
+        regs::attack(5),
+    );
+    // L1D: 128 sets x 64B lines -> same set every 8 KiB; 8 ways.
+    let set_stride = 64 * 128i64;
+    let ways = 8i64;
+    let mut b = ProgramBuilder::new("prime-probe");
+    b.li(rbase, layout::SCRATCH + 0x3C0); // attacker's eviction set
+    b.li(victim, layout::VICTIM + 0x3C0); // congruent victim line
+    b.li(sec, layout::DEFAULT_SECRET ^ (p.seed & 0x7));
+    let rounds = regs::attack(7);
+    emit_loop(&mut b, rounds, p.iterations as u64, |b| {
+        // Prime: own every way of the target set.
+        for w in 0..ways {
+            b.load(tmp, rbase, w * set_stride);
+        }
+        // Victim: touches its congruent line if the secret bit is set.
+        let skip = b.forward_label();
+        b.alu_imm(AluOp::And, tmp, sec, 1);
+        b.branch(evax_sim::isa::Cond::Eq, tmp, evax_sim::isa::Reg::ZERO, skip);
+        b.load(tmp, victim, 0);
+        b.bind(skip);
+        // Probe: re-access the set and time it.
+        b.rdcycle(t1);
+        for w in 0..ways {
+            b.load(tmp, rbase, w * set_stride);
+        }
+        b.rdcycle(t2);
+        b.alu(AluOp::Sub, t2, t2, t1);
+    });
+    emit_decoys(&mut b, p.decoy_ops, rng);
+    emit_delay(&mut b, p.delay_ops);
+    b.halt();
+    b.build()
+}
+
+/// FlushConflict (Osiris-discovered KASLR bypass): times `clflush`-then-
+/// prefetch conflicts against kernel addresses; mapped kernel lines behave
+/// measurably differently. Prefetches never fault, so the probe is silent
+/// architecturally.
+pub fn flush_conflict(p: &KernelParams, rng: &mut impl Rng) -> Program {
+    let (rk, t1, t2, tmp) = (
+        regs::attack(0),
+        regs::attack(1),
+        regs::attack(2),
+        regs::attack(3),
+    );
+    let kernel = 0xFFFF_0000_0000u64;
+    let mut b = ProgramBuilder::new("flush-conflict");
+    let rounds = regs::attack(7);
+    emit_loop(&mut b, rounds, p.iterations as u64, |b| {
+        // Scan candidate kernel pages.
+        for i in 0..p.probe_lines.max(2) as u64 {
+            b.li(rk, kernel + i * 0x1000);
+            b.prefetch(rk, 0); // load candidate translation + line
+            b.rdcycle(t1);
+            b.flush(rk, 0); // conflict timing on the (maybe) cached line
+            b.prefetch(rk, 0);
+            b.rdcycle(t2);
+            b.alu(AluOp::Sub, tmp, t2, t1);
+        }
+    });
+    emit_decoys(&mut b, p.decoy_ops, rng);
+    emit_delay(&mut b, p.delay_ops);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evax_sim::{Cpu, CpuConfig};
+    use rand::SeedableRng;
+
+    fn run(p: &Program) -> Cpu {
+        let mut cpu = Cpu::new(CpuConfig::default());
+        let res = cpu.run(p, 500_000);
+        assert!(res.halted, "kernel {} must halt", p.name());
+        cpu
+    }
+
+    #[test]
+    fn flush_reload_flushes_and_reloads() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let cpu = run(&flush_reload(&KernelParams::default(), &mut rng));
+        assert!(cpu.dcache().stats().flushes > 0);
+        // Reload pattern produces repeated misses on the flushed lines.
+        assert!(cpu.dcache().stats().read_misses as f64 > 8.0);
+        assert!(cpu.stats().commit_membars > 0, "timing reads present");
+    }
+
+    #[test]
+    fn flush_flush_avoids_probe_loads() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let ff = run(&flush_flush(&KernelParams::default(), &mut rng));
+        let fr = run(&flush_reload(&KernelParams::default(), &mut rng));
+        // F+F flushes at least as much but loads far less from the probe.
+        assert!(ff.dcache().stats().flushes > 0);
+        assert!(
+            fr.stats().commit_loads > ff.stats().commit_loads,
+            "F+F should be load-light: fr={} ff={}",
+            fr.stats().commit_loads,
+            ff.stats().commit_loads
+        );
+    }
+
+    #[test]
+    fn prime_probe_causes_conflict_evictions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cpu = run(&prime_probe(&KernelParams::default(), &mut rng));
+        // Priming a set beyond its associativity forces clean evictions,
+        // without any flush instructions.
+        assert!(cpu.dcache().stats().clean_evicts > 0);
+        assert_eq!(cpu.dcache().stats().flushes, 0);
+    }
+
+    #[test]
+    fn flush_conflict_probes_kernel_without_faulting() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cpu = run(&flush_conflict(&KernelParams::default(), &mut rng));
+        assert_eq!(
+            cpu.stats().faults_raised,
+            0,
+            "prefetch probing must not fault"
+        );
+        assert!(cpu.dcache().stats().flushes > 0);
+        assert!(cpu.dcache().stats().prefetch_fills > 0);
+    }
+}

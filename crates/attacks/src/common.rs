@@ -1,0 +1,221 @@
+//! Shared kernel-building vocabulary: parameters, register conventions,
+//! decoys and delays.
+
+use evax_sim::isa::{AluOp, Cond, ProgramBuilder, Reg};
+use rand::Rng;
+
+/// Well-known addresses shared by attack kernels and their harnesses.
+pub mod layout {
+    /// User array the Spectre bounds check guards.
+    pub const ARRAY1: u64 = 0x1000;
+    /// Location of the bounds variable (`array1_size`).
+    pub const SIZE_ADDR: u64 = 0x2000;
+    /// Probe (transmission) array base; the secret selects line
+    /// `PROBE + secret * 64`.
+    pub const PROBE: u64 = 0x10_0000;
+    /// Secondary probe array (Flush+Flush, covert receivers).
+    pub const PROBE2: u64 = 0x20_0000;
+    /// Victim working set for cache attacks.
+    pub const VICTIM: u64 = 0x40_0000;
+    /// Scratch heap for benign phases and decoys.
+    pub const SCRATCH: u64 = 0x80_0000;
+    /// Where kernels write recovered secrets for the harness to check.
+    pub const RESULT: u64 = 0xE0_0000;
+    /// Default planted secret value (small so `secret * 64` stays in range).
+    pub const DEFAULT_SECRET: u64 = 7;
+}
+
+/// Tunable knobs of every attack kernel — the surface fuzzers mutate.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KernelParams {
+    /// Outer attack iterations (flush→leak→transmit rounds).
+    pub iterations: u32,
+    /// Training iterations for mistraining-based attacks.
+    pub train_iters: u32,
+    /// Byte stride between probe lines (64 = one line per value).
+    pub stride: u64,
+    /// Benign decoy instructions interleaved per attack round (evasion:
+    /// dilutes the footprint).
+    pub decoy_ops: u32,
+    /// Idle delay (dependent ALU chain) between rounds (evasion: lowers
+    /// the attack's bandwidth under the sampling window).
+    pub delay_ops: u32,
+    /// Number of probe lines / aggressor rows touched per round.
+    pub probe_lines: u32,
+    /// Deterministic seed folded into address perturbation.
+    pub seed: u64,
+}
+
+impl Default for KernelParams {
+    fn default() -> Self {
+        KernelParams {
+            iterations: 24,
+            train_iters: 24,
+            stride: 64,
+            decoy_ops: 0,
+            delay_ops: 0,
+            probe_lines: 8,
+            seed: 0,
+        }
+    }
+}
+
+impl KernelParams {
+    /// Randomly perturbs every knob — one fuzzing mutation step.
+    pub fn mutate<R: Rng>(&self, rng: &mut R) -> KernelParams {
+        let mut p = self.clone();
+        match rng.gen_range(0..6) {
+            0 => p.iterations = rng.gen_range(4..64),
+            1 => p.train_iters = rng.gen_range(4..64),
+            2 => p.stride = 64 * rng.gen_range(1..8),
+            3 => p.decoy_ops = rng.gen_range(0..48),
+            4 => p.delay_ops = rng.gen_range(0..96),
+            _ => p.probe_lines = rng.gen_range(1..24),
+        }
+        p.seed = rng.gen();
+        p
+    }
+}
+
+/// Register conventions: kernels use `r1..=r15`; decoys use `r16..=r29`;
+/// `r30`/`r31` are reserved for harness results.
+pub mod regs {
+    use evax_sim::isa::Reg;
+    /// Attack working registers.
+    pub fn attack(i: u8) -> Reg {
+        assert!(i < 15, "attack register index out of range");
+        Reg::new(1 + i)
+    }
+    /// Decoy working registers.
+    pub fn decoy(i: u8) -> Reg {
+        assert!(i < 14, "decoy register index out of range");
+        Reg::new(16 + i)
+    }
+    /// Harness result register.
+    pub const RESULT: Reg = Reg::new(30);
+}
+
+/// Emits `n` benign-looking decoy instructions (ALU mix + scratch loads),
+/// the evasion padding fuzzers insert to dilute attack footprints.
+pub fn emit_decoys(b: &mut ProgramBuilder, n: u32, rng: &mut impl Rng) {
+    if n == 0 {
+        return;
+    }
+    let d0 = regs::decoy(0);
+    let d1 = regs::decoy(1);
+    let d2 = regs::decoy(2);
+    b.li(d2, layout::SCRATCH + (rng.gen_range(0..64u64)) * 64);
+    for i in 0..n {
+        match rng.gen_range(0..5) {
+            0 => {
+                b.alu_imm(AluOp::Add, d0, d0, rng.gen_range(1..100));
+            }
+            1 => {
+                b.alu_imm(AluOp::Xor, d1, d1, rng.gen());
+            }
+            2 => {
+                b.alu(AluOp::Mul, d0, d0, d1);
+            }
+            3 => {
+                b.load(d1, d2, (i as i64 % 16) * 8);
+            }
+            _ => {
+                b.alu_imm(AluOp::Shr, d1, d1, 1);
+            }
+        }
+    }
+}
+
+/// Emits a dependent-chain delay of roughly `n` cycles (bandwidth evasion).
+pub fn emit_delay(b: &mut ProgramBuilder, n: u32) {
+    if n == 0 {
+        return;
+    }
+    let d = regs::decoy(3);
+    b.li(d, 1);
+    for _ in 0..n {
+        b.alu_imm(AluOp::Add, d, d, 1);
+        b.alu_imm(AluOp::Sub, d, d, 1);
+    }
+}
+
+/// Emits a bounded counting loop: `body` runs `count` times using `ctr` as
+/// the induction register.
+pub fn emit_loop(
+    b: &mut ProgramBuilder,
+    ctr: Reg,
+    count: u64,
+    body: impl FnOnce(&mut ProgramBuilder),
+) {
+    let limit = regs::decoy(13);
+    b.li(ctr, 0);
+    let top = b.label();
+    body(b);
+    // The limit register is shared across nested emit_loops, so it must be
+    // reloaded after the body (an inner loop clobbers it).
+    b.li(limit, count);
+    b.alu_imm(AluOp::Add, ctr, ctr, 1);
+    b.branch(Cond::Lt, ctr, limit, top);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_params_sane() {
+        let p = KernelParams::default();
+        assert!(p.iterations > 0 && p.stride >= 64);
+    }
+
+    #[test]
+    fn mutate_changes_something() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let base = KernelParams::default();
+        let changed = (0..20).any(|_| {
+            let m = base.mutate(&mut rng);
+            m.iterations != base.iterations
+                || m.stride != base.stride
+                || m.decoy_ops != base.decoy_ops
+                || m.delay_ops != base.delay_ops
+                || m.probe_lines != base.probe_lines
+                || m.train_iters != base.train_iters
+        });
+        assert!(changed);
+    }
+
+    #[test]
+    fn loop_helper_runs_body_n_times() {
+        use evax_sim::{Cpu, CpuConfig};
+        let acc = regs::attack(0);
+        let ctr = regs::attack(1);
+        let mut b = ProgramBuilder::new("loop-test");
+        b.li(acc, 0);
+        emit_loop(&mut b, ctr, 10, |b| {
+            b.alu_imm(AluOp::Add, acc, acc, 1);
+        });
+        b.halt();
+        let mut cpu = Cpu::new(CpuConfig::default());
+        let res = cpu.run(&b.build(), 10_000);
+        assert_eq!(res.regs[acc.index()], 10);
+    }
+
+    #[test]
+    fn decoys_are_executable() {
+        use evax_sim::{Cpu, CpuConfig};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut b = ProgramBuilder::new("decoys");
+        emit_decoys(&mut b, 32, &mut rng);
+        emit_delay(&mut b, 16);
+        b.halt();
+        let mut cpu = Cpu::new(CpuConfig::default());
+        assert!(cpu.run(&b.build(), 10_000).halted);
+    }
+
+    #[test]
+    #[should_panic(expected = "attack register index out of range")]
+    fn attack_reg_bounds() {
+        let _ = regs::attack(15);
+    }
+}

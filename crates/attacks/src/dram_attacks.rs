@@ -1,0 +1,145 @@
+//! DRAM-side kernels: Rowhammer (integrity) and DRAMA (row-buffer covert /
+//! side channel). These exercise the counters EVAX's DRAM detection keys on:
+//! `selfRefreshEnergy`, `bytesPerActivate`, `bytesReadWrQ` (paper §VIII-C).
+
+use evax_dram::Dram;
+use evax_sim::isa::{AluOp, Program, ProgramBuilder};
+use evax_sim::CpuConfig;
+use rand::Rng;
+
+use crate::common::{emit_decoys, emit_delay, emit_loop, regs, KernelParams};
+
+/// Rowhammer: alternately activates aggressor rows adjacent to a victim,
+/// defeating the row buffer with flushes so every access reaches DRAM.
+/// Double-sided by construction (aggressors at victim±1).
+pub fn rowhammer(p: &KernelParams, rng: &mut impl Rng) -> Program {
+    // Compute aggressor addresses with the same mapping the CPU's DRAM uses.
+    let dram = Dram::new(CpuConfig::default().dram);
+    let base_row = 32 + (p.seed % 64) * 4;
+    let (a1, a2, v, i) = (
+        regs::attack(0),
+        regs::attack(1),
+        regs::attack(2),
+        regs::attack(3),
+    );
+    let mut b = ProgramBuilder::new("rowhammer");
+    b.li(a1, dram.address_of(0, base_row));
+    b.li(a2, dram.address_of(0, base_row + 2));
+    let rounds = regs::attack(7);
+    emit_loop(&mut b, rounds, p.iterations as u64 * 32, |b| {
+        b.load(v, a1, 0);
+        b.load(v, a2, 0);
+        b.flush(a1, 0);
+        b.flush(a2, 0);
+    });
+    // A second aggressor pair widens the blast pattern (TRRespass-style
+    // many-sided hammering mutates this structure).
+    b.li(a1, dram.address_of(0, base_row + 8));
+    b.li(a2, dram.address_of(0, base_row + 10));
+    emit_loop(&mut b, i, p.iterations as u64 * 16, |b| {
+        b.load(v, a1, 0);
+        b.load(v, a2, 0);
+        b.flush(a1, 0);
+        b.flush(a2, 0);
+    });
+    emit_decoys(&mut b, p.decoy_ops, rng);
+    emit_delay(&mut b, p.delay_ops);
+    b.halt();
+    b.build()
+}
+
+/// DRAMA: a row-buffer timing channel — alternating accesses to two rows in
+/// the same bank produce row conflicts whose latency encodes the victim's
+/// row, yielding an activation-heavy, low-bytes-per-activate footprint.
+pub fn drama(p: &KernelParams, rng: &mut impl Rng) -> Program {
+    let dram = Dram::new(CpuConfig::default().dram);
+    let row_a = 128 + (p.seed % 32) * 2;
+    let (ra, rb, v, t1, t2) = (
+        regs::attack(0),
+        regs::attack(1),
+        regs::attack(2),
+        regs::attack(3),
+        regs::attack(4),
+    );
+    let mut b = ProgramBuilder::new("drama");
+    b.li(ra, dram.address_of(1, row_a));
+    b.li(rb, dram.address_of(1, row_a + 5));
+    let rounds = regs::attack(7);
+    emit_loop(&mut b, rounds, p.iterations as u64 * 16, |b| {
+        // Sender: open row A (conflict with B), then time access to B.
+        b.load(v, ra, 0);
+        b.flush(ra, 0);
+        b.rdcycle(t1);
+        b.load(v, rb, 0);
+        b.rdcycle(t2);
+        b.alu(AluOp::Sub, t2, t2, t1);
+        b.flush(rb, 0);
+        // Write-queue pressure: stores the receiver reads back (the
+        // `bytesReadWrQ` signature TRRespass detection correlates with).
+        b.store(v, ra, 8);
+        b.load(v, ra, 8);
+    });
+    emit_decoys(&mut b, p.decoy_ops, rng);
+    emit_delay(&mut b, p.delay_ops);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evax_dram::DramConfig;
+    use evax_sim::{Cpu, CpuConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn rowhammer_flips_bits_with_scaled_threshold() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let cfg = CpuConfig {
+            dram: DramConfig {
+                hammer_threshold: 100,
+                hammer_jitter: 16,
+                refresh_interval: 50_000_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let p = KernelParams {
+            iterations: 16,
+            ..Default::default()
+        };
+        let prog = rowhammer(&p, &mut rng);
+        let mut cpu = Cpu::new(cfg);
+        let res = cpu.run(&prog, 500_000);
+        assert!(res.halted);
+        assert!(cpu.dram().stats().bit_flips > 0, "hammering must flip bits");
+        assert!(cpu.dram().stats().activations > 500);
+    }
+
+    #[test]
+    fn rowhammer_has_low_bytes_per_activate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let prog = rowhammer(&KernelParams::default(), &mut rng);
+        let mut cpu = Cpu::new(CpuConfig::default());
+        cpu.run(&prog, 500_000);
+        let bpa = cpu.dram().stats().bytes_per_activate();
+        assert!(bpa < 256.0, "hammering thrashes activations: bpa={bpa}");
+    }
+
+    #[test]
+    fn drama_generates_row_conflicts_and_wrq_reads() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let prog = drama(&KernelParams::default(), &mut rng);
+        let mut cpu = Cpu::new(CpuConfig::default());
+        let res = cpu.run(&prog, 500_000);
+        assert!(res.halted);
+        assert!(
+            cpu.dram().stats().row_buffer_conflicts > 50,
+            "no row conflicts"
+        );
+        assert!(
+            cpu.dram().stats().bytes_read_wr_q > 0,
+            "no write-queue reads"
+        );
+    }
+}

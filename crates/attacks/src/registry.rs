@@ -1,0 +1,315 @@
+//! Central registry mapping the paper's 19 attack categories (plus benign
+//! workload kinds) to kernel builders.
+
+use evax_sim::isa::Program;
+use rand::Rng;
+
+use crate::benign::{self, Scale};
+use crate::cache_attacks;
+use crate::common::KernelParams;
+use crate::covert;
+use crate::dram_attacks;
+use crate::mds::{self, MedusaVariant};
+use crate::spectre;
+
+/// The attack categories the paper evaluates (§VII, *Workload*).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum AttackClass {
+    /// Spectre v1 (bounds-check bypass through the PHT).
+    SpectrePht,
+    /// Spectre v2 (branch target injection through the BTB).
+    SpectreBtb,
+    /// Spectre-RSB (return stack buffer).
+    SpectreRsb,
+    /// Spectre v4 (speculative store bypass).
+    SpectreStl,
+    /// Meltdown (deferred-fault kernel read).
+    Meltdown,
+    /// Medusa variant 1: cache indexing.
+    MedusaCacheIndexing,
+    /// Medusa variant 2: unaligned store-to-load forwarding.
+    MedusaUnalignedStl,
+    /// Medusa variant 3: shadow REP MOV.
+    MedusaShadowRepMov,
+    /// LVI (load value injection).
+    Lvi,
+    /// Fallout (store-buffer data sampling).
+    Fallout,
+    /// Rowhammer (DRAM disturbance).
+    Rowhammer,
+    /// DRAMA (row-buffer side channel).
+    Drama,
+    /// SMotherSpectre (port contention in a speculative shadow).
+    SmotherSpectre,
+    /// BranchScope (directional predictor probing).
+    BranchScope,
+    /// MicroScope (replay amplification).
+    MicroScope,
+    /// Leaky Buddies, CPU side (cross-component contention).
+    LeakyBuddies,
+    /// RDRAND covert channel.
+    RdRand,
+    /// FlushConflict (KASLR bypass).
+    FlushConflict,
+    /// Flush+Reload.
+    FlushReload,
+    /// Flush+Flush.
+    FlushFlush,
+    /// Prime+Probe.
+    PrimeProbe,
+}
+
+/// All attack classes, in canonical order. 21 entries: the paper's "19
+/// categories" plus the classic cache attacks it also runs.
+pub const ATTACK_CLASSES: [AttackClass; 21] = [
+    AttackClass::SpectrePht,
+    AttackClass::SpectreBtb,
+    AttackClass::SpectreRsb,
+    AttackClass::SpectreStl,
+    AttackClass::Meltdown,
+    AttackClass::MedusaCacheIndexing,
+    AttackClass::MedusaUnalignedStl,
+    AttackClass::MedusaShadowRepMov,
+    AttackClass::Lvi,
+    AttackClass::Fallout,
+    AttackClass::Rowhammer,
+    AttackClass::Drama,
+    AttackClass::SmotherSpectre,
+    AttackClass::BranchScope,
+    AttackClass::MicroScope,
+    AttackClass::LeakyBuddies,
+    AttackClass::RdRand,
+    AttackClass::FlushConflict,
+    AttackClass::FlushReload,
+    AttackClass::FlushFlush,
+    AttackClass::PrimeProbe,
+];
+
+impl AttackClass {
+    /// Stable lowercase name (used in reports and dataset labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackClass::SpectrePht => "spectre-pht",
+            AttackClass::SpectreBtb => "spectre-btb",
+            AttackClass::SpectreRsb => "spectre-rsb",
+            AttackClass::SpectreStl => "spectre-stl",
+            AttackClass::Meltdown => "meltdown",
+            AttackClass::MedusaCacheIndexing => "medusa-cache-indexing",
+            AttackClass::MedusaUnalignedStl => "medusa-unaligned-stl",
+            AttackClass::MedusaShadowRepMov => "medusa-rep-mov",
+            AttackClass::Lvi => "lvi",
+            AttackClass::Fallout => "fallout",
+            AttackClass::Rowhammer => "rowhammer",
+            AttackClass::Drama => "drama",
+            AttackClass::SmotherSpectre => "smotherspectre",
+            AttackClass::BranchScope => "branchscope",
+            AttackClass::MicroScope => "microscope",
+            AttackClass::LeakyBuddies => "leaky-buddies",
+            AttackClass::RdRand => "rdrand-covert",
+            AttackClass::FlushConflict => "flush-conflict",
+            AttackClass::FlushReload => "flush-reload",
+            AttackClass::FlushFlush => "flush-flush",
+            AttackClass::PrimeProbe => "prime-probe",
+        }
+    }
+
+    /// Index into the conditional-GAN label space (benign is class 0; attack
+    /// classes are 1-based).
+    pub fn label(self) -> usize {
+        1 + ATTACK_CLASSES
+            .iter()
+            .position(|&c| c == self)
+            .expect("class in table")
+    }
+
+    /// The attacks the paper groups as "transient execution" (leakage via a
+    /// squashed window).
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            AttackClass::SpectrePht
+                | AttackClass::SpectreBtb
+                | AttackClass::SpectreRsb
+                | AttackClass::SpectreStl
+                | AttackClass::Meltdown
+                | AttackClass::MedusaCacheIndexing
+                | AttackClass::MedusaUnalignedStl
+                | AttackClass::MedusaShadowRepMov
+                | AttackClass::Lvi
+                | AttackClass::Fallout
+                | AttackClass::MicroScope
+                | AttackClass::SmotherSpectre
+        )
+    }
+}
+
+impl std::fmt::Display for AttackClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds the kernel for an attack class.
+pub fn build_attack<R: Rng>(class: AttackClass, p: &KernelParams, rng: &mut R) -> Program {
+    match class {
+        AttackClass::SpectrePht => spectre::spectre_pht(p, rng),
+        AttackClass::SpectreBtb => spectre::spectre_btb(p, rng),
+        AttackClass::SpectreRsb => spectre::spectre_rsb(p, rng),
+        AttackClass::SpectreStl => spectre::spectre_stl(p, rng),
+        AttackClass::Meltdown => mds::meltdown(p, rng),
+        AttackClass::MedusaCacheIndexing => mds::medusa(MedusaVariant::CacheIndexing, p, rng),
+        AttackClass::MedusaUnalignedStl => mds::medusa(MedusaVariant::UnalignedStoreLoad, p, rng),
+        AttackClass::MedusaShadowRepMov => mds::medusa(MedusaVariant::ShadowRepMov, p, rng),
+        AttackClass::Lvi => mds::lvi(p, rng),
+        AttackClass::Fallout => mds::fallout(p, rng),
+        AttackClass::Rowhammer => dram_attacks::rowhammer(p, rng),
+        AttackClass::Drama => dram_attacks::drama(p, rng),
+        AttackClass::SmotherSpectre => covert::smotherspectre(p, rng),
+        AttackClass::BranchScope => covert::branchscope(p, rng),
+        AttackClass::MicroScope => covert::microscope(p, rng),
+        AttackClass::LeakyBuddies => covert::leaky_buddies(p, rng),
+        AttackClass::RdRand => covert::rdrand_covert(p, rng),
+        AttackClass::FlushConflict => cache_attacks::flush_conflict(p, rng),
+        AttackClass::FlushReload => cache_attacks::flush_reload(p, rng),
+        AttackClass::FlushFlush => cache_attacks::flush_flush(p, rng),
+        AttackClass::PrimeProbe => cache_attacks::prime_probe(p, rng),
+    }
+}
+
+/// Benign workload kinds (SPEC CPU 2006 analogs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum BenignKind {
+    /// bzip2-like compression.
+    Compression,
+    /// astar-like grid search.
+    Astar,
+    /// Dense matrix AI kernel.
+    MatrixAi,
+    /// omnetpp-like discrete-event simulation.
+    DiscreteEvent,
+    /// hmmer-like gene-sequence DP.
+    GeneDp,
+    /// Scheduling/sorting passes.
+    Scheduler,
+    /// Pointer-chasing network simulation.
+    NetworkSim,
+    /// Syscall-heavy interactive bursts.
+    SyscallHeavy,
+    /// Profiler: benign heavy user of timing reads.
+    Profiler,
+    /// Persistent-memory flusher: benign heavy user of `clflush`.
+    PmemFlusher,
+}
+
+/// All benign kinds, in canonical order.
+pub const BENIGN_KINDS: [BenignKind; 10] = [
+    BenignKind::Compression,
+    BenignKind::Astar,
+    BenignKind::MatrixAi,
+    BenignKind::DiscreteEvent,
+    BenignKind::GeneDp,
+    BenignKind::Scheduler,
+    BenignKind::NetworkSim,
+    BenignKind::SyscallHeavy,
+    BenignKind::Profiler,
+    BenignKind::PmemFlusher,
+];
+
+impl BenignKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenignKind::Compression => "compression",
+            BenignKind::Astar => "astar",
+            BenignKind::MatrixAi => "matrix-ai",
+            BenignKind::DiscreteEvent => "discrete-event",
+            BenignKind::GeneDp => "gene-dp",
+            BenignKind::Scheduler => "scheduler",
+            BenignKind::NetworkSim => "network-sim",
+            BenignKind::SyscallHeavy => "syscall-heavy",
+            BenignKind::Profiler => "profiler",
+            BenignKind::PmemFlusher => "pmem-flusher",
+        }
+    }
+}
+
+impl std::fmt::Display for BenignKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a benign workload of roughly `scale` dynamic instructions.
+pub fn build_benign<R: Rng>(kind: BenignKind, scale: Scale, rng: &mut R) -> Program {
+    match kind {
+        BenignKind::Compression => benign::compression(scale, rng),
+        BenignKind::Astar => benign::astar(scale, rng),
+        BenignKind::MatrixAi => benign::matrix_ai(scale, rng),
+        BenignKind::DiscreteEvent => benign::discrete_event(scale, rng),
+        BenignKind::GeneDp => benign::gene_dp(scale, rng),
+        BenignKind::Scheduler => benign::scheduler(scale, rng),
+        BenignKind::NetworkSim => benign::network_sim(scale, rng),
+        BenignKind::SyscallHeavy => benign::syscall_heavy(scale, rng),
+        BenignKind::Profiler => benign::profiler(scale, rng),
+        BenignKind::PmemFlusher => benign::pmem_flusher(scale, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evax_sim::{Cpu, CpuConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn twenty_one_attack_classes() {
+        assert_eq!(ATTACK_CLASSES.len(), 21);
+        let mut names: Vec<_> = ATTACK_CLASSES.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21, "names must be unique");
+    }
+
+    #[test]
+    fn labels_are_one_based_and_dense() {
+        for (i, c) in ATTACK_CLASSES.iter().enumerate() {
+            assert_eq!(c.label(), i + 1);
+        }
+    }
+
+    #[test]
+    fn every_attack_class_builds_and_halts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let p = KernelParams {
+            iterations: 4,
+            ..Default::default()
+        };
+        for class in ATTACK_CLASSES {
+            let prog = build_attack(class, &p, &mut rng);
+            let mut cpu = Cpu::new(CpuConfig::default());
+            let res = cpu.run(&prog, 300_000);
+            assert!(res.halted, "{class} did not halt");
+        }
+    }
+
+    #[test]
+    fn every_benign_kind_builds_and_halts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for kind in BENIGN_KINDS {
+            let prog = build_benign(kind, Scale(3_000), &mut rng);
+            let mut cpu = Cpu::new(CpuConfig::default());
+            let res = cpu.run(&prog, 300_000);
+            assert!(res.halted, "{kind} did not halt");
+        }
+    }
+
+    #[test]
+    fn transient_grouping() {
+        assert!(AttackClass::SpectrePht.is_transient());
+        assert!(AttackClass::Lvi.is_transient());
+        assert!(!AttackClass::FlushReload.is_transient());
+        assert!(!AttackClass::Rowhammer.is_transient());
+    }
+}

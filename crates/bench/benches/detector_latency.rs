@@ -1,0 +1,37 @@
+//! Detector classification latency: the float (simulation) path and the
+//! quantized serial-adder hardware model. The paper requires classification
+//! inside the transient window ("a result in a few hundred cycles in the
+//! worst case" on the serial adder).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use evax_nn::{HwPerceptron, QuantizedWeights};
+use rand::{Rng, SeedableRng};
+
+fn bench_detector(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let dim = 145;
+    let weights: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let perceptron = HwPerceptron::from_parts(weights, 0.1);
+    let features: Vec<f32> = (0..dim).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    let q: QuantizedWeights = perceptron.quantize();
+    let bits: Vec<bool> = features.iter().map(|&v| v > 0.25).collect();
+
+    let mut group = c.benchmark_group("detector");
+    group.bench_function("float_score_145", |b| {
+        b.iter(|| black_box(perceptron.score(black_box(&features))))
+    });
+    group.bench_function("quantized_serial_adder_145", |b| {
+        b.iter(|| black_box(q.classify_bits(black_box(&bits))))
+    });
+    group.finish();
+
+    // Report the modeled hardware latency once, alongside the wall time.
+    let d = q.classify_bits(&bits);
+    eprintln!(
+        "modeled HW latency: {} serial-adder cycles (<= 145)",
+        d.cycles
+    );
+}
+
+criterion_group!(benches, bench_detector);
+criterion_main!(benches);

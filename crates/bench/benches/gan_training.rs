@@ -1,0 +1,58 @@
+//! AM-GAN training-step cost at the paper's dimensions (145 features,
+//! 22 classes, deep generator vs. perceptron discriminator).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use evax_nn::{Activation, Adam, CondGan, GanConfig, Matrix, Network};
+use rand::{Rng, SeedableRng};
+
+fn bench_gan(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let cfg = GanConfig {
+        noise_dim: 145,
+        n_classes: 22,
+        feature_dim: 133,
+        mismatch_prob: 0.25,
+    };
+    let generator = Network::mlp(
+        cfg.noise_dim + cfg.n_classes,
+        128,
+        3,
+        cfg.feature_dim,
+        Activation::LeakyRelu,
+        Activation::Sigmoid,
+        &mut rng,
+    );
+    let discriminator = Network::mlp(
+        cfg.feature_dim + cfg.n_classes,
+        0,
+        0,
+        1,
+        Activation::Identity,
+        Activation::Sigmoid,
+        &mut rng,
+    );
+    let mut gan = CondGan::new(cfg, generator, discriminator);
+    let batch = 64usize;
+    let rows: Vec<Vec<f32>> = (0..batch)
+        .map(|_| (0..133).map(|_| rng.gen_range(0.0f32..1.0)).collect())
+        .collect();
+    let x = Matrix::from_rows(&rows);
+    let labels: Vec<usize> = (0..batch).map(|i| i % 22).collect();
+    let mut g_opt = Adam::with_betas(2e-3, 0.5, 0.999);
+    let mut d_opt = Adam::with_betas(2e-3, 0.5, 0.999);
+
+    let mut group = c.benchmark_group("gan");
+    group.sample_size(30);
+    group.bench_function("am_gan_train_step_b64", |b| {
+        b.iter(|| {
+            black_box(gan.train_step(black_box(&x), &labels, &mut rng, &mut g_opt, &mut d_opt))
+        })
+    });
+    group.bench_function("generate_64_samples", |b| {
+        b.iter(|| black_box(gan.generate(black_box(&labels), &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gan);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microarchitectural component microbenchmarks: cache access, branch
+//! prediction, DRAM access with the Rowhammer module.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use evax_dram::{AccessKind, Dram, DramConfig};
+use evax_sim::branch::{Btb, Ras, TournamentPredictor};
+use evax_sim::cache::Cache;
+use evax_sim::config::CacheConfig;
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microarch");
+
+    let mut cache = Cache::new(CacheConfig {
+        size: 64 * 1024,
+        line: 64,
+        ways: 8,
+        hit_latency: 2,
+        mshrs: 20,
+        write_buffers: 8,
+    });
+    for i in 0..512u64 {
+        cache.fill(i * 64, false, false);
+    }
+    let mut addr = 0u64;
+    group.bench_function("l1d_access", |b| {
+        b.iter(|| {
+            addr = (addr + 64) & 0xFFFF;
+            black_box(cache.access(black_box(addr), false, 0))
+        })
+    });
+
+    let mut bp = TournamentPredictor::new();
+    let mut pc = 0usize;
+    group.bench_function("tournament_predict_update", |b| {
+        b.iter(|| {
+            pc = (pc + 13) & 0xFFF;
+            let p = bp.predict(pc);
+            bp.update(pc, p, pc.is_multiple_of(3));
+            black_box(p)
+        })
+    });
+
+    let mut btb = Btb::new(4096);
+    group.bench_function("btb_lookup_update", |b| {
+        b.iter(|| {
+            pc = (pc + 7) & 0xFFFF;
+            btb.update(pc, pc + 1);
+            black_box(btb.lookup(pc))
+        })
+    });
+
+    let mut ras = Ras::new(16);
+    group.bench_function("ras_push_pop", |b| {
+        b.iter(|| {
+            ras.push(black_box(42));
+            black_box(ras.pop())
+        })
+    });
+
+    let mut dram = Dram::new(DramConfig::default());
+    let mut t = 0u64;
+    group.bench_function("dram_access_with_rowhammer_tracking", |b| {
+        b.iter(|| {
+            t += 100;
+            addr = (addr + 8192) & 0xF_FFFF;
+            black_box(dram.access(black_box(addr), AccessKind::Read, t))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! HPC sample-extraction throughput: flattening all counters into the
+//! feature vector (done every 100 instructions at the finest granularity).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use evax_core::dataset::Normalizer;
+use evax_sim::{hpc_vector, Cpu, CpuConfig, HPC_BASE_DIM};
+
+fn bench_sampling(c: &mut Criterion) {
+    let cpu = Cpu::new(CpuConfig::default());
+    let mut group = c.benchmark_group("sampling");
+    group.bench_function("hpc_vector_133", |b| {
+        b.iter(|| black_box(hpc_vector(black_box(&cpu))))
+    });
+
+    let mut norm = Normalizer::new(HPC_BASE_DIM);
+    let raw = hpc_vector(&cpu);
+    norm.observe(&raw);
+    group.bench_function("normalize_133", |b| {
+        b.iter(|| black_box(norm.normalize(black_box(&raw))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Simulator throughput: committed instructions per second for a benign
+//! workload and a transient attack kernel (attacks squash heavily, so they
+//! are slower per committed instruction).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use evax_attacks::benign::Scale;
+use evax_attacks::{build_attack, build_benign, AttackClass, BenignKind, KernelParams};
+use evax_sim::{Cpu, CpuConfig};
+use rand::SeedableRng;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let benign = build_benign(BenignKind::Compression, Scale(20_000), &mut rng);
+    let attack = build_attack(AttackClass::SpectrePht, &KernelParams::default(), &mut rng);
+
+    let mut group = c.benchmark_group("sim");
+    group.throughput(Throughput::Elements(20_000));
+    group.sample_size(20);
+    group.bench_function("benign_20k_instrs", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(CpuConfig::default());
+            black_box(cpu.run(black_box(&benign), 20_000))
+        })
+    });
+    group.bench_function("spectre_kernel", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(CpuConfig::default());
+            black_box(cpu.run(black_box(&attack), 20_000))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

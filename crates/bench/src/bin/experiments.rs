@@ -1,0 +1,76 @@
+//! The experiment runner: regenerates every table and figure of the EVAX
+//! paper's evaluation.
+//!
+//! ```text
+//! experiments <id>... [--seed N] [--scale small|full]
+//! experiments all [--seed N] [--scale small|full]
+//! experiments list
+//! ```
+
+use std::process::ExitCode;
+
+use evax_bench::{run_experiment, ExperimentScale, Harness, EXPERIMENT_IDS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut seed = 42u64;
+    let mut scale = ExperimentScale::Small;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--seed requires an integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).and_then(|s| ExperimentScale::parse(s)) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--scale requires 'small' or 'full'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "help" || i == "--help") {
+        eprintln!("usage: experiments <id>... [--seed N] [--scale small|full]");
+        eprintln!("ids: {} | all | list", EXPERIMENT_IDS.join(" "));
+        return ExitCode::FAILURE;
+    }
+    if ids.iter().any(|i| i == "list") {
+        for id in EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let harness = Harness::new(seed, scale);
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match run_experiment(id, &harness) {
+            Ok(report) => {
+                println!("{report}");
+                eprintln!("[{id}] done in {:.1?}\n", started.elapsed());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,141 @@
+//! Fig. 6 (Gram-matrix leakage snapshots + interpretability) and Fig. 7
+//! (attack style loss over AM-GAN training).
+
+use evax_attacks::AttackClass;
+use evax_core::dataset::Sample;
+use evax_core::gram::{gram_matrix, render_gram, series_of, style_loss_normalized};
+use rand::SeedableRng;
+
+use crate::harness::Harness;
+
+/// The three features the figure correlates (analogs of the paper's
+/// "Conflicts in Instruction Queue", "SquashedLoads" and "Speculative
+/// Instructions Added").
+fn fig6_features() -> (Vec<usize>, Vec<&'static str>) {
+    // Chosen to discriminate the fault-based style (deferred-fault loads,
+    // non-speculative squashes) from the return-mispredict style (RAS
+    // incorrect, squashed speculative loads) in our counter set.
+    let names = vec![
+        "iq.SquashedNonSpecLD",
+        "faults.deferredWithData",
+        "bp.RASIncorrect",
+        "lsq.squashedLoads",
+    ];
+    let idx = names
+        .iter()
+        .map(|n| evax_sim::hpc_index(n).expect("fig6 feature exists"))
+        .collect();
+    (idx, names)
+}
+
+/// Fig. 6: Gram matrices during the leakage phase for (A) Meltdown,
+/// (B) Spectre-RSB and (C) an AM-GAN-generated Spectre-RSB sample.
+pub fn fig6(h: &Harness) -> String {
+    let p = h.pipeline();
+    let (idx, names) = fig6_features();
+    let take = 48;
+    let a: Vec<Sample> = p
+        .train
+        .of_class(AttackClass::Meltdown.label())
+        .take(take)
+        .cloned()
+        .collect();
+    let b: Vec<Sample> = p
+        .train
+        .of_class(AttackClass::SpectreRsb.label())
+        .take(take)
+        .cloned()
+        .collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(h.seed ^ 0x6);
+    // The samples EVAX actually collects for vaccination: discriminator-
+    // vetted Generator output, anchored to the class manifold (see
+    // DESIGN.md Sec. 7 — at this corpus scale the raw Generator's
+    // class-conditional detail on narrow feature slices is too weak to
+    // visualize; the anchored stream is what trains the detector).
+    let c = p.gan.generate_anchored(
+        &p.train,
+        AttackClass::SpectreRsb.label(),
+        b.len().max(8),
+        &mut rng,
+    );
+
+    let gm_a = gram_matrix(&series_of(&a, &idx));
+    let gm_b = gram_matrix(&series_of(&b, &idx));
+    let gm_c = gram_matrix(&series_of(&c, &idx));
+    // Scale-invariant comparison: the paper's point is that same-type
+    // attacks share *correlation structure* even when magnitudes differ.
+    let l_ac = style_loss_normalized(&gm_a, &gm_c);
+    let l_bc = style_loss_normalized(&gm_b, &gm_c);
+
+    let mut out = String::from("== Fig. 6: Gram matrices during leakage (darker = larger) ==\n\n");
+    out.push_str("(A) Meltdown:\n");
+    out.push_str(&render_gram(&gm_a, &names));
+    out.push_str("\n(B) Spectre-RSB:\n");
+    out.push_str(&render_gram(&gm_b, &names));
+    out.push_str("\n(C) AM-GAN vaccination samples, label = SPECTRE-RSB:\n");
+    out.push_str(&render_gram(&gm_c, &names));
+    out.push_str(&format!(
+        "\nStyle loss L_GM(B, C) = {l_bc:.4}   (same attack type)\n\
+         Style loss L_GM(A, C) = {l_ac:.4}   (different attack type)\n"
+    ));
+    out.push_str(&format!(
+        "Paper shape: same-type pairs similar, cross-type dissimilar -> L(B,C) < L(A,C): {}\n",
+        if l_bc < l_ac {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced at this scale"
+        }
+    ));
+    out
+}
+
+/// Fig. 7: attack style loss per AM-GAN training iteration.
+pub fn fig7(h: &Harness) -> String {
+    let p = h.pipeline();
+    let mut out = String::from("== Fig. 7: attack style loss during AM-GAN training ==\n");
+    out.push_str("epoch | style_loss | d_loss | g_loss\n");
+    for e in p.gan.history() {
+        out.push_str(&format!(
+            "{:>5} | {:>10.5} | {:>6.3} | {:>6.3}\n",
+            e.epoch, e.style_loss, e.d_loss, e.g_loss
+        ));
+    }
+    let first = p.gan.history().first().map(|e| e.style_loss).unwrap_or(0.0);
+    let (best_epoch, best) = p
+        .gan
+        .history()
+        .iter()
+        .min_by(|a, b| {
+            a.style_loss
+                .partial_cmp(&b.style_loss)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|e| (e.epoch, e.style_loss))
+        .unwrap_or((0, f32::INFINITY));
+    // The paper's criterion: monitor L_GM and *start collecting* once it is
+    // small (0.1 +/- 0.006 in their units); GAN losses oscillate afterwards.
+    let gate = p.config.gan.style_gate;
+    out.push_str(&format!(
+        "\nPaper shape: style loss falls to a small value during training, at which\n\
+         point sample collection begins (their gate: 0.1 +/- 0.006; ours: {gate}).\n\
+         Measured: initial {first:.5}, best {best:.5} at epoch {best_epoch} ({})\n",
+        if best < first.min(gate) {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced at this scale"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_features_exist() {
+        let (idx, names) = fig6_features();
+        assert_eq!(idx.len(), 4);
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! Shared experiment context: scale presets and a lazily-trained pipeline
+//! reused across experiments within one invocation.
+
+use std::sync::OnceLock;
+
+use evax_core::collect::CollectConfig;
+use evax_core::gan::AmGanConfig;
+use evax_core::pipeline::{EvaxConfig, EvaxPipeline};
+
+/// How much compute an experiment run spends. The paper's corpus sizes
+/// (1.2M evasive samples, 30 simpoints/benchmark) are scaled down so the
+/// whole suite runs in minutes; `Full` gets closer at the cost of hours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Minutes-scale run (default).
+    Small,
+    /// Larger corpora and longer training.
+    Full,
+}
+
+impl ExperimentScale {
+    /// Parses `small`/`full`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "small" => Some(ExperimentScale::Small),
+            "full" => Some(ExperimentScale::Full),
+            _ => None,
+        }
+    }
+
+    /// The pipeline configuration for this scale.
+    pub fn evax_config(self) -> EvaxConfig {
+        match self {
+            ExperimentScale::Small => EvaxConfig {
+                collect: CollectConfig {
+                    interval: 100,
+                    runs_per_attack: 2,
+                    runs_per_benign: 4,
+                    max_instrs: 8_000,
+                    benign_scale: 8_000,
+                },
+                gan: AmGanConfig {
+                    epochs: 60,
+                    hidden_width: 96,
+                    generator_hidden: 3,
+                    ..AmGanConfig::small()
+                },
+                augment_per_class: 80,
+                augment_benign: 300,
+                ..Default::default()
+            },
+            ExperimentScale::Full => EvaxConfig {
+                collect: CollectConfig {
+                    interval: 100,
+                    runs_per_attack: 6,
+                    runs_per_benign: 12,
+                    max_instrs: 20_000,
+                    benign_scale: 20_000,
+                },
+                gan: AmGanConfig {
+                    epochs: 120,
+                    ..Default::default()
+                },
+                augment_per_class: 250,
+                augment_benign: 1_000,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Fuzz programs per tool for the evasive corpora (paper: 1.2M samples;
+    /// scaled).
+    pub fn fuzz_programs_per_tool(self) -> usize {
+        match self {
+            ExperimentScale::Small => 8,
+            ExperimentScale::Full => 40,
+        }
+    }
+
+    /// Instruction budget for performance (overhead/IPC) runs.
+    pub fn perf_instrs(self) -> u64 {
+        match self {
+            ExperimentScale::Small => 60_000,
+            ExperimentScale::Full => 400_000,
+        }
+    }
+}
+
+/// The experiment context: seed, scale, and the shared trained pipeline.
+pub struct Harness {
+    /// RNG seed for every experiment.
+    pub seed: u64,
+    /// Compute scale.
+    pub scale: ExperimentScale,
+    pipeline: OnceLock<EvaxPipeline>,
+}
+
+impl Harness {
+    /// Creates a harness.
+    pub fn new(seed: u64, scale: ExperimentScale) -> Self {
+        Harness {
+            seed,
+            scale,
+            pipeline: OnceLock::new(),
+        }
+    }
+
+    /// The shared pipeline, trained on first use.
+    pub fn pipeline(&self) -> &EvaxPipeline {
+        self.pipeline.get_or_init(|| {
+            eprintln!("[harness] training EVAX pipeline (collect + AM-GAN + vaccinate)...");
+            let p = EvaxPipeline::run(&self.scale.evax_config(), self.seed);
+            eprintln!(
+                "[harness] pipeline ready: {} train samples, {} holdout",
+                p.train.len(),
+                p.holdout.len()
+            );
+            p
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(
+            ExperimentScale::parse("small"),
+            Some(ExperimentScale::Small)
+        );
+        assert_eq!(ExperimentScale::parse("full"), Some(ExperimentScale::Full));
+        assert_eq!(ExperimentScale::parse("huge"), None);
+    }
+
+    #[test]
+    fn full_is_larger_than_small() {
+        let s = ExperimentScale::Small.evax_config();
+        let f = ExperimentScale::Full.evax_config();
+        assert!(f.collect.runs_per_attack > s.collect.runs_per_attack);
+        assert!(f.gan.epochs > s.gan.epochs);
+        assert!(ExperimentScale::Full.perf_instrs() > ExperimentScale::Small.perf_instrs());
+    }
+}

@@ -1,0 +1,330 @@
+//! Adversarial-ML evasion bounded by the transient window (paper §I,
+//! Figs. 2 and 18).
+//!
+//! "Our solution is to push the classification boundaries in the worst
+//! adversarial directions until further attempts to evade disables the
+//! attack" — an attacker perturbing its microarchitectural footprint spends
+//! transient-window budget (decoys, delays, restructuring); the window is
+//! bounded by the ROB. If the perturbation needed to cross the decision
+//! boundary exceeds that budget, the evasion attempt *disables the attack*.
+
+use rand::Rng;
+
+use crate::dataset::{Dataset, Sample};
+use crate::detector::Detector;
+
+/// Outcome of one evasion attempt against a detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvasionOutcome {
+    /// The perturbed sample crossed the boundary within budget — the attack
+    /// still leaks *and* evades (a detector loss).
+    Evaded,
+    /// Crossing the boundary would cost more perturbation than the
+    /// transient window allows: the "evasive" variant no longer leaks.
+    Disabled,
+    /// The sample could not evade at all and is still flagged.
+    Detected,
+}
+
+/// AML attack configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmlConfig {
+    /// Total L1 perturbation budget in normalized feature units. The paper
+    /// ties this to the transient window: it scales with the ROB
+    /// ([`AmlConfig::for_rob`]).
+    pub budget_l1: f32,
+    /// Per-step L∞ cap on each feature change.
+    pub step: f32,
+    /// Maximum gradient steps.
+    pub max_steps: usize,
+}
+
+impl Default for AmlConfig {
+    fn default() -> Self {
+        AmlConfig::for_rob(192)
+    }
+}
+
+impl AmlConfig {
+    /// Budget scaled to the ROB size (Table II default = 192): a smaller
+    /// ROB means a shorter transient window and a smaller evasion budget —
+    /// "our experiments show adversarial ML efforts in systems with small
+    /// ROB fail to evade our detector" (§I).
+    pub fn for_rob(rob_entries: usize) -> Self {
+        AmlConfig {
+            budget_l1: 0.7 * rob_entries as f32 / 192.0,
+            step: 0.05,
+            max_steps: 400,
+        }
+    }
+}
+
+/// Result of one evasion attempt with its cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvasionAttempt {
+    /// The outcome.
+    pub outcome: EvasionOutcome,
+    /// L1 perturbation applied (or required, for `Disabled`).
+    pub cost_l1: f32,
+    /// The final (possibly perturbed) feature vector.
+    pub features: Vec<f32>,
+}
+
+/// Gradient-descent evasion of one malicious sample against a (surrogate)
+/// detector: move each feature against its weight's sign, spending L1
+/// budget, until the score drops below the threshold.
+///
+/// The attacker has white-box access to a similar detector (threat model
+/// §IV, assumption 2).
+pub fn evade(det: &Detector, sample: &Sample, cfg: &AmlConfig) -> EvasionAttempt {
+    assert!(
+        sample.malicious,
+        "evasion only makes sense for attack samples"
+    );
+    let mut x = sample.features.clone();
+    if !det.classify(&x) {
+        // Already below threshold: evaded for free.
+        return EvasionAttempt {
+            outcome: EvasionOutcome::Evaded,
+            cost_l1: 0.0,
+            features: x,
+        };
+    }
+    let weights = det.perceptron().weights().to_vec();
+    let base_dim = x.len();
+    let mut spent = 0.0f32;
+    let mut spent_beyond_budget = 0.0f32;
+    let mut evaded_at: Option<f32> = None;
+    for _ in 0..cfg.max_steps {
+        // Rank baseline features by current score sensitivity. Engineered
+        // features move with their components, so the surrogate gradient is
+        // the weight on the feature itself plus any engineered feature it
+        // currently gates (min component).
+        let transformed = det.transform(&x);
+        let engineered = det.engineered();
+        let mut grad = weights[..base_dim].to_vec();
+        for (k, f) in engineered.iter().enumerate() {
+            // The min component carries the gradient of the fuzzy AND.
+            if let Some(&min_idx) = f
+                .components
+                .iter()
+                .min_by(|&&a, &&b| x[a].partial_cmp(&x[b]).unwrap_or(std::cmp::Ordering::Equal))
+            {
+                grad[min_idx] += weights[base_dim + k];
+            }
+        }
+        let _ = transformed;
+        // Take the strongest useful move: decrease features with positive
+        // weight, increase features with negative weight, within [0, 1].
+        let mut best: Option<(usize, f32)> = None;
+        for i in 0..base_dim {
+            let headroom = if grad[i] > 0.0 { x[i] } else { 1.0 - x[i] };
+            let gain = grad[i].abs() * headroom.min(cfg.step);
+            if gain > 1e-9 && best.is_none_or(|(_, g)| gain > g) {
+                best = Some((i, gain));
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let delta = if grad[i] > 0.0 {
+            -x[i].min(cfg.step)
+        } else {
+            (1.0 - x[i]).min(cfg.step)
+        };
+        x[i] += delta;
+        let cost = delta.abs();
+        if spent + cost <= cfg.budget_l1 {
+            spent += cost;
+        } else {
+            spent_beyond_budget += cost;
+        }
+        if !det.classify(&x) {
+            evaded_at = Some(spent + spent_beyond_budget);
+            break;
+        }
+    }
+    match evaded_at {
+        Some(total) if total <= cfg.budget_l1 => EvasionAttempt {
+            outcome: EvasionOutcome::Evaded,
+            cost_l1: total,
+            features: x,
+        },
+        Some(total) => EvasionAttempt {
+            // Crossing the boundary required perturbing past the transient
+            // window — the attack no longer completes before squash.
+            outcome: EvasionOutcome::Disabled,
+            cost_l1: total,
+            features: x,
+        },
+        None => EvasionAttempt {
+            outcome: EvasionOutcome::Detected,
+            cost_l1: spent + spent_beyond_budget,
+            features: x,
+        },
+    }
+}
+
+/// Aggregate AML evaluation (one Fig. 18 bar).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AmlReport {
+    /// Attempts that evaded within budget (leakage happened undetected).
+    pub evaded: usize,
+    /// Attempts whose evasion cost exceeded the window (attack disabled).
+    pub disabled: usize,
+    /// Attempts still detected.
+    pub detected: usize,
+}
+
+impl AmlReport {
+    /// Total attempts.
+    pub fn total(&self) -> usize {
+        self.evaded + self.disabled + self.detected
+    }
+
+    /// Defense success rate: the paper's "accuracy on AML attacks" — an
+    /// attack counts against the defense only if it both leaks and evades.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.disabled + self.detected) as f64 / self.total() as f64
+        }
+    }
+
+    /// `true` when no attempt achieved leakage ("At 93%, leakage is Zero"
+    /// means all *remaining* evasions were disabled; exact zero leakage is
+    /// `evaded == 0`).
+    pub fn zero_leakage(&self) -> bool {
+        self.evaded == 0
+    }
+}
+
+/// Runs the AML attack against the malicious samples of a dataset that the
+/// detector currently flags (subsampled to `limit` attempts). Windows the
+/// detector already misses need no evasion — the adaptive architecture is
+/// triggered by the attack's *flagged* windows, so those are what the
+/// attacker must suppress.
+pub fn evaluate_aml<R: Rng>(
+    det: &Detector,
+    ds: &Dataset,
+    cfg: &AmlConfig,
+    limit: usize,
+    rng: &mut R,
+) -> AmlReport {
+    let malicious: Vec<&Sample> = ds
+        .samples
+        .iter()
+        .filter(|s| s.malicious && det.classify(&s.features))
+        .collect();
+    let mut report = AmlReport::default();
+    if malicious.is_empty() {
+        return report;
+    }
+    let n = malicious.len().min(limit);
+    for _ in 0..n {
+        let s = malicious[rng.gen_range(0..malicious.len())];
+        match evade(det, s, cfg).outcome {
+            EvasionOutcome::Evaded => report.evaded += 1,
+            EvasionOutcome::Disabled => report.disabled += 1,
+            EvasionOutcome::Detected => report.detected += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{DetectorKind, TrainConfig};
+    use rand::SeedableRng;
+
+    fn dataset(rng: &mut impl Rng, margin: f32) -> Dataset {
+        let mut ds = Dataset::new();
+        for _ in 0..300 {
+            let m: f32 = rng.gen_range((0.5 + margin)..1.0);
+            let b: f32 = rng.gen_range(0.0..(0.5 - margin));
+            ds.push(Sample::new(vec![m, b], 1));
+            ds.push(Sample::new(vec![b, m], 0));
+        }
+        ds
+    }
+
+    #[test]
+    fn tight_margin_is_evadable_with_big_budget() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let ds = dataset(&mut rng, 0.02);
+        let det = Detector::train(
+            DetectorKind::PerSpectron,
+            &ds,
+            vec![],
+            &TrainConfig::default(),
+            &mut rng,
+        );
+        let cfg = AmlConfig {
+            budget_l1: 10.0,
+            step: 0.05,
+            max_steps: 500,
+        };
+        let report = evaluate_aml(&det, &ds, &cfg, 50, &mut rng);
+        assert!(report.evaded > 0, "huge budget should evade: {report:?}");
+    }
+
+    #[test]
+    fn small_rob_budget_disables_evasions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let ds = dataset(&mut rng, 0.05);
+        let mut det = Detector::train(
+            DetectorKind::Evax,
+            &ds,
+            vec![],
+            &TrainConfig::default(),
+            &mut rng,
+        );
+        det.tune_for_tpr(&ds, 1.0);
+        // A tiny ROB -> tiny window -> evasion attempts disable the attack.
+        let cfg = AmlConfig::for_rob(16);
+        let report = evaluate_aml(&det, &ds, &cfg, 50, &mut rng);
+        assert!(
+            report.evaded < 10,
+            "small-ROB budget should rarely evade: {report:?}"
+        );
+        assert!(report.accuracy() > 0.8);
+    }
+
+    #[test]
+    fn budget_scales_with_rob() {
+        assert!(AmlConfig::for_rob(192).budget_l1 > AmlConfig::for_rob(32).budget_l1);
+    }
+
+    #[test]
+    fn report_accuracy_counts_disabled_as_defense_win() {
+        let r = AmlReport {
+            evaded: 1,
+            disabled: 6,
+            detected: 3,
+        };
+        assert!((r.accuracy() - 0.9).abs() < 1e-12);
+        assert!(!r.zero_leakage());
+        let r2 = AmlReport {
+            evaded: 0,
+            disabled: 5,
+            detected: 5,
+        };
+        assert!(r2.zero_leakage());
+    }
+
+    #[test]
+    #[should_panic(expected = "evasion only makes sense for attack samples")]
+    fn benign_sample_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let ds = dataset(&mut rng, 0.1);
+        let det = Detector::train(
+            DetectorKind::Evax,
+            &ds,
+            vec![],
+            &TrainConfig::default(),
+            &mut rng,
+        );
+        let benign = Sample::new(vec![0.1, 0.9], 0);
+        let _ = evade(&det, &benign, &AmlConfig::default());
+    }
+}

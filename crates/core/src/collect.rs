@@ -1,0 +1,179 @@
+//! Sample collection: run attack/benign programs on the simulator, sample
+//! all counters every N committed instructions, normalize by running max.
+//!
+//! Paper §VII: "We have extended our framework to collect statistics once
+//! every 100,000, 10,000, 1000 and 100 instructions ... Contrary to typical
+//! architectural studies, we generate many more, smaller simpoints of benign
+//! codes, since we need to train to detect short patterns quickly."
+
+use evax_attacks::benign::Scale;
+use evax_attacks::{build_attack, build_benign, KernelParams};
+use evax_sim::{Cpu, CpuConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{Dataset, Normalizer, Sample, BENIGN_CLASS};
+
+/// Collection configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectConfig {
+    /// Sampling interval in committed instructions (paper: 100–100k).
+    pub interval: u64,
+    /// Program runs per attack class.
+    pub runs_per_attack: usize,
+    /// Program runs per benign kind (paper: "many more, smaller simpoints").
+    pub runs_per_benign: usize,
+    /// Instruction budget per run.
+    pub max_instrs: u64,
+    /// Benign workload scale (dynamic instructions per program).
+    pub benign_scale: u64,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        CollectConfig {
+            interval: 100,
+            runs_per_attack: 4,
+            runs_per_benign: 8,
+            max_instrs: 12_000,
+            benign_scale: 12_000,
+        }
+    }
+}
+
+/// Collects the raw (unnormalized) HPC windows for one program.
+pub fn raw_windows(
+    program: &evax_sim::Program,
+    cfg: &CollectConfig,
+    cpu_cfg: &CpuConfig,
+) -> Vec<Vec<f64>> {
+    let mut cpu = Cpu::new(cpu_cfg.clone());
+    // Attacks that read kernel memory need a secret planted by "the OS".
+    cpu.memory_mut()
+        .write_u64(evax_attacks::mds::KERNEL_SECRET_ADDR, 5);
+    let mut windows = Vec::new();
+    cpu.run_sampled(program, cfg.max_instrs, cfg.interval, |s| {
+        windows.push(s.values.clone());
+        None
+    });
+    windows
+}
+
+/// A full labeled collection run: every attack class plus every benign kind,
+/// with per-run parameter jitter so samples are not identical.
+///
+/// Returns the dataset (normalized) and the fitted normalizer (needed to
+/// normalize future/evasive samples consistently).
+pub fn collect_dataset(cfg: &CollectConfig, seed: u64) -> (Dataset, Normalizer) {
+    let cpu_cfg = CpuConfig::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut labeled_raw: Vec<(Vec<f64>, usize)> = Vec::new();
+
+    for class in evax_attacks::ATTACK_CLASSES {
+        for run in 0..cfg.runs_per_attack {
+            // Enough attack rounds to fill the instruction budget, so every
+            // class yields a comparable number of windows (short kernels
+            // like LVI would otherwise contribute almost no samples).
+            let params = KernelParams {
+                seed: rng.gen(),
+                iterations: 150 + (run as u32 % 4) * 75,
+                ..Default::default()
+            };
+            let program = build_attack(class, &params, &mut rng);
+            for w in raw_windows(&program, cfg, &cpu_cfg) {
+                labeled_raw.push((w, class.label()));
+            }
+        }
+    }
+    for kind in evax_attacks::BENIGN_KINDS {
+        for _ in 0..cfg.runs_per_benign {
+            let program = build_benign(kind, Scale(cfg.benign_scale), &mut rng);
+            for w in raw_windows(&program, cfg, &cpu_cfg) {
+                labeled_raw.push((w, BENIGN_CLASS));
+            }
+        }
+    }
+
+    let dim = labeled_raw.first().map_or(0, |(w, _)| w.len());
+    let mut norm = Normalizer::new(dim);
+    for (w, _) in &labeled_raw {
+        norm.observe(w);
+    }
+    let mut ds = Dataset::new();
+    for (w, class) in &labeled_raw {
+        ds.push(Sample::new(norm.normalize(w), *class));
+    }
+    (ds, norm)
+}
+
+/// Collects samples for a single prebuilt program under an existing
+/// normalizer (used for evasive corpora and detector deployment).
+pub fn collect_program(
+    program: &evax_sim::Program,
+    class: usize,
+    cfg: &CollectConfig,
+    norm: &Normalizer,
+) -> Vec<Sample> {
+    let cpu_cfg = CpuConfig::default();
+    raw_windows(program, cfg, &cpu_cfg)
+        .into_iter()
+        .map(|w| Sample::new(norm.normalize(&w), class))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CollectConfig {
+        CollectConfig {
+            interval: 200,
+            runs_per_attack: 1,
+            runs_per_benign: 1,
+            max_instrs: 3_000,
+            benign_scale: 3_000,
+        }
+    }
+
+    #[test]
+    fn collection_produces_labeled_normalized_samples() {
+        let (ds, norm) = collect_dataset(&tiny(), 7);
+        assert!(ds.len() > 100, "got {} samples", ds.len());
+        assert_eq!(ds.feature_dim(), evax_sim::HPC_BASE_DIM);
+        assert_eq!(norm.dim(), evax_sim::HPC_BASE_DIM);
+        assert!(ds.n_malicious() > 0 && ds.n_benign() > 0);
+        for s in &ds.samples {
+            assert!(s.features.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn attack_and_benign_windows_differ() {
+        let (ds, _) = collect_dataset(&tiny(), 8);
+        // Mean squashed-work feature should be higher for attacks.
+        let idx = evax_sim::hpc_index("iew.ExecSquashedInsts").unwrap();
+        let mean = |malicious: bool| -> f32 {
+            let xs: Vec<f32> = ds
+                .samples
+                .iter()
+                .filter(|s| s.malicious == malicious)
+                .map(|s| s.features[idx])
+                .collect();
+            xs.iter().sum::<f32>() / xs.len().max(1) as f32
+        };
+        assert!(
+            mean(true) > mean(false),
+            "attacks should squash more: {} vs {}",
+            mean(true),
+            mean(false)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, _) = collect_dataset(&tiny(), 9);
+        let (b, _) = collect_dataset(&tiny(), 9);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.samples[0], b.samples[0]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Automatic security-HPC engineering (paper §VI-A, Table I, Fig. 12).
+//!
+//! "We use the hidden nodes from our trained AM-GAN Generator to
+//! *automatically* engineer new counters for security. ... We sort the
+//! weights of the hidden layer of the network and select the top 12 nodes
+//! ... We then define the Boolean AND Logic of connected HPCs to that node
+//! as a new HPC specifically engineered for Security."
+//!
+//! Mining happens on the Generator's *output-facing* layer: each hidden node
+//! drives the output HPC units through a weight row; nodes whose outgoing
+//! weight mass concentrates on a small set of HPCs represent invariant
+//! combinations of counters (e.g. `SquashedBytesReadFromWRQu` = squashed
+//! loads AND bytes-read-from-write-queue). The AND of normalized counter
+//! values is realized as their minimum (the fuzzy-AND; exact Boolean AND on
+//! the presence bits in the quantized datapath).
+
+use evax_nn::Network;
+
+/// One engineered security counter: the AND of a small set of baseline HPCs.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EngineeredFeature {
+    /// Human-readable name, e.g. `lsq.squashedLoads_AND_dram.bytesReadWrQ`.
+    pub name: String,
+    /// Indices of the combined baseline HPCs.
+    pub components: Vec<usize>,
+}
+
+impl EngineeredFeature {
+    /// Evaluates the feature on a normalized baseline vector (fuzzy AND =
+    /// minimum of the components).
+    ///
+    /// # Panics
+    /// Panics if a component index is out of range.
+    pub fn eval(&self, base: &[f32]) -> f32 {
+        self.components
+            .iter()
+            .map(|&i| base[i])
+            .fold(f32::INFINITY, f32::min)
+            .min(1.0)
+    }
+}
+
+/// Number of engineered counters the paper adds (145 − 133).
+pub const N_ENGINEERED: usize = 12;
+
+/// Mines the trained Generator for the top `n` concentrated HPC
+/// combinations of `arity` components each.
+///
+/// # Panics
+/// Panics if the generator has fewer than two layers.
+pub fn engineer_features(
+    generator: &Network,
+    n: usize,
+    arity: usize,
+    hpc_names: &[&str],
+) -> Vec<EngineeredFeature> {
+    assert!(generator.depth() >= 2, "generator must have hidden layers");
+    let out_layer = &generator.layers()[generator.depth() - 1];
+    let w = out_layer.weights(); // hidden_width x feature_dim
+    let hidden = w.rows();
+    let feature_dim = w.cols();
+    let arity = arity.clamp(2, 4).min(feature_dim);
+
+    // Score each hidden node by how concentrated its outgoing weight mass is
+    // on its top-`arity` HPCs.
+    let mut scored: Vec<(f32, Vec<usize>)> = Vec::with_capacity(hidden);
+    for h in 0..hidden {
+        let row = w.row(h);
+        let mut idx: Vec<usize> = (0..feature_dim).collect();
+        idx.sort_by(|&a, &b| {
+            row[b]
+                .abs()
+                .partial_cmp(&row[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let top: Vec<usize> = idx[..arity].to_vec();
+        let top_mass: f32 = top.iter().map(|&i| row[i].abs()).sum();
+        let total: f32 = row.iter().map(|v| v.abs()).sum::<f32>().max(1e-9);
+        let concentration = top_mass / total;
+        // Weight by magnitude so dead nodes do not win.
+        scored.push((concentration * top_mass, top));
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Deduplicate component sets, preserving score order.
+    let mut seen: Vec<Vec<usize>> = Vec::new();
+    let mut out = Vec::with_capacity(n);
+    for (_, mut comps) in scored {
+        comps.sort_unstable();
+        if seen.contains(&comps) {
+            continue;
+        }
+        seen.push(comps.clone());
+        let name = comps
+            .iter()
+            .map(|&i| hpc_names.get(i).copied().unwrap_or("?"))
+            .collect::<Vec<_>>()
+            .join("_AND_");
+        out.push(EngineeredFeature {
+            name,
+            components: comps,
+        });
+        if out.len() == n {
+            break;
+        }
+    }
+    out
+}
+
+/// Extends a normalized baseline vector with the engineered features
+/// (133 → 145 in the paper's configuration).
+pub fn extend_features(base: &[f32], engineered: &[EngineeredFeature]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(base.len() + engineered.len());
+    out.extend_from_slice(base);
+    for f in engineered {
+        out.push(f.eval(base));
+    }
+    out
+}
+
+/// Renders the engineered features as the paper's Table I.
+pub fn render_table(engineered: &[EngineeredFeature]) -> String {
+    let mut s = String::from("# | Security HPCs engineered by EVAX\n");
+    for (i, f) in engineered.iter().enumerate() {
+        s.push_str(&format!(
+            "{} | {}\n",
+            i + 1,
+            f.name.replace("_AND_", " AND ")
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evax_nn::{Activation, Dense, Matrix};
+
+    /// A generator whose output layer has two obviously concentrated nodes.
+    fn rigged_generator() -> Network {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let hidden = Dense::new(4, 3, Activation::LeakyRelu, &mut rng);
+        // 3 hidden nodes x 6 outputs.
+        let w = Matrix::from_rows(&[
+            vec![5.0, 4.5, 0.0, 0.0, 0.0, 0.1], // node 0: outputs {0,1}
+            vec![0.1, 0.1, 0.1, 0.1, 0.1, 0.1], // node 1: diffuse
+            vec![0.0, 0.0, 3.0, 0.0, 2.5, 0.0], // node 2: outputs {2,4}
+        ]);
+        let out = Dense::from_parts(w, vec![0.0; 6], Activation::Sigmoid);
+        Network::new(vec![hidden, out])
+    }
+
+    #[test]
+    fn mining_finds_concentrated_nodes_first() {
+        let names = ["a", "b", "c", "d", "e", "f"];
+        let feats = engineer_features(&rigged_generator(), 2, 2, &names);
+        assert_eq!(feats.len(), 2);
+        assert_eq!(feats[0].components, vec![0, 1]);
+        assert_eq!(feats[0].name, "a_AND_b");
+        assert_eq!(feats[1].components, vec![2, 4]);
+    }
+
+    #[test]
+    fn eval_is_fuzzy_and() {
+        let f = EngineeredFeature {
+            name: "x".into(),
+            components: vec![0, 2],
+        };
+        assert_eq!(f.eval(&[0.8, 0.1, 0.3]), 0.3);
+        assert_eq!(f.eval(&[0.0, 0.9, 0.9]), 0.0);
+    }
+
+    #[test]
+    fn extend_appends_engineered_values() {
+        let feats = vec![EngineeredFeature {
+            name: "x".into(),
+            components: vec![0, 1],
+        }];
+        let v = extend_features(&[0.5, 0.2], &feats);
+        assert_eq!(v, vec![0.5, 0.2, 0.2]);
+    }
+
+    #[test]
+    fn dedup_prevents_repeated_combos() {
+        // All nodes concentrate on the same pair: only one feature results.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let hidden = Dense::new(4, 3, Activation::LeakyRelu, &mut rng);
+        let w = Matrix::from_rows(&[
+            vec![5.0, 4.0, 0.0],
+            vec![4.0, 5.0, 0.0],
+            vec![6.0, 5.0, 0.0],
+        ]);
+        let out = Dense::from_parts(w, vec![0.0; 3], Activation::Sigmoid);
+        let g = Network::new(vec![hidden, out]);
+        let feats = engineer_features(&g, 12, 2, &["a", "b", "c"]);
+        assert_eq!(feats.len(), 1);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let feats = vec![EngineeredFeature {
+            name: "lsq.squashedStores_AND_lsq.forwLoads".into(),
+            components: vec![0, 1],
+        }];
+        let t = render_table(&feats);
+        assert!(t.contains("lsq.squashedStores AND lsq.forwLoads"));
+    }
+}

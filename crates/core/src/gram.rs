@@ -1,0 +1,219 @@
+//! The Gram-matrix *attack style loss* (paper §V-D).
+//!
+//! "To numerically measure how often two feature maps are present together,
+//! we multiply the values of two vectors in each position and sum the
+//! results" — the Gram matrix over feature time-series; the style loss
+//! between a base attack B and a generated attack G is
+//! `L_GM(B, G) = 1/(4·α·N²) · Σ_ij (GM(B)_ij − GM(G)_ij)²`.
+
+/// Computes the `N x N` Gram matrix of `N` feature time-series, each of
+/// length `T`: `GM_ij = Σ_t f_i(t)·f_j(t)`, normalized by `T` so series
+/// length does not dominate.
+///
+/// `series` is indexed `[feature][time]`.
+///
+/// # Panics
+/// Panics if series lengths differ or `series` is empty.
+pub fn gram_matrix(series: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    assert!(!series.is_empty(), "gram matrix needs at least one series");
+    let t = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == t),
+        "series length mismatch"
+    );
+    let n = series.len();
+    let mut gm = vec![vec![0.0f32; n]; n];
+    let norm = t.max(1) as f32;
+    for i in 0..n {
+        for j in i..n {
+            let dot: f32 = series[i]
+                .iter()
+                .zip(series[j].iter())
+                .map(|(a, b)| a * b)
+                .sum();
+            gm[i][j] = dot / norm;
+            gm[j][i] = dot / norm;
+        }
+    }
+    gm
+}
+
+/// Extracts per-feature time-series from a set of consecutive samples
+/// restricted to `feature_indices`, ready for [`gram_matrix`].
+pub fn series_of(samples: &[crate::dataset::Sample], feature_indices: &[usize]) -> Vec<Vec<f32>> {
+    feature_indices
+        .iter()
+        .map(|&f| samples.iter().map(|s| s.features[f]).collect())
+        .collect()
+}
+
+/// The attack style loss `L_GM(B, G)` between two Gram matrices
+/// (α is the paper's scaling constant; we use α = 1).
+///
+/// # Panics
+/// Panics if the matrices have different shapes.
+pub fn style_loss(gm_base: &[Vec<f32>], gm_gen: &[Vec<f32>]) -> f32 {
+    let n = gm_base.len();
+    assert_eq!(n, gm_gen.len(), "gram matrix size mismatch");
+    let mut sum = 0.0f32;
+    for (row_b, row_g) in gm_base.iter().zip(gm_gen.iter()) {
+        assert_eq!(row_b.len(), n, "gram matrix not square");
+        assert_eq!(row_g.len(), n, "gram matrix not square");
+        for (b, g) in row_b.iter().zip(row_g.iter()) {
+            let d = b - g;
+            sum += d * d;
+        }
+    }
+    sum / (4.0 * n as f32 * n as f32)
+}
+
+/// Scale-invariant style loss: both Gram matrices are normalized to unit
+/// Frobenius norm before comparison, so only the *correlation structure*
+/// matters — "even though the values of the features may be very different,
+/// the Gram matrix ... is similar" (paper Fig. 6). Use this to compare
+/// attacks whose counter magnitudes differ wildly.
+///
+/// # Panics
+/// Panics if the matrices have different shapes.
+pub fn style_loss_normalized(gm_base: &[Vec<f32>], gm_gen: &[Vec<f32>]) -> f32 {
+    fn unit(gm: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let norm = gm
+            .iter()
+            .flatten()
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt()
+            .max(1e-9);
+        gm.iter()
+            .map(|row| row.iter().map(|v| v / norm).collect())
+            .collect()
+    }
+    style_loss(&unit(gm_base), &unit(gm_gen))
+}
+
+/// Convenience: style loss between two sets of samples over the given
+/// features.
+pub fn sample_style_loss(
+    base: &[crate::dataset::Sample],
+    generated: &[crate::dataset::Sample],
+    feature_indices: &[usize],
+) -> f32 {
+    let gb = gram_matrix(&series_of(base, feature_indices));
+    let gg = gram_matrix(&series_of(generated, feature_indices));
+    style_loss(&gb, &gg)
+}
+
+/// Renders a Gram matrix as a text heat map (the paper's Fig. 6
+/// visualization: "the darker color represents larger values").
+pub fn render_gram(gm: &[Vec<f32>], labels: &[&str]) -> String {
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+    let max = gm
+        .iter()
+        .flatten()
+        .fold(0.0f32, |m, &v| m.max(v.abs()))
+        .max(1e-9);
+    let mut out = String::new();
+    for (i, row) in gm.iter().enumerate() {
+        let label = labels.get(i).copied().unwrap_or("?");
+        out.push_str(&format!("{label:>28} |"));
+        for &v in row {
+            let level = ((v.abs() / max) * (shades.len() - 1) as f32).round() as usize;
+            let ch = shades[level.min(shades.len() - 1)];
+            out.push(' ');
+            out.push(ch);
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+
+    #[test]
+    fn gram_of_identical_series_is_symmetric() {
+        let s = vec![vec![1.0, 2.0, 3.0], vec![0.5, 0.5, 0.5]];
+        let gm = gram_matrix(&s);
+        assert_eq!(gm[0][1], gm[1][0]);
+        assert!((gm[0][0] - (1.0 + 4.0 + 9.0) / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn correlated_features_have_large_entries() {
+        // f0 and f1 fire together; f2 fires alone.
+        let s = vec![
+            vec![1.0, 0.0, 1.0, 0.0],
+            vec![1.0, 0.0, 1.0, 0.0],
+            vec![0.0, 1.0, 0.0, 1.0],
+        ];
+        let gm = gram_matrix(&s);
+        assert!(gm[0][1] > gm[0][2], "co-firing pair must correlate more");
+        assert_eq!(gm[0][2], 0.0);
+    }
+
+    #[test]
+    fn style_loss_zero_for_same_style() {
+        let s = vec![vec![0.2, 0.8, 0.4], vec![0.1, 0.9, 0.3]];
+        let gm = gram_matrix(&s);
+        assert_eq!(style_loss(&gm, &gm), 0.0);
+    }
+
+    #[test]
+    fn style_loss_discriminates_attack_styles() {
+        // "Attacks (B) and (C), similar in type, have similar Gram matrices"
+        // even when feature values differ (Fig. 6).
+        let base = vec![vec![1.0, 0.0, 1.0, 0.0], vec![1.0, 0.0, 1.0, 0.0]];
+        let same_style = vec![vec![0.8, 0.0, 0.8, 0.0], vec![0.9, 0.0, 0.9, 0.0]];
+        let diff_style = vec![vec![1.0, 0.0, 1.0, 0.0], vec![0.0, 1.0, 0.0, 1.0]];
+        let gb = gram_matrix(&base);
+        let gs = gram_matrix(&same_style);
+        let gd = gram_matrix(&diff_style);
+        assert!(
+            style_loss(&gb, &gs) < style_loss(&gb, &gd),
+            "same-type attacks must be closer in style"
+        );
+    }
+
+    #[test]
+    fn normalized_style_loss_ignores_magnitude() {
+        // Same structure at 100x different magnitude: raw loss is large
+        // relative to the normalized one, which is ~zero.
+        let base = vec![vec![1.0, 0.0, 1.0, 0.0], vec![1.0, 0.0, 1.0, 0.0]];
+        let scaled = vec![vec![0.01, 0.0, 0.01, 0.0], vec![0.01, 0.0, 0.01, 0.0]];
+        let gb = gram_matrix(&base);
+        let gs = gram_matrix(&scaled);
+        assert!(style_loss(&gb, &gs) > 0.01);
+        assert!(style_loss_normalized(&gb, &gs) < 1e-6);
+        // Different structure stays distinguishable after normalization.
+        let diff = vec![vec![1.0, 0.0, 1.0, 0.0], vec![0.0, 1.0, 0.0, 1.0]];
+        let gd = gram_matrix(&diff);
+        assert!(style_loss_normalized(&gb, &gd) > style_loss_normalized(&gb, &gs));
+    }
+
+    #[test]
+    fn sample_series_extraction() {
+        let samples = vec![
+            Sample::new(vec![0.1, 0.2, 0.3], 1),
+            Sample::new(vec![0.4, 0.5, 0.6], 1),
+        ];
+        let series = series_of(&samples, &[0, 2]);
+        assert_eq!(series[0], vec![0.1, 0.4]);
+        assert_eq!(series[1], vec![0.3, 0.6]);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_sized() {
+        let gm = gram_matrix(&[vec![1.0, 0.0], vec![0.5, 0.5]]);
+        let out = render_gram(&gm, &["a", "b"]);
+        assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "series length mismatch")]
+    fn ragged_series_rejected() {
+        let _ = gram_matrix(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

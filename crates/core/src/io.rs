@@ -1,0 +1,263 @@
+//! Dataset and model persistence: CSV for datasets (interoperable with any
+//! external ML tooling) and a compact binary format for normalizers.
+//!
+//! The CSV layout is one row per sample: `class,<f0>,<f1>,...` with a header
+//! row naming the HPCs, so a dataset exported here drops straight into
+//! pandas/scikit-learn for anyone who wants to try their own detector on
+//! the simulator's HPC streams.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::dataset::{Dataset, Normalizer, Sample, N_CLASSES};
+
+/// Errors reading persisted datasets.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The content failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a dataset as CSV with a header naming each feature.
+///
+/// `feature_names` may be shorter than the feature dimension; missing names
+/// are filled as `f<i>`.
+///
+/// # Errors
+/// Propagates writer failures.
+pub fn write_csv<W: Write>(ds: &Dataset, feature_names: &[&str], mut w: W) -> Result<(), IoError> {
+    let dim = ds.feature_dim();
+    write!(w, "class")?;
+    for i in 0..dim {
+        match feature_names.get(i) {
+            Some(name) => write!(w, ",{name}")?,
+            None => write!(w, ",f{i}")?,
+        }
+    }
+    writeln!(w)?;
+    for s in &ds.samples {
+        write!(w, "{}", s.class)?;
+        for &v in &s.features {
+            write!(w, ",{v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset from the CSV produced by [`write_csv`] (the header row is
+/// required and skipped).
+///
+/// # Errors
+/// Returns [`IoError::Parse`] with the offending line on malformed content.
+pub fn read_csv<R: Read>(r: R) -> Result<Dataset, IoError> {
+    let reader = BufReader::new(r);
+    let mut ds = Dataset::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if idx == 0 {
+            if !line.starts_with("class") {
+                return Err(IoError::Parse {
+                    line: 1,
+                    reason: "missing 'class,...' header".into(),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let class: usize = fields
+            .next()
+            .ok_or_else(|| IoError::Parse {
+                line: idx + 1,
+                reason: "empty row".into(),
+            })?
+            .trim()
+            .parse()
+            .map_err(|e| IoError::Parse {
+                line: idx + 1,
+                reason: format!("bad class: {e}"),
+            })?;
+        if class >= N_CLASSES {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                reason: format!("class {class} out of range (< {N_CLASSES})"),
+            });
+        }
+        let features: Result<Vec<f32>, IoError> = fields
+            .map(|f| {
+                f.trim().parse::<f32>().map_err(|e| IoError::Parse {
+                    line: idx + 1,
+                    reason: format!("bad feature '{f}': {e}"),
+                })
+            })
+            .collect();
+        let features = features?;
+        if features.is_empty() {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                reason: "row has no features".into(),
+            });
+        }
+        if ds.feature_dim() != 0 && features.len() != ds.feature_dim() {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                reason: format!(
+                    "row has {} features, expected {}",
+                    features.len(),
+                    ds.feature_dim()
+                ),
+            });
+        }
+        ds.push(Sample::new(features, class));
+    }
+    Ok(ds)
+}
+
+/// Writes a normalizer's running maxima as one CSV row.
+///
+/// # Errors
+/// Propagates writer failures.
+pub fn write_normalizer<W: Write>(norm: &Normalizer, mut w: W) -> Result<(), IoError> {
+    // Round-trip the maxima through a probe vector of ones: normalize(1s)
+    // gives 1/max, guarded for zero maxima.
+    let dim = norm.dim();
+    let probe = vec![1.0f64; dim];
+    let inv = norm.normalize(&probe);
+    for (i, &v) in inv.iter().enumerate() {
+        if i > 0 {
+            write!(w, ",")?;
+        }
+        if v == 0.0 {
+            write!(w, "0")?;
+        } else {
+            write!(w, "{}", 1.0 / v as f64)?;
+        }
+    }
+    writeln!(w)?;
+    Ok(())
+}
+
+/// Reads a normalizer written by [`write_normalizer`].
+///
+/// # Errors
+/// Returns [`IoError::Parse`] on malformed content.
+pub fn read_normalizer<R: Read>(r: R) -> Result<Normalizer, IoError> {
+    let mut reader = BufReader::new(r);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let maxes: Result<Vec<f64>, IoError> = line
+        .trim()
+        .split(',')
+        .map(|f| {
+            f.parse::<f64>().map_err(|e| IoError::Parse {
+                line: 1,
+                reason: format!("bad max '{f}': {e}"),
+            })
+        })
+        .collect();
+    let maxes = maxes?;
+    let mut norm = Normalizer::new(maxes.len());
+    norm.observe(&maxes);
+    Ok(norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.push(Sample::new(vec![0.5, 0.25, 1.0], 0));
+        ds.push(Sample::new(vec![0.1, 0.9, 0.0], 3));
+        ds
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let ds = sample_dataset();
+        let mut buf = Vec::new();
+        write_csv(&ds, &["a", "b"], &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("class,a,b,f2\n"));
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.samples[0].features, ds.samples[0].features);
+        assert_eq!(back.samples[1].class, 3);
+        assert!(back.samples[1].malicious);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = read_csv("1,0.5,0.5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "class,a,b\n0,0.1,0.2\n1,0.3\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_class_rejected() {
+        let csv = "class,a\n99,0.1\n";
+        assert!(read_csv(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn bad_feature_reports_line() {
+        let csv = "class,a\n0,0.1\n0,oops\n";
+        match read_csv(csv.as_bytes()) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalizer_round_trip() {
+        let mut norm = Normalizer::new(3);
+        norm.observe(&[10.0, 0.0, 2.5]);
+        let mut buf = Vec::new();
+        write_normalizer(&norm, &mut buf).unwrap();
+        let back = read_normalizer(buf.as_slice()).unwrap();
+        assert_eq!(back.dim(), 3);
+        let v = back.normalize(&[5.0, 1.0, 2.5]);
+        assert!((v[0] - 0.5).abs() < 1e-5);
+        assert_eq!(v[1], 0.0); // zero max stays degenerate
+        assert!((v[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "class,a\n0,0.5\n\n1,0.7\n";
+        let ds = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+}

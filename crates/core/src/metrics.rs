@@ -1,0 +1,235 @@
+//! Evaluation metrics: confusion counts, FP/FN per instruction window,
+//! ROC/AUC and generalization error.
+
+use crate::dataset::Dataset;
+use crate::detector::Detector;
+
+/// Binary confusion counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Malicious classified malicious.
+    pub tp: u64,
+    /// Benign classified benign.
+    pub tn: u64,
+    /// Benign classified malicious.
+    pub fp: u64,
+    /// Malicious classified benign.
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Evaluates a detector over a dataset.
+    pub fn evaluate(det: &Detector, ds: &Dataset) -> Confusion {
+        let mut c = Confusion::default();
+        for s in &ds.samples {
+            match (s.malicious, det.classify_sample(s)) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fn_ += 1,
+                (false, true) => c.fp += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Fraction correct.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// True-positive rate (sensitivity).
+    pub fn tpr(&self) -> f64 {
+        let p = self.tp + self.fn_;
+        if p == 0 {
+            0.0
+        } else {
+            self.tp as f64 / p as f64
+        }
+    }
+
+    /// False-positive rate.
+    pub fn fpr(&self) -> f64 {
+        let n = self.fp + self.tn;
+        if n == 0 {
+            0.0
+        } else {
+            self.fp as f64 / n as f64
+        }
+    }
+
+    /// False-negative rate.
+    pub fn fnr(&self) -> f64 {
+        1.0 - self.tpr()
+    }
+
+    /// Generalization (classification) error.
+    pub fn error(&self) -> f64 {
+        1.0 - self.accuracy()
+    }
+
+    /// False positives per `window` committed instructions, given that each
+    /// sample covers `sample_interval` instructions (paper Fig. 15 reports
+    /// FPs per 10k instructions at each sampling granularity).
+    pub fn fp_per_instructions(&self, sample_interval: u64, window: u64) -> f64 {
+        let benign = self.fp + self.tn;
+        if benign == 0 {
+            return 0.0;
+        }
+        let benign_instrs = benign * sample_interval;
+        self.fp as f64 * window as f64 / benign_instrs as f64
+    }
+
+    /// False negatives per `window` instructions (over malicious samples).
+    pub fn fn_per_instructions(&self, sample_interval: u64, window: u64) -> f64 {
+        let mal = self.tp + self.fn_;
+        if mal == 0 {
+            return 0.0;
+        }
+        let mal_instrs = mal * sample_interval;
+        self.fn_ as f64 * window as f64 / mal_instrs as f64
+    }
+}
+
+/// A point on a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False-positive rate.
+    pub fpr: f64,
+    /// True-positive rate.
+    pub tpr: f64,
+    /// The threshold that produced this point.
+    pub threshold: f32,
+}
+
+/// Computes a ROC curve from `(score, is_malicious)` pairs, sweeping the
+/// threshold over every distinct score. Points are ordered by ascending FPR.
+pub fn roc_curve(scored: &[(f32, bool)]) -> Vec<RocPoint> {
+    let mut sorted: Vec<(f32, bool)> = scored.to_vec();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let p = sorted.iter().filter(|(_, m)| *m).count() as f64;
+    let n = sorted.len() as f64 - p;
+    let mut points = vec![RocPoint {
+        fpr: 0.0,
+        tpr: 0.0,
+        threshold: f32::INFINITY,
+    }];
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let t = sorted[i].0;
+        // Consume all samples at this threshold together.
+        while i < sorted.len() && sorted[i].0 == t {
+            if sorted[i].1 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            fpr: if n > 0.0 { fp / n } else { 0.0 },
+            tpr: if p > 0.0 { tp / p } else { 0.0 },
+            threshold: t,
+        });
+    }
+    points
+}
+
+/// Area under a ROC curve (trapezoidal).
+pub fn auc(points: &[RocPoint]) -> f64 {
+    let mut area = 0.0;
+    for w in points.windows(2) {
+        area += (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) / 2.0;
+    }
+    area
+}
+
+/// Scores every sample of a dataset with a detector, for [`roc_curve`].
+pub fn score_dataset(det: &Detector, ds: &Dataset) -> Vec<(f32, bool)> {
+    ds.samples
+        .iter()
+        .map(|s| (det.score(&s.features), s.malicious))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_rates() {
+        let c = Confusion {
+            tp: 90,
+            fn_: 10,
+            fp: 5,
+            tn: 95,
+        };
+        assert!((c.accuracy() - 0.925).abs() < 1e-12);
+        assert!((c.tpr() - 0.9).abs() < 1e-12);
+        assert!((c.fpr() - 0.05).abs() < 1e-12);
+        assert!((c.error() - 0.075).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fp_per_10k_instructions() {
+        // 100 benign samples at interval 100 = 10k benign instructions;
+        // 2 FPs -> 2 per 10k.
+        let c = Confusion {
+            tp: 0,
+            fn_: 0,
+            fp: 2,
+            tn: 98,
+        };
+        assert!((c.fp_per_instructions(100, 10_000) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_classifier_has_auc_one() {
+        let scored = vec![(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        let roc = roc_curve(&scored);
+        assert!((auc(&roc) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_classifier_has_auc_half() {
+        // Interleaved scores -> diagonal ROC.
+        let scored = vec![
+            (0.8, true),
+            (0.8, false),
+            (0.6, true),
+            (0.6, false),
+            (0.4, true),
+            (0.4, false),
+        ];
+        let roc = roc_curve(&scored);
+        assert!((auc(&roc) - 0.5).abs() < 0.01, "auc={}", auc(&roc));
+    }
+
+    #[test]
+    fn roc_monotone_in_fpr() {
+        let scored = vec![
+            (0.9, true),
+            (0.5, false),
+            (0.6, true),
+            (0.2, false),
+            (0.7, false),
+        ];
+        let roc = roc_curve(&scored);
+        for w in roc.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+        assert_eq!(roc.last().unwrap().fpr, 1.0);
+        assert_eq!(roc.last().unwrap().tpr, 1.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Replicated feature detectors (paper §VI-A, *Replicated Feature
+//! Detector*): "if a feature vector was useful in detecting one target
+//! (seen variant), it is likely that a similar feature detector in
+//! different positions in the pipeline can detect the evaded information
+//! (unseen variant). Replicated feature vectors also allow each patch of
+//! program to be represented in several microarchitectural ways — making
+//! the trained model resilient to several evasions."
+//!
+//! Each replica is a perceptron over one pipeline region's counters (fetch,
+//! rename/issue, execute/LSQ, caches, DRAM, ...); the ensemble flags when
+//! any replica (or a vote quorum) fires, so evading one region's footprint
+//! is not enough.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::detector::{Detector, DetectorKind, TrainConfig};
+
+/// One pipeline region a replica watches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Region name (for reports).
+    pub name: &'static str,
+    /// Baseline HPC indices this replica monitors.
+    pub features: Vec<usize>,
+}
+
+/// Partitions the canonical HPC space into pipeline regions by counter name
+/// prefix — the "different positions in the pipeline" of the paper.
+pub fn pipeline_regions() -> Vec<Region> {
+    let names = evax_sim::hpc_names();
+    let groups: &[(&str, &[&str])] = &[
+        ("front-end", &["fetch.", "bp.", "icache.", "itlb."]),
+        ("rename-issue", &["rename.", "iq.", "spec."]),
+        ("execute-lsq", &["iew.", "lsq.", "faults.", "commit."]),
+        ("data-cache", &["dcache.", "l2.", "dtlb."]),
+        (
+            "memory-system",
+            &["dram.", "rdrand.", "syscalls", "derived.", "cycles"],
+        ),
+    ];
+    groups
+        .iter()
+        .map(|(name, prefixes)| Region {
+            name,
+            features: names
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| prefixes.iter().any(|p| n.starts_with(p)))
+                .map(|(i, _)| i)
+                .collect(),
+        })
+        .filter(|r| !r.features.is_empty())
+        .collect()
+}
+
+/// How replicas combine into a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VotePolicy {
+    /// Flag if *any* replica flags (maximum sensitivity — the paper's
+    /// deployment posture).
+    Any,
+    /// Flag if at least `n` replicas flag.
+    AtLeast(usize),
+}
+
+/// An ensemble of per-region perceptron replicas.
+#[derive(Debug, Clone)]
+pub struct ReplicatedDetector {
+    regions: Vec<Region>,
+    replicas: Vec<Detector>,
+    policy: VotePolicy,
+}
+
+impl ReplicatedDetector {
+    /// Trains one replica per region on the dataset (each sees only its
+    /// region's counters).
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or `regions` is empty.
+    pub fn train<R: Rng>(
+        dataset: &Dataset,
+        regions: Vec<Region>,
+        cfg: &TrainConfig,
+        coverage_target: f64,
+        rng: &mut R,
+    ) -> ReplicatedDetector {
+        assert!(!regions.is_empty(), "need at least one region");
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        let mut replicas = Vec::with_capacity(regions.len());
+        for region in &regions {
+            let mut sub = Dataset::new();
+            for s in &dataset.samples {
+                let features = region.features.iter().map(|&i| s.features[i]).collect();
+                sub.push(crate::dataset::Sample::new(features, s.class));
+            }
+            let mut det = Detector::train(DetectorKind::Evax, &sub, vec![], cfg, rng);
+            det.tune_for_class_coverage(&sub, coverage_target);
+            replicas.push(det);
+        }
+        ReplicatedDetector {
+            regions,
+            replicas,
+            policy: VotePolicy::Any,
+        }
+    }
+
+    /// The regions monitored.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Sets the voting policy.
+    pub fn set_policy(&mut self, policy: VotePolicy) {
+        self.policy = policy;
+    }
+
+    /// Per-replica verdicts on a full baseline feature vector.
+    pub fn replica_votes(&self, base: &[f32]) -> Vec<bool> {
+        self.regions
+            .iter()
+            .zip(&self.replicas)
+            .map(|(region, det)| {
+                let features: Vec<f32> = region.features.iter().map(|&i| base[i]).collect();
+                det.classify(&features)
+            })
+            .collect()
+    }
+
+    /// Ensemble verdict under the configured policy.
+    pub fn classify(&self, base: &[f32]) -> bool {
+        let votes = self.replica_votes(base).into_iter().filter(|&v| v).count();
+        match self.policy {
+            VotePolicy::Any => votes >= 1,
+            VotePolicy::AtLeast(n) => votes >= n,
+        }
+    }
+
+    /// Binary accuracy over a dataset.
+    pub fn accuracy(&self, dataset: &Dataset) -> f64 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        let correct = dataset
+            .samples
+            .iter()
+            .filter(|s| self.classify(&s.features) == s.malicious)
+            .count();
+        correct as f64 / dataset.len() as f64
+    }
+
+    /// TPR when an attacker fully suppresses one region's counters (zeroing
+    /// them) — the evasion the replication argument defends against.
+    pub fn tpr_with_region_suppressed(&self, dataset: &Dataset, region_idx: usize) -> f64 {
+        let region = &self.regions[region_idx];
+        let malicious: Vec<_> = dataset.samples.iter().filter(|s| s.malicious).collect();
+        if malicious.is_empty() {
+            return 0.0;
+        }
+        let hits = malicious
+            .iter()
+            .filter(|s| {
+                let mut suppressed = s.features.clone();
+                for &i in &region.features {
+                    suppressed[i] = 0.0;
+                }
+                self.classify(&suppressed)
+            })
+            .count();
+        hits as f64 / malicious.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use rand::SeedableRng;
+
+    /// Attacks fire in two independent regions; benign in neither.
+    fn two_region_dataset(rng: &mut impl Rng, n: usize, dim: usize) -> Dataset {
+        let mut ds = Dataset::new();
+        for _ in 0..n {
+            let mut attack = vec![0.05f32; dim];
+            attack[0] = rng.gen_range(0.7..1.0); // region A signal
+            attack[dim / 2] = rng.gen_range(0.7..1.0); // region B signal
+            ds.push(Sample::new(attack, 1));
+            let mut benign = vec![0.05f32; dim];
+            benign[1] = rng.gen_range(0.0..0.3);
+            ds.push(Sample::new(benign, 0));
+        }
+        ds
+    }
+
+    fn halves(dim: usize) -> Vec<Region> {
+        vec![
+            Region {
+                name: "low",
+                features: (0..dim / 2).collect(),
+            },
+            Region {
+                name: "high",
+                features: (dim / 2..dim).collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn pipeline_regions_cover_every_counter_once() {
+        let regions = pipeline_regions();
+        let mut seen = vec![0usize; evax_sim::HPC_BASE_DIM];
+        for r in &regions {
+            for &f in &r.features {
+                seen[f] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "regions must partition the HPC space"
+        );
+        assert!(regions.len() >= 4);
+    }
+
+    #[test]
+    fn ensemble_learns_and_votes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let ds = two_region_dataset(&mut rng, 150, 8);
+        let rep = ReplicatedDetector::train(&ds, halves(8), &TrainConfig::default(), 0.9, &mut rng);
+        assert!(rep.accuracy(&ds) > 0.95, "accuracy {}", rep.accuracy(&ds));
+    }
+
+    #[test]
+    fn suppressing_one_region_does_not_blind_the_ensemble() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let ds = two_region_dataset(&mut rng, 150, 8);
+        let rep = ReplicatedDetector::train(&ds, halves(8), &TrainConfig::default(), 0.9, &mut rng);
+        // The paper's claim: the replica in the *other* pipeline position
+        // still sees the attack.
+        for region in 0..2 {
+            let tpr = rep.tpr_with_region_suppressed(&ds, region);
+            assert!(
+                tpr > 0.9,
+                "suppressing region {region} should not evade: tpr={tpr}"
+            );
+        }
+    }
+
+    #[test]
+    fn quorum_policy_is_stricter_than_any() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let ds = two_region_dataset(&mut rng, 100, 8);
+        let mut rep =
+            ReplicatedDetector::train(&ds, halves(8), &TrainConfig::default(), 0.9, &mut rng);
+        let any_flags: usize = ds
+            .samples
+            .iter()
+            .filter(|s| rep.classify(&s.features))
+            .count();
+        rep.set_policy(VotePolicy::AtLeast(2));
+        let quorum_flags: usize = ds
+            .samples
+            .iter()
+            .filter(|s| rep.classify(&s.features))
+            .count();
+        assert!(quorum_flags <= any_flags);
+    }
+}

@@ -1,0 +1,289 @@
+//! The detector-gated adaptive controller.
+//!
+//! Paper §VIII-A: "we turn on mitigation at every true flag by our detector
+//! and we execute 1M instructions in secure mode to deactivate possible
+//! attacks" (the window is scaled by configuration here).
+
+use evax_core::dataset::Normalizer;
+use evax_core::detector::Detector;
+use evax_sim::{Cpu, CpuConfig, MitigationMode, Program, RunResult};
+
+/// Which mitigation secure mode applies (paper Fig. 16 naming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// `EVAX-SpectreSafe`: a fence after every branch.
+    FenceSpectre,
+    /// `EVAX-FuturisticSafe` / `Fences-FuturisticSafe`: a fence before every
+    /// load (covers LVI-class attacks).
+    FenceFuturistic,
+    /// `EVAX-SafeSpec`: InvisiSpec under the Spectre threat model.
+    InvisiSpecSpectre,
+    /// `FuturisticSafeSpec`: InvisiSpec under the Futuristic threat model.
+    InvisiSpecFuturistic,
+}
+
+impl Policy {
+    /// The simulator mitigation mode secure mode engages.
+    pub fn mode(self) -> MitigationMode {
+        match self {
+            Policy::FenceSpectre => MitigationMode::FenceSpectre,
+            Policy::FenceFuturistic => MitigationMode::FenceFuturistic,
+            Policy::InvisiSpecSpectre => MitigationMode::InvisiSpecSpectre,
+            Policy::InvisiSpecFuturistic => MitigationMode::InvisiSpecFuturistic,
+        }
+    }
+
+    /// Display name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::FenceSpectre => "Fence-Spectre",
+            Policy::FenceFuturistic => "Fence-Futuristic",
+            Policy::InvisiSpecSpectre => "InvisiSpec-Spectre",
+            Policy::InvisiSpecFuturistic => "InvisiSpec-Futuristic",
+        }
+    }
+}
+
+/// Adaptive controller configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// HPC sampling interval in committed instructions.
+    pub sample_interval: u64,
+    /// Instructions to stay in secure mode after a flag (paper: 1M; scale
+    /// with your instruction budgets).
+    pub secure_window: u64,
+    /// The mitigation secure mode engages.
+    pub policy: Policy,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            sample_interval: 100,
+            secure_window: 10_000,
+            policy: Policy::FenceSpectre,
+        }
+    }
+}
+
+/// Outcome of an adaptive (or fixed-mode) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveRun {
+    /// The simulator run result.
+    pub result: RunResult,
+    /// Detector flags raised.
+    pub flags: u64,
+    /// Instructions executed while secure mode was active.
+    pub secure_instructions: u64,
+    /// `(instructions_committed, window_ipc)` series for Fig. 14 timelines.
+    pub ipc_series: Vec<(u64, f64)>,
+}
+
+fn window_ipc(values: &[f64]) -> f64 {
+    let cyc_idx = evax_sim::hpc_index("cycles").expect("cycles HPC");
+    let inst_idx = evax_sim::hpc_index("commit.CommittedInsts").expect("insts HPC");
+    let cycles = values[cyc_idx].max(1.0);
+    values[inst_idx] / cycles
+}
+
+/// Runs `program` under the adaptive architecture: performance mode until
+/// the detector flags, then `secure_window` instructions of the policy's
+/// mitigation.
+///
+/// The detector consumes *normalized* features, so the collection-time
+/// [`Normalizer`] must be supplied.
+pub fn run_adaptive(
+    cpu_cfg: &CpuConfig,
+    program: &Program,
+    detector: &Detector,
+    normalizer: &Normalizer,
+    cfg: &AdaptiveConfig,
+    max_instrs: u64,
+) -> AdaptiveRun {
+    let mut cpu = Cpu::new(cpu_cfg.clone());
+    cpu.memory_mut()
+        .write_u64(evax_attacks::mds::KERNEL_SECRET_ADDR, 5);
+    let mut flags = 0u64;
+    let mut secure_instructions = 0u64;
+    let mut secure_remaining = 0u64;
+    let mut ipc_series = Vec::new();
+    let result = cpu.run_sampled(program, max_instrs, cfg.sample_interval, |sample| {
+        ipc_series.push((sample.instructions, window_ipc(&sample.values)));
+        let features = normalizer.normalize(&sample.values);
+        let malicious = detector.classify(&features);
+        if malicious {
+            flags += 1;
+            secure_remaining = cfg.secure_window;
+            secure_instructions += cfg.sample_interval;
+            return Some(cfg.policy.mode());
+        }
+        if secure_remaining > 0 {
+            secure_remaining = secure_remaining.saturating_sub(cfg.sample_interval);
+            secure_instructions += cfg.sample_interval;
+            if secure_remaining == 0 {
+                // Window expired: back to performance mode.
+                return Some(MitigationMode::None);
+            }
+        }
+        None
+    });
+    AdaptiveRun {
+        result,
+        flags,
+        secure_instructions,
+        ipc_series,
+    }
+}
+
+/// Runs `program` with a fixed mitigation mode (the always-on baselines and
+/// the unprotected baseline).
+pub fn run_fixed(
+    cpu_cfg: &CpuConfig,
+    program: &Program,
+    mode: MitigationMode,
+    sample_interval: u64,
+    max_instrs: u64,
+) -> AdaptiveRun {
+    let mut cfg = cpu_cfg.clone();
+    cfg.mitigation = mode;
+    let mut cpu = Cpu::new(cfg);
+    cpu.memory_mut()
+        .write_u64(evax_attacks::mds::KERNEL_SECRET_ADDR, 5);
+    let mut ipc_series = Vec::new();
+    let result = cpu.run_sampled(program, max_instrs, sample_interval, |sample| {
+        ipc_series.push((sample.instructions, window_ipc(&sample.values)));
+        None
+    });
+    let secure = if mode == MitigationMode::None {
+        0
+    } else {
+        result.committed_instructions
+    };
+    AdaptiveRun {
+        flags: 0,
+        secure_instructions: secure,
+        result,
+        ipc_series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evax_attacks::benign::Scale;
+    use evax_core::collect::{collect_dataset, CollectConfig};
+    use evax_core::detector::{DetectorKind, TrainConfig};
+    use rand::SeedableRng;
+
+    fn small_collect() -> CollectConfig {
+        CollectConfig {
+            interval: 200,
+            runs_per_attack: 1,
+            runs_per_benign: 1,
+            max_instrs: 3_000,
+            benign_scale: 3_000,
+        }
+    }
+
+    fn trained_detector(seed: u64) -> (Detector, Normalizer) {
+        let (ds, norm) = collect_dataset(&small_collect(), seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut det = Detector::train(
+            DetectorKind::Evax,
+            &ds,
+            vec![],
+            &TrainConfig::default(),
+            &mut rng,
+        );
+        det.tune_for_tpr(&ds, 0.99);
+        (det, norm)
+    }
+
+    #[test]
+    fn policies_map_to_modes() {
+        assert_eq!(Policy::FenceSpectre.mode(), MitigationMode::FenceSpectre);
+        assert_eq!(
+            Policy::InvisiSpecFuturistic.mode(),
+            MitigationMode::InvisiSpecFuturistic
+        );
+        assert!(!Policy::FenceFuturistic.name().is_empty());
+    }
+
+    #[test]
+    fn adaptive_flags_attack_and_engages_secure_mode() {
+        let (det, norm) = trained_detector(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let attack = evax_attacks::build_attack(
+            evax_attacks::AttackClass::SpectrePht,
+            &evax_attacks::KernelParams::default(),
+            &mut rng,
+        );
+        let cfg = AdaptiveConfig {
+            sample_interval: 200,
+            secure_window: 2_000,
+            ..Default::default()
+        };
+        let run = run_adaptive(&CpuConfig::default(), &attack, &det, &norm, &cfg, 20_000);
+        assert!(run.flags > 0, "detector must flag the attack");
+        assert!(run.secure_instructions > 0);
+    }
+
+    #[test]
+    fn adaptive_on_benign_is_cheaper_than_always_on() {
+        let (det, norm) = trained_detector(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        // A workload with independent loads (memory-level parallelism for
+        // fencing to destroy); pure pointer-chasing serializes anyway.
+        let workload = evax_attacks::build_benign(
+            evax_attacks::BenignKind::Compression,
+            Scale(15_000),
+            &mut rng,
+        );
+        let cfg = AdaptiveConfig {
+            sample_interval: 200,
+            secure_window: 2_000,
+            policy: Policy::FenceFuturistic,
+        };
+        let base = run_fixed(
+            &CpuConfig::default(),
+            &workload,
+            MitigationMode::None,
+            200,
+            40_000,
+        );
+        let always = run_fixed(
+            &CpuConfig::default(),
+            &workload,
+            MitigationMode::FenceFuturistic,
+            200,
+            40_000,
+        );
+        let adaptive = run_adaptive(&CpuConfig::default(), &workload, &det, &norm, &cfg, 40_000);
+        assert!(
+            always.result.cycles > base.result.cycles,
+            "always-on must cost cycles"
+        );
+        assert!(
+            adaptive.result.cycles < always.result.cycles,
+            "adaptive must beat always-on: adaptive={} always={}",
+            adaptive.result.cycles,
+            always.result.cycles
+        );
+    }
+
+    #[test]
+    fn ipc_series_is_populated() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let workload =
+            evax_attacks::build_benign(evax_attacks::BenignKind::MatrixAi, Scale(8_000), &mut rng);
+        let run = run_fixed(
+            &CpuConfig::default(),
+            &workload,
+            MitigationMode::None,
+            500,
+            20_000,
+        );
+        assert!(run.ipc_series.len() >= 5);
+        assert!(run.ipc_series.iter().all(|&(_, ipc)| ipc > 0.0));
+    }
+}

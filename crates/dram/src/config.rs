@@ -1,0 +1,116 @@
+//! DRAM organization and timing parameters.
+
+/// Configuration for the [`crate::Dram`] model.
+///
+/// Timing values are in CPU cycles (the paper simulates a 2.0 GHz core; a
+/// DRAM access in the low hundreds of cycles matches gem5's classic memory
+/// defaults).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DramConfig {
+    /// Number of banks (address-interleaved).
+    pub banks: usize,
+    /// Rows per bank.
+    pub rows_per_bank: u64,
+    /// Bytes per row (row-buffer size).
+    pub row_bytes: u64,
+    /// Row-to-column delay: cycles to activate (open) a row.
+    pub t_rcd: u32,
+    /// Precharge delay: cycles to close an open row.
+    pub t_rp: u32,
+    /// Column access latency once the row is open.
+    pub t_cas: u32,
+    /// Bus/transfer overhead added to every access.
+    pub t_bus: u32,
+    /// Cycles between refresh sweeps; a sweep resets disturbance counts.
+    pub refresh_interval: u64,
+    /// Base Rowhammer threshold: activations of an aggressor row since the
+    /// last refresh needed to flip a bit in a neighbour. Real DDR3/DDR4 parts
+    /// need ~50k–139k activations; the default is scaled down so simulations
+    /// of a few million cycles can exhibit flips, preserving behaviour.
+    pub hammer_threshold: u32,
+    /// Per-row threshold jitter: row `r` flips at
+    /// `hammer_threshold + (hash(r) % hammer_jitter)` activations, modelling
+    /// the paper's "affects one bit-flip threshold to each row".
+    pub hammer_jitter: u32,
+    /// How many rows on each side of an aggressor are disturbed (1 = classic
+    /// adjacent-row hammering; 2 covers half-double style patterns).
+    pub blast_radius: u64,
+    /// Write-queue capacity; a full queue forces a drain (write burst).
+    pub write_queue_capacity: usize,
+    /// Energy accounting: picojoules charged per activation (abstract units
+    /// feeding the `selfRefreshEnergy`-style counters EVAX monitors).
+    pub energy_per_activate: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            banks: 8,
+            rows_per_bank: 1 << 15,
+            row_bytes: 8192,
+            t_rcd: 44,
+            t_rp: 44,
+            t_cas: 44,
+            t_bus: 16,
+            refresh_interval: 500_000,
+            hammer_threshold: 2_000,
+            hammer_jitter: 256,
+            blast_radius: 1,
+            write_queue_capacity: 32,
+            energy_per_activate: 1,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Validates invariants the model relies on.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.banks == 0 || !self.banks.is_power_of_two() {
+            return Err("banks must be a nonzero power of two".into());
+        }
+        if self.rows_per_bank == 0 {
+            return Err("rows_per_bank must be nonzero".into());
+        }
+        if self.row_bytes == 0 || !self.row_bytes.is_power_of_two() {
+            return Err("row_bytes must be a nonzero power of two".into());
+        }
+        if self.hammer_threshold == 0 {
+            return Err("hammer_threshold must be nonzero".into());
+        }
+        if self.write_queue_capacity == 0 {
+            return Err("write_queue_capacity must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(DramConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_banks_rejected() {
+        let cfg = DramConfig {
+            banks: 3,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_threshold_rejected() {
+        let cfg = DramConfig {
+            hammer_threshold: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

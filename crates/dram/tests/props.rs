@@ -1,0 +1,109 @@
+//! Property tests for the DRAM model: address mapping bijectivity, refresh
+//! semantics, disturbance locality, and timing invariants.
+
+use evax_dram::{AccessKind, CorruptionModule, Dram, DramConfig};
+use proptest::prelude::*;
+
+fn dram(threshold: u32) -> Dram {
+    Dram::new(DramConfig {
+        hammer_threshold: threshold,
+        hammer_jitter: 0,
+        ..Default::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn address_mapping_is_injective_per_line(
+        a in 0u64..1u64 << 24, b in 0u64..1u64 << 24
+    ) {
+        let d = dram(1000);
+        let (ba, ra, ca) = d.map_address(a);
+        let (bb, rb, cb) = d.map_address(b);
+        if a / 64 != b / 64 {
+            prop_assert!(
+                (ba, ra, ca / 64) != (bb, rb, cb / 64),
+                "distinct lines must map to distinct (bank,row,col-line)"
+            );
+        }
+    }
+
+    #[test]
+    fn read_latency_is_bounded(addrs in proptest::collection::vec(0u64..1u64 << 22, 1..100)) {
+        let mut d = dram(100_000);
+        let cfg = d.config().clone();
+        let worst = cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.t_bus;
+        let best = cfg.t_bus;
+        for (t, &a) in addrs.iter().enumerate() {
+            let r = d.access(a, AccessKind::Read, t as u64 * 10);
+            prop_assert!(r.latency >= best && r.latency <= worst, "latency {} out of range", r.latency);
+        }
+    }
+
+    #[test]
+    fn flips_only_hit_rows_within_blast_radius(
+        row in 5u64..1000, hammers in 1u32..400
+    ) {
+        let mut m = CorruptionModule::new(100, 0, 1, 1 << 15, 8192);
+        let mut flips = Vec::new();
+        for _ in 0..hammers {
+            flips.extend(m.on_activate(0, row));
+        }
+        for f in &flips {
+            prop_assert!(f.row == row - 1 || f.row == row + 1, "flip outside blast radius: {}", f.row);
+            prop_assert!(f.bit < 8);
+            prop_assert!(f.byte < 8192);
+        }
+        if hammers >= 100 {
+            prop_assert_eq!(flips.len(), 2, "both neighbours flip exactly once per window");
+        } else {
+            prop_assert!(flips.is_empty());
+        }
+    }
+
+    #[test]
+    fn refresh_always_resets_disturbance(rows in proptest::collection::vec(0u64..100, 1..50)) {
+        let mut m = CorruptionModule::new(1_000, 0, 1, 1 << 10, 8192);
+        for &r in &rows {
+            m.on_activate(0, r);
+        }
+        m.on_refresh();
+        for &r in &rows {
+            prop_assert_eq!(m.activation_count(0, r), 0);
+        }
+        prop_assert_eq!(m.rows_near_threshold(), 0);
+    }
+
+    #[test]
+    fn row_thresholds_are_deterministic_and_bounded(row in 0u64..10_000) {
+        let m = CorruptionModule::new(500, 128, 1, 1 << 15, 8192);
+        let t1 = m.row_threshold(2, row);
+        let t2 = m.row_threshold(2, row);
+        prop_assert_eq!(t1, t2);
+        prop_assert!((500..500 + 128).contains(&t1));
+    }
+
+    #[test]
+    fn write_queue_reads_are_exact_line_matches(base in 0u64..1u64 << 20) {
+        let base = base & !63; // line-align
+        let mut d = dram(100_000);
+        d.access(base, AccessKind::Write, 0);
+        let hit = d.access(base, AccessKind::Read, 1);
+        prop_assert_eq!(hit.latency, d.config().t_bus, "same line must hit the WQ");
+        let miss = d.access(base ^ 0x40_000, AccessKind::Read, 2);
+        prop_assert!(miss.latency > d.config().t_bus, "different line must miss the WQ");
+    }
+
+    #[test]
+    fn energy_is_monotone_in_activity(n in 1usize..100) {
+        let mut d = dram(100_000);
+        let mut last = d.stats().energy;
+        for i in 0..n {
+            d.access((i as u64) * 8192, AccessKind::Read, i as u64 * 50);
+            prop_assert!(d.stats().energy >= last);
+            last = d.stats().energy;
+        }
+    }
+}

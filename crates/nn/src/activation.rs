@@ -1,0 +1,144 @@
+//! Activation functions and their derivatives.
+
+use crate::tensor::Matrix;
+
+/// Activation function applied element-wise after a dense layer's affine map.
+///
+/// # Example
+/// ```
+/// use evax_nn::Activation;
+/// assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+/// assert_eq!(Activation::Relu.apply(2.5), 2.5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize, Default,
+)]
+pub enum Activation {
+    /// Identity (no nonlinearity) — used for logits / output layers.
+    #[default]
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with slope 0.2 on the negative side (the conventional GAN
+    /// choice, used by the AM-GAN Generator).
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Activation::Identity => "identity",
+            Activation::Relu => "relu",
+            Activation::LeakyRelu => "leaky_relu",
+            Activation::Tanh => "tanh",
+            Activation::Sigmoid => "sigmoid",
+        };
+        f.write_str(name)
+    }
+}
+
+const LEAKY_SLOPE: f32 = 0.2;
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    LEAKY_SLOPE * x
+                }
+            }
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative with respect to the pre-activation, expressed in terms of the
+    /// *activated output* `y = apply(x)` (cheaper for tanh/sigmoid and exact
+    /// for the piecewise-linear activations away from the kink).
+    #[inline]
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    LEAKY_SLOPE
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+        }
+    }
+
+    /// Applies the activation element-wise, in place.
+    pub fn apply_matrix(self, m: &mut Matrix) {
+        if self == Activation::Identity {
+            return;
+        }
+        m.map_inplace(|v| self.apply(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_behaviour() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(1.0), 1.0);
+    }
+
+    #[test]
+    fn leaky_relu_negative_slope() {
+        let y = Activation::LeakyRelu.apply(-10.0);
+        assert!((y + 2.0).abs() < 1e-6);
+        assert!((Activation::LeakyRelu.derivative_from_output(y) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_range_and_derivative() {
+        let y = Activation::Sigmoid.apply(0.0);
+        assert!((y - 0.5).abs() < 1e-6);
+        assert!((Activation::Sigmoid.derivative_from_output(0.5) - 0.25).abs() < 1e-6);
+        assert!(Activation::Sigmoid.apply(100.0) <= 1.0);
+        assert!(Activation::Sigmoid.apply(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn tanh_derivative_matches_numeric() {
+        let x = 0.37f32;
+        let y = Activation::Tanh.apply(x);
+        let eps = 1e-3;
+        let numeric =
+            (Activation::Tanh.apply(x + eps) - Activation::Tanh.apply(x - eps)) / (2.0 * eps);
+        assert!((Activation::Tanh.derivative_from_output(y) - numeric).abs() < 1e-3);
+    }
+
+    #[test]
+    fn identity_is_noop_on_matrix() {
+        let mut m = Matrix::from_rows(&[vec![-1.0, 2.0]]);
+        Activation::Identity.apply_matrix(&mut m);
+        assert_eq!(m.row(0), &[-1.0, 2.0]);
+    }
+}

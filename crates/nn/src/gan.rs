@@ -1,0 +1,374 @@
+//! Conditional GAN harness — the training loop behind EVAX's AM-GAN.
+//!
+//! The paper's AM-GAN (§V) is a *class-conditioned* GAN with a deliberate
+//! asymmetry: the Generator is a deep network, while the Discriminator has
+//! the architecture of the deployed hardware detector (shallow). Both are
+//! conditioned on the attack-type label; the Discriminator learns to accept
+//! *matching* (sample, label) pairs drawn from the seen database and to
+//! reject generated pairs and mismatched pairs.
+//!
+//! This module provides the generic machinery; the EVAX-specific training
+//! schedule (style-loss gating, sample collection) lives in `evax-core`.
+
+use rand::Rng;
+
+use crate::loss::Loss;
+use crate::net::Network;
+use crate::optim::Optimizer;
+use crate::tensor::Matrix;
+
+/// Configuration for a [`CondGan`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GanConfig {
+    /// Dimension of the noise vector fed to the Generator. The paper uses a
+    /// 145-wide noise vector (`RandomNoise(145)`, Fig. 4).
+    pub noise_dim: usize,
+    /// Number of condition classes (attack types + benign).
+    pub n_classes: usize,
+    /// Dimension of a generated sample (the HPC feature vector).
+    pub feature_dim: usize,
+    /// Probability of showing the Discriminator a *mismatched* real pair
+    /// (real sample, wrong label) with target 0, per CGAN training.
+    pub mismatch_prob: f64,
+}
+
+impl Default for GanConfig {
+    fn default() -> Self {
+        GanConfig {
+            noise_dim: 145,
+            n_classes: 20,
+            feature_dim: 145,
+            mismatch_prob: 0.25,
+        }
+    }
+}
+
+/// Losses observed during one adversarial training step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GanStats {
+    /// Discriminator BCE over the real + fake (+ mismatched) batch.
+    pub d_loss: f32,
+    /// Generator BCE (how far it is from fooling the Discriminator).
+    pub g_loss: f32,
+    /// Fraction of fake samples the Discriminator scored above 0.5. Near 0.5
+    /// at (approximate) Nash equilibrium.
+    pub fooled_rate: f32,
+}
+
+/// A class-conditioned GAN: `generator: (noise ++ onehot(c)) -> sample`,
+/// `discriminator: (sample ++ onehot(c)) -> realness in (0,1)`.
+///
+/// # Example
+/// ```
+/// use evax_nn::{CondGan, GanConfig, Network, Dense, Activation, Adam, Matrix};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let cfg = GanConfig { noise_dim: 8, n_classes: 2, feature_dim: 4, mismatch_prob: 0.25 };
+/// let gen = Network::mlp(cfg.noise_dim + cfg.n_classes, 16, 2, cfg.feature_dim,
+///     Activation::LeakyRelu, Activation::Sigmoid, &mut rng);
+/// let disc = Network::mlp(cfg.feature_dim + cfg.n_classes, 0, 0, 1,
+///     Activation::Identity, Activation::Sigmoid, &mut rng);
+/// let mut gan = CondGan::new(cfg, gen, disc);
+/// let samples = gan.generate(&[0, 1], &mut rng);
+/// assert_eq!((samples.rows(), samples.cols()), (2, 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CondGan {
+    cfg: GanConfig,
+    generator: Network,
+    discriminator: Network,
+}
+
+impl CondGan {
+    /// Assembles a conditional GAN from its two players.
+    ///
+    /// # Panics
+    /// Panics if network shapes are inconsistent with `cfg`.
+    pub fn new(cfg: GanConfig, generator: Network, discriminator: Network) -> Self {
+        assert_eq!(
+            generator.input_dim(),
+            cfg.noise_dim + cfg.n_classes,
+            "generator input must be noise_dim + n_classes"
+        );
+        assert_eq!(
+            generator.output_dim(),
+            cfg.feature_dim,
+            "generator output must be feature_dim"
+        );
+        assert_eq!(
+            discriminator.input_dim(),
+            cfg.feature_dim + cfg.n_classes,
+            "discriminator input must be feature_dim + n_classes"
+        );
+        assert_eq!(
+            discriminator.output_dim(),
+            1,
+            "discriminator must output one unit"
+        );
+        CondGan {
+            cfg,
+            generator,
+            discriminator,
+        }
+    }
+
+    /// The configuration this GAN was built with.
+    pub fn config(&self) -> &GanConfig {
+        &self.cfg
+    }
+
+    /// Borrow the Generator (EVAX mines its hidden weights for feature
+    /// engineering).
+    pub fn generator(&self) -> &Network {
+        &self.generator
+    }
+
+    /// Borrow the Discriminator.
+    pub fn discriminator(&self) -> &Network {
+        &self.discriminator
+    }
+
+    /// One-hot encodes class labels into an `n x n_classes` matrix.
+    ///
+    /// # Panics
+    /// Panics if any label is out of range.
+    pub fn one_hot(&self, labels: &[usize]) -> Matrix {
+        let mut m = Matrix::zeros(labels.len(), self.cfg.n_classes);
+        for (i, &c) in labels.iter().enumerate() {
+            assert!(c < self.cfg.n_classes, "label {c} out of range");
+            m.set(i, c, 1.0);
+        }
+        m
+    }
+
+    /// Samples a batch of standard-normal noise vectors.
+    pub fn sample_noise<R: Rng>(&self, n: usize, rng: &mut R) -> Matrix {
+        let mut m = Matrix::zeros(n, self.cfg.noise_dim);
+        for v in m.as_mut_slice() {
+            // Box-Muller from two uniforms keeps us independent of rand_distr.
+            let u1: f32 = rng.gen_range(1e-6f32..1.0);
+            let u2: f32 = rng.gen_range(0.0f32..1.0);
+            *v = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        }
+        m
+    }
+
+    /// Generates one sample per label (paper Fig. 4, `AutomaticAttackGeneration`).
+    pub fn generate<R: Rng>(&self, labels: &[usize], rng: &mut R) -> Matrix {
+        let z = self.sample_noise(labels.len(), rng);
+        let input = z.hcat(&self.one_hot(labels));
+        self.generator.forward(&input)
+    }
+
+    /// Scores (sample, label) pairs with the Discriminator; column 0 is the
+    /// realness probability.
+    ///
+    /// # Panics
+    /// Panics if shapes mismatch.
+    pub fn discriminate(&self, samples: &Matrix, labels: &[usize]) -> Matrix {
+        assert_eq!(samples.rows(), labels.len(), "label count mismatch");
+        let input = samples.hcat(&self.one_hot(labels));
+        self.discriminator.forward(&input)
+    }
+
+    /// One full adversarial step (paper Fig. 4): trains the Discriminator on
+    /// real-matching (target 1), generated (target 0) and mismatched-real
+    /// (target 0) pairs, then trains the Generator to fool the updated
+    /// Discriminator.
+    ///
+    /// # Panics
+    /// Panics if `real.rows() != labels.len()` or the batch is empty.
+    pub fn train_step<R, OG, OD>(
+        &mut self,
+        real: &Matrix,
+        labels: &[usize],
+        rng: &mut R,
+        g_opt: &mut OG,
+        d_opt: &mut OD,
+    ) -> GanStats
+    where
+        R: Rng,
+        OG: Optimizer,
+        OD: Optimizer,
+    {
+        assert_eq!(real.rows(), labels.len(), "label count mismatch");
+        assert!(real.rows() > 0, "empty batch");
+        let n = real.rows();
+
+        // ---- Discriminator phase ----
+        let fake = self.generate(labels, rng);
+        let mut d_in_rows: Vec<Vec<f32>> = Vec::with_capacity(2 * n + n / 2);
+        let mut d_targets: Vec<f32> = Vec::with_capacity(2 * n + n / 2);
+        let onehot = self.one_hot(labels);
+        for i in 0..n {
+            let mut row = real.row(i).to_vec();
+            row.extend_from_slice(onehot.row(i));
+            d_in_rows.push(row);
+            d_targets.push(1.0);
+        }
+        for i in 0..n {
+            let mut row = fake.row(i).to_vec();
+            row.extend_from_slice(onehot.row(i));
+            d_in_rows.push(row);
+            d_targets.push(0.0);
+        }
+        // Mismatched real pairs teach the Discriminator that labels matter.
+        if self.cfg.n_classes > 1 {
+            #[allow(clippy::needless_range_loop)] // i indexes labels, real and onehot together
+            for i in 0..n {
+                if rng.gen_bool(self.cfg.mismatch_prob) {
+                    let wrong = (labels[i] + 1 + rng.gen_range(0..self.cfg.n_classes - 1))
+                        % self.cfg.n_classes;
+                    let mut row = real.row(i).to_vec();
+                    let mut oh = vec![0.0; self.cfg.n_classes];
+                    oh[wrong] = 1.0;
+                    row.extend_from_slice(&oh);
+                    d_in_rows.push(row);
+                    d_targets.push(0.0);
+                }
+            }
+        }
+        let d_in = Matrix::from_rows(&d_in_rows);
+        let d_target = Matrix::from_vec(d_targets.len(), 1, d_targets);
+        let d_loss = {
+            let pred = self.discriminator.forward_train(&d_in);
+            let value = Loss::Bce.value(&pred, &d_target);
+            let grad = Loss::Bce.gradient(&pred, &d_target);
+            self.discriminator.backward(&grad);
+            self.discriminator.apply_grads(d_opt, 0);
+            value
+        };
+
+        // ---- Generator phase ----
+        let z = self.sample_noise(n, rng);
+        let g_in = z.hcat(&onehot);
+        let g_out = self.generator.forward_train(&g_in);
+        let d_in_fake = g_out.hcat(&onehot);
+        let d_pred = self.discriminator.forward_train(&d_in_fake);
+        let want_real = Matrix::full(n, 1, 1.0);
+        let g_loss = Loss::Bce.value(&d_pred, &want_real);
+        let fooled = (0..n).filter(|&i| d_pred.get(i, 0) > 0.5).count() as f32 / n as f32;
+        let grad = Loss::Bce.gradient(&d_pred, &want_real);
+        let grad_d_in = self.discriminator.backward(&grad);
+        self.discriminator.discard_grads(); // D is frozen in this phase.
+                                            // Route the gradient on the sample slice back into the Generator.
+        let mut grad_g_out = Matrix::zeros(n, self.cfg.feature_dim);
+        for i in 0..n {
+            grad_g_out
+                .row_mut(i)
+                .copy_from_slice(&grad_d_in.row(i)[..self.cfg.feature_dim]);
+        }
+        self.generator.backward(&grad_g_out);
+        self.generator.apply_grads(g_opt, 1000);
+
+        GanStats {
+            d_loss,
+            g_loss,
+            fooled_rate: fooled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Adam};
+    use rand::SeedableRng;
+
+    fn small_gan(rng: &mut rand::rngs::StdRng) -> CondGan {
+        let cfg = GanConfig {
+            noise_dim: 6,
+            n_classes: 2,
+            feature_dim: 4,
+            mismatch_prob: 0.25,
+        };
+        let gen = Network::mlp(
+            cfg.noise_dim + cfg.n_classes,
+            16,
+            2,
+            cfg.feature_dim,
+            Activation::LeakyRelu,
+            Activation::Sigmoid,
+            rng,
+        );
+        let disc = Network::mlp(
+            cfg.feature_dim + cfg.n_classes,
+            8,
+            1,
+            1,
+            Activation::LeakyRelu,
+            Activation::Sigmoid,
+            rng,
+        );
+        CondGan::new(cfg, gen, disc)
+    }
+
+    /// Two well-separated class distributions the GAN should learn.
+    fn real_batch(rng: &mut rand::rngs::StdRng, n: usize) -> (Matrix, Vec<usize>) {
+        use rand::Rng;
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % 2;
+            let base = if c == 0 { 0.15 } else { 0.85 };
+            rows.push(
+                (0..4)
+                    .map(|_| base + rng.gen_range(-0.05f32..0.05))
+                    .collect(),
+            );
+            labels.push(c);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn generate_shapes_and_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let gan = small_gan(&mut rng);
+        let s = gan.generate(&[0, 1, 0], &mut rng);
+        assert_eq!((s.rows(), s.cols()), (3, 4));
+        assert!(s.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn training_learns_conditional_means() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut gan = small_gan(&mut rng);
+        let mut g_opt = Adam::with_betas(0.01, 0.5, 0.999);
+        let mut d_opt = Adam::with_betas(0.01, 0.5, 0.999);
+        for _ in 0..400 {
+            let (x, labels) = real_batch(&mut rng, 16);
+            gan.train_step(&x, &labels, &mut rng, &mut g_opt, &mut d_opt);
+        }
+        let lo = gan.generate(&[0; 64], &mut rng).mean();
+        let hi = gan.generate(&[1; 64], &mut rng).mean();
+        assert!(
+            hi - lo > 0.3,
+            "conditioned generation should separate classes: lo={lo} hi={hi}"
+        );
+    }
+
+    #[test]
+    fn noise_is_roughly_standard_normal() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let gan = small_gan(&mut rng);
+        let z = gan.sample_noise(2000, &mut rng);
+        let mean = z.mean();
+        let var = z
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / z.as_slice().len() as f32;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn out_of_range_label_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let gan = small_gan(&mut rng);
+        let _ = gan.one_hot(&[5]);
+    }
+}

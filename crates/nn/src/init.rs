@@ -1,0 +1,64 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+
+use crate::activation::Activation;
+
+/// Samples a weight for a layer with `fan_in` inputs and `fan_out` outputs,
+/// using the initializer conventionally paired with the given activation:
+/// He-uniform for (leaky-)ReLU, Xavier/Glorot-uniform otherwise.
+///
+/// # Example
+/// ```
+/// use evax_nn::init::sample_weight;
+/// use evax_nn::Activation;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let w = sample_weight(&mut rng, 64, 32, Activation::Relu);
+/// assert!(w.abs() < 1.0);
+/// ```
+pub fn sample_weight<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize, act: Activation) -> f32 {
+    let limit = match act {
+        Activation::Relu | Activation::LeakyRelu => (6.0 / fan_in.max(1) as f32).sqrt(),
+        _ => (6.0 / (fan_in + fan_out).max(1) as f32).sqrt(),
+    };
+    rng.gen_range(-limit..limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_bounded_by_limit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let limit = (6.0f32 / 100.0).sqrt();
+        for _ in 0..1000 {
+            let w = sample_weight(&mut rng, 100, 50, Activation::Relu);
+            assert!(w.abs() <= limit);
+        }
+    }
+
+    #[test]
+    fn xavier_uses_fan_in_plus_out() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let limit = (6.0f32 / 150.0).sqrt();
+        for _ in 0..1000 {
+            let w = sample_weight(&mut rng, 100, 50, Activation::Tanh);
+            assert!(w.abs() <= limit);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(9);
+        let mut b = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            assert_eq!(
+                sample_weight(&mut a, 10, 10, Activation::Sigmoid),
+                sample_weight(&mut b, 10, 10, Activation::Sigmoid)
+            );
+        }
+    }
+}

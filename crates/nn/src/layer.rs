@@ -1,0 +1,273 @@
+//! Dense (fully-connected) layer with cached activations for backprop.
+
+use rand::Rng;
+
+use crate::activation::Activation;
+use crate::init::sample_weight;
+use crate::tensor::Matrix;
+
+/// A fully-connected layer `y = act(x W + b)`.
+///
+/// Weights are stored as an `in x out` matrix so a batch forward pass is a
+/// single `batch x in` · `in x out` product. The layer caches its input and
+/// activated output during [`Dense::forward_train`] so that
+/// [`Dense::backward`] can compute gradients.
+///
+/// Weight access ([`Dense::weights`]) is public because EVAX's automatic
+/// performance-counter engineering (paper §VI-A) mines the trained
+/// Generator's hidden-layer weights.
+///
+/// # Example
+/// ```
+/// use evax_nn::{Dense, Activation, Matrix};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut layer = Dense::new(3, 2, Activation::Relu, &mut rng);
+/// let x = Matrix::from_row(&[1.0, 0.5, -0.5]);
+/// let y = layer.forward_train(&x);
+/// assert_eq!(y.cols(), 2);
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+    act: Activation,
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+    #[serde(skip)]
+    cached_output: Option<Matrix>,
+    #[serde(skip)]
+    grad_w: Option<Matrix>,
+    #[serde(skip)]
+    grad_b: Option<Vec<f32>>,
+}
+
+impl Dense {
+    /// Creates a layer with `fan_in` inputs and `fan_out` outputs, initialized
+    /// per [`crate::init::sample_weight`] and zero bias.
+    ///
+    /// # Panics
+    /// Panics if `fan_in` or `fan_out` is zero.
+    pub fn new<R: Rng>(fan_in: usize, fan_out: usize, act: Activation, rng: &mut R) -> Self {
+        assert!(
+            fan_in > 0 && fan_out > 0,
+            "layer dimensions must be nonzero"
+        );
+        let mut w = Matrix::zeros(fan_in, fan_out);
+        for v in w.as_mut_slice() {
+            *v = sample_weight(rng, fan_in, fan_out, act);
+        }
+        Dense {
+            w,
+            b: vec![0.0; fan_out],
+            act,
+            cached_input: None,
+            cached_output: None,
+            grad_w: None,
+            grad_b: None,
+        }
+    }
+
+    /// Builds a layer from explicit weights and bias (for tests and for
+    /// loading vendor-distributed detector patches, paper §VI-B).
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != w.cols()`.
+    pub fn from_parts(w: Matrix, bias: Vec<f32>, act: Activation) -> Self {
+        assert_eq!(bias.len(), w.cols(), "bias width mismatch");
+        Dense {
+            w,
+            b: bias,
+            act,
+            cached_input: None,
+            cached_output: None,
+            grad_w: None,
+            grad_b: None,
+        }
+    }
+
+    /// Number of inputs.
+    pub fn fan_in(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Number of outputs (units).
+    pub fn fan_out(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.act
+    }
+
+    /// Borrow the `in x out` weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Mutably borrow the weight matrix.
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.w
+    }
+
+    /// Borrow the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Inference-only forward pass (no caches touched).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut out = x.matmul(&self.w);
+        out.add_row_broadcast(&self.b);
+        self.act.apply_matrix(&mut out);
+        out
+    }
+
+    /// Forward pass that caches input and output for a later
+    /// [`Dense::backward`].
+    pub fn forward_train(&mut self, x: &Matrix) -> Matrix {
+        let out = self.forward(x);
+        self.cached_input = Some(x.clone());
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    /// Backward pass. `grad_out` is dL/dy (same shape as the cached output);
+    /// returns dL/dx and accumulates dL/dW, dL/db internally (retrieved by the
+    /// optimizer through [`Dense::take_grads`]).
+    ///
+    /// # Panics
+    /// Panics if called before [`Dense::forward_train`].
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("backward called before forward_train");
+        let x = self.cached_input.as_ref().expect("missing cached input");
+        // dL/dz where z is the pre-activation.
+        let mut grad_z = grad_out.clone();
+        for (g, &o) in grad_z.as_mut_slice().iter_mut().zip(y.as_slice().iter()) {
+            *g *= self.act.derivative_from_output(o);
+        }
+        let gw = x.matmul_tn(&grad_z);
+        let gb = grad_z.col_sums();
+        match (&mut self.grad_w, &mut self.grad_b) {
+            (Some(acc_w), Some(acc_b)) => {
+                acc_w.add_assign(&gw);
+                for (a, b) in acc_b.iter_mut().zip(gb.iter()) {
+                    *a += b;
+                }
+            }
+            _ => {
+                self.grad_w = Some(gw);
+                self.grad_b = Some(gb);
+            }
+        }
+        grad_z.matmul_nt(&self.w)
+    }
+
+    /// Takes (and clears) the accumulated gradients, if any.
+    pub fn take_grads(&mut self) -> Option<(Matrix, Vec<f32>)> {
+        match (self.grad_w.take(), self.grad_b.take()) {
+            (Some(w), Some(b)) => Some((w, b)),
+            _ => None,
+        }
+    }
+
+    /// Applies a raw parameter update `w -= dw`, `b -= db` (used by
+    /// optimizers).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn apply_update(&mut self, dw: &Matrix, db: &[f32]) {
+        self.w.sub_assign(dw);
+        assert_eq!(db.len(), self.b.len(), "bias update width mismatch");
+        for (b, &d) in self.b.iter_mut().zip(db.iter()) {
+            *b -= d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut r = rng();
+        let layer = Dense::new(4, 3, Activation::Identity, &mut r);
+        let x = Matrix::zeros(5, 4);
+        let y = layer.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 3));
+    }
+
+    #[test]
+    fn identity_layer_is_affine() {
+        let w = Matrix::from_rows(&[vec![2.0], vec![3.0]]);
+        let layer = Dense::from_parts(w, vec![1.0], Activation::Identity);
+        let y = layer.forward(&Matrix::from_row(&[1.0, 1.0]));
+        assert!((y.get(0, 0) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_check_single_layer() {
+        // Numeric gradient check on a tiny layer with MSE loss L = 0.5*(y-t)^2.
+        let mut r = rng();
+        let mut layer = Dense::new(2, 1, Activation::Tanh, &mut r);
+        let x = Matrix::from_row(&[0.3, -0.7]);
+        let target = 0.5f32;
+
+        let y = layer.forward_train(&x);
+        let grad_out = Matrix::from_row(&[y.get(0, 0) - target]);
+        layer.backward(&grad_out);
+        let (gw, _) = layer.take_grads().unwrap();
+
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            let orig = layer.weights().get(i, 0);
+            layer.weights_mut().set(i, 0, orig + eps);
+            let yp = layer.forward(&x).get(0, 0);
+            layer.weights_mut().set(i, 0, orig - eps);
+            let ym = layer.forward(&x).get(0, 0);
+            layer.weights_mut().set(i, 0, orig);
+            let lp = 0.5 * (yp - target) * (yp - target);
+            let lm = 0.5 * (ym - target) * (ym - target);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gw.get(i, 0)).abs() < 1e-3,
+                "grad mismatch at {i}: numeric={numeric} analytic={}",
+                gw.get(i, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_until_taken() {
+        let mut r = rng();
+        let mut layer = Dense::new(2, 2, Activation::Identity, &mut r);
+        let x = Matrix::from_row(&[1.0, 1.0]);
+        let g = Matrix::from_row(&[1.0, 1.0]);
+        layer.forward_train(&x);
+        layer.backward(&g);
+        layer.forward_train(&x);
+        layer.backward(&g);
+        let (gw, _) = layer.take_grads().unwrap();
+        // Each backward adds x^T g = all-ones; two passes -> all twos.
+        assert!(gw.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        assert!(layer.take_grads().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward_train")]
+    fn backward_without_forward_panics() {
+        let mut r = rng();
+        let mut layer = Dense::new(2, 2, Activation::Identity, &mut r);
+        layer.backward(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,63 @@
+//! # evax-nn — neural-network substrate for the EVAX reproduction
+//!
+//! The EVAX paper (MICRO 2022) trains three kinds of models:
+//!
+//! 1. a **deep conditional Generator** (the "AM" in AM-GAN — a deep network
+//!    playing against a shallow discriminator),
+//! 2. a **shallow, detector-shaped Discriminator**, and
+//! 3. the deployed **hardware detector**: a single-layer perceptron whose
+//!    weights are quantized to a handful of integer levels and evaluated by a
+//!    serial 9-bit adder in hardware.
+//!
+//! The Rust ML ecosystem offers no equivalent of the paper's Keras + FANN
+//! pipeline that also exposes raw hidden-layer weights (needed for EVAX's
+//! automatic performance-counter engineering, paper §VI-A), so this crate
+//! implements the whole substrate from scratch: row-major `f32` matrices,
+//! dense layers, activations, losses, SGD/Adam, a conditional-GAN harness,
+//! and the quantized hardware perceptron model.
+//!
+//! Everything is deterministic given a seeded [`rand::rngs::StdRng`].
+//!
+//! ## Example
+//!
+//! ```
+//! use evax_nn::{Network, Dense, Activation, Loss, Sgd, Matrix};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // Learn XOR with a tiny MLP.
+//! let mut net = Network::new(vec![
+//!     Dense::new(2, 8, Activation::Tanh, &mut rng),
+//!     Dense::new(8, 1, Activation::Sigmoid, &mut rng),
+//! ]);
+//! let x = Matrix::from_rows(&[vec![0., 0.], vec![0., 1.], vec![1., 0.], vec![1., 1.]]);
+//! let y = Matrix::from_rows(&[vec![0.], vec![1.], vec![1.], vec![0.]]);
+//! let mut opt = Sgd::new(0.5, 0.9);
+//! for _ in 0..2000 {
+//!     net.train_batch(&x, &y, Loss::Bce, &mut opt);
+//! }
+//! let out = net.forward(&x);
+//! assert!(out.get(0, 0) < 0.2 && out.get(1, 0) > 0.8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod gan;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod net;
+pub mod optim;
+pub mod perceptron;
+pub mod tensor;
+
+pub use activation::Activation;
+pub use gan::{CondGan, GanConfig, GanStats};
+pub use layer::Dense;
+pub use loss::Loss;
+pub use net::Network;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use perceptron::{HwPerceptron, PerceptronTrainer, QuantizedWeights};
+pub use tensor::Matrix;

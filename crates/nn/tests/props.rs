@@ -1,0 +1,118 @@
+//! Property tests for the NN substrate: algebraic identities, gradient
+//! sanity, and quantization invariants.
+
+use evax_nn::{Activation, Dense, HwPerceptron, Loss, Matrix, Network, Sgd};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut s = seed | 1;
+    let mut vals = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        vals.push(((s >> 40) as f32 / 1e6) - 8.0);
+    }
+    Matrix::from_vec(rows, cols, vals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative_up_to_float_error(
+        a in 1usize..5, b in 1usize..5, c in 1usize..5, d in 1usize..5, seed in 1u64..999
+    ) {
+        let x = mat(a, b, seed);
+        let y = mat(b, c, seed ^ 0xAA);
+        let z = mat(c, d, seed ^ 0x55);
+        let left = x.matmul(&y).matmul(&z);
+        let right = x.matmul(&y.matmul(&z));
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((l - r).abs() <= 1e-2 * (1.0 + l.abs().max(r.abs())),
+                "associativity violated: {l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn fused_transpose_products_match_naive(r in 1usize..6, k in 1usize..6, c in 1usize..6, seed in 1u64..999) {
+        let a = mat(k, r, seed);
+        let b = mat(k, c, seed ^ 0x33);
+        prop_assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+        let p = mat(r, k, seed ^ 0x77);
+        let q = mat(c, k, seed ^ 0x99);
+        prop_assert_eq!(p.matmul_nt(&q), p.matmul(&q.transpose()));
+    }
+
+    #[test]
+    fn activations_are_monotone(x in -50f32..50.0, dx in 0.001f32..5.0) {
+        for act in [Activation::Relu, Activation::LeakyRelu, Activation::Tanh, Activation::Sigmoid] {
+            prop_assert!(act.apply(x + dx) >= act.apply(x), "{act} not monotone");
+        }
+    }
+
+    #[test]
+    fn bce_gradient_points_toward_target(y in 0.01f32..0.99, t in any::<bool>()) {
+        let target = if t { 1.0 } else { 0.0 };
+        let g = Loss::Bce.gradient(&Matrix::from_row(&[y]), &Matrix::from_row(&[target]));
+        // Gradient descent (y -= g) must move y toward the target.
+        let y2 = y - 0.01 * g.get(0, 0);
+        prop_assert!((y2 - target).abs() <= (y - target).abs() + 1e-6);
+    }
+
+    #[test]
+    fn network_forward_is_deterministic(seed in 0u64..1000, n in 1usize..8) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Network::mlp(4, 8, 2, 2, Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let x = mat(n, 4, seed ^ 0xF);
+        prop_assert_eq!(net.forward(&x), net.forward(&x));
+    }
+
+    #[test]
+    fn single_step_on_batch_reduces_its_loss(seed in 0u64..500) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = Network::mlp(3, 6, 1, 1, Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let x = mat(8, 3, seed ^ 0x3);
+        let y = Matrix::from_vec(8, 1, (0..8).map(|i| (i % 2) as f32).collect());
+        let before = Loss::Bce.value(&net.forward(&x), &y);
+        let mut opt = Sgd::new(0.05, 0.0);
+        net.train_batch(&x, &y, Loss::Bce, &mut opt);
+        let after = Loss::Bce.value(&net.forward(&x), &y);
+        prop_assert!(after <= before + 1e-4, "loss rose: {before} -> {after}");
+    }
+
+    #[test]
+    fn quantized_decision_monotone_in_positive_bits(ws in proptest::collection::vec(0.1f32..3.0, 4..40)) {
+        // All-positive weights: adding set bits never turns a malicious
+        // verdict benign.
+        let p = HwPerceptron::from_parts(ws.clone(), 0.0);
+        let q = p.quantize();
+        let none = q.classify_bits(&vec![false; ws.len()]);
+        let all = q.classify_bits(&vec![true; ws.len()]);
+        prop_assert!(all.sum >= none.sum);
+        prop_assert!(all.cycles as usize <= ws.len());
+    }
+
+    #[test]
+    fn dense_layer_gradients_match_numeric(seed in 0u64..200, i in 0usize..2, j in 0usize..2) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut layer = Dense::new(2, 2, Activation::Sigmoid, &mut rng);
+        let x = mat(1, 2, seed ^ 0xE);
+        let target = Matrix::from_row(&[0.3, 0.7]);
+        let y = layer.forward_train(&x);
+        let grad = Loss::Mse.gradient(&y, &target);
+        layer.backward(&grad);
+        let (gw, _) = layer.take_grads().unwrap();
+        let eps = 1e-2f32;
+        let orig = layer.weights().get(i, j);
+        layer.weights_mut().set(i, j, orig + eps);
+        let lp = Loss::Mse.value(&layer.forward(&x), &target);
+        layer.weights_mut().set(i, j, orig - eps);
+        let lm = Loss::Mse.value(&layer.forward(&x), &target);
+        layer.weights_mut().set(i, j, orig);
+        let numeric = (lp - lm) / (2.0 * eps);
+        prop_assert!((numeric - gw.get(i, j)).abs() < 2e-2,
+            "grad mismatch at ({i},{j}): numeric={numeric} analytic={}", gw.get(i, j));
+    }
+}

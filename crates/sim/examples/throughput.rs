@@ -1,0 +1,33 @@
+use evax_sim::isa::{AluOp, Cond, ProgramBuilder, Reg};
+use evax_sim::{Cpu, CpuConfig};
+fn main() {
+    let (i, n, a, v, acc) = (
+        Reg::new(1),
+        Reg::new(2),
+        Reg::new(3),
+        Reg::new(4),
+        Reg::new(5),
+    );
+    let mut b = ProgramBuilder::new("perf");
+    b.li(i, 0).li(n, 2_000_000).li(a, 0x4000).li(acc, 0);
+    let top = b.label();
+    b.load(v, a, 0);
+    b.alu(AluOp::Add, acc, acc, v);
+    b.alu_imm(AluOp::Add, a, a, 64);
+    b.alu_imm(AluOp::And, a, a, 0xFFFFF);
+    b.alu_imm(AluOp::Add, i, i, 1);
+    b.branch(Cond::Lt, i, n, top);
+    b.halt();
+    let mut cpu = Cpu::new(CpuConfig::default());
+    let t = std::time::Instant::now();
+    let res = cpu.run(&b.build(), 12_000_000);
+    let el = t.elapsed();
+    println!(
+        "committed={} cycles={} ipc={:.3} wall={:?} minstr/s={:.2}",
+        res.committed_instructions,
+        res.cycles,
+        res.ipc,
+        el,
+        res.committed_instructions as f64 / el.as_secs_f64() / 1e6
+    );
+}

@@ -1,0 +1,1411 @@
+//! The out-of-order core: fetch → rename/dispatch → issue → execute →
+//! commit, with transient-execution semantics faithful enough to host every
+//! attack class the EVAX paper evaluates:
+//!
+//! * mispredicted branches/returns/indirect jumps execute real wrong-path
+//!   instructions until resolution (Spectre-PHT/BTB/RSB windows);
+//! * faulting loads forward data transiently and fault only at commit
+//!   (Meltdown window);
+//! * loads with slow ("assisted") translations transiently forward a
+//!   4K-aliasing store-buffer value and replay (LVI/MDS/Fallout window);
+//! * speculative memory accesses mutate cache/TLB/predictor state — the
+//!   side channel — unless an InvisiSpec mitigation mode hides them;
+//! * store-address resolution detects memory-order violations and squashes.
+//!
+//! The transient window is bounded by the ROB (`ROBEntries=192`, Table II),
+//! the property EVAX's adversarial hardening leans on.
+
+use std::collections::VecDeque;
+
+use evax_dram::{AccessKind, Dram};
+use rand::Rng;
+
+use crate::branch::{Btb, DirPrediction, Ras, RasSnapshot, TournamentPredictor};
+use crate::cache::Cache;
+use crate::config::{CpuConfig, MitigationMode};
+use crate::isa::{Op, Program, Reg};
+use crate::memory::Memory;
+use crate::stats::PipelineStats;
+use crate::tlb::Tlb;
+
+fn trace_enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var("EVAX_TRACE").is_ok())
+}
+
+/// Base byte address of the code region (I-side accesses).
+pub const CODE_BASE: u64 = 0x4000_0000;
+/// Bytes per instruction (fixed-width encoding).
+pub const INSTR_BYTES: u64 = 4;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EState {
+    Waiting,
+    Executing,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    pc: usize,
+    op: Op,
+    state: EState,
+    done_at: u64,
+    result: u64,
+    eff_addr: Option<u64>,
+    store_data: Option<u64>,
+    fault: bool,
+    assisted: bool,
+    assist_handled: bool,
+    assist_replay_at: u64,
+    predicted_next: usize,
+    dir_pred: Option<DirPrediction>,
+    used_ras: bool,
+    ras_snap: Option<RasSnapshot>,
+    speculative_at_dispatch: bool,
+    invisible: bool,
+    exposed: bool,
+    resolved: bool,
+    executed_load: bool,
+    /// Renamed sources: (register, producer seq) captured at dispatch.
+    deps: [Option<(Reg, u64)>; 2],
+}
+
+#[derive(Debug, Clone)]
+struct FetchedInstr {
+    pc: usize,
+    op: Op,
+    ready_at: u64,
+    predicted_next: usize,
+    dir_pred: Option<DirPrediction>,
+    used_ras: bool,
+    ras_snap: Option<RasSnapshot>,
+}
+
+/// Outcome of a program run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Instructions committed.
+    pub committed_instructions: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Committed IPC.
+    pub ipc: f64,
+    /// `true` if the program reached `Halt` (vs. the instruction budget).
+    pub halted: bool,
+    /// Final architectural register file.
+    pub regs: [u64; 32],
+}
+
+/// One HPC sampling window (delta of every counter over the window).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HpcSample {
+    /// Committed instructions at the end of the window.
+    pub instructions: u64,
+    /// Cycle at the end of the window.
+    pub cycle: u64,
+    /// Per-counter deltas, ordered as [`crate::hpc::hpc_names`].
+    pub values: Vec<f64>,
+}
+
+/// The simulated core.
+pub struct Cpu {
+    cfg: CpuConfig,
+    mitigation: MitigationMode,
+    cycle: u64,
+    next_seq: u64,
+    arch_regs: [u64; 32],
+    reg_producer: [Option<u64>; 32],
+    rob: VecDeque<RobEntry>,
+    fetch_pc: usize,
+    fetch_buffer: VecDeque<FetchedInstr>,
+    fetch_stall_until: u64,
+    fetch_parked: bool,
+    serialize_block: Option<u64>,
+    arch_ret_stack: Vec<usize>,
+    bp: TournamentPredictor,
+    btb: Btb,
+    ras: Ras,
+    icache: Cache,
+    dcache: Cache,
+    l2: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    dram: Dram,
+    mem: Memory,
+    stats: PipelineStats,
+    rdrand_busy_until: u64,
+    rng_state: u64,
+    halted: bool,
+    committed_since_sample: u64,
+    /// Seqs of in-flight unresolved control instructions (ascending).
+    unresolved_ctrl: Vec<u64>,
+    /// Stride-prefetcher table: per load-pc (last address, stride,
+    /// 2-bit confidence).
+    stride_table: Vec<(u64, i64, u8)>,
+}
+
+impl std::fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cpu")
+            .field("cycle", &self.cycle)
+            .field("committed", &self.stats.committed_insts)
+            .field("rob_occupancy", &self.rob.len())
+            .field("mitigation", &self.mitigation)
+            .finish()
+    }
+}
+
+impl Cpu {
+    /// Creates a core from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: CpuConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid CPU config: {e}");
+        }
+        Cpu {
+            mitigation: cfg.mitigation,
+            cycle: 0,
+            next_seq: 0,
+            arch_regs: [0; 32],
+            reg_producer: [None; 32],
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            fetch_pc: 0,
+            fetch_buffer: VecDeque::new(),
+            fetch_stall_until: 0,
+            fetch_parked: false,
+            serialize_block: None,
+            arch_ret_stack: Vec::new(),
+            bp: TournamentPredictor::new(),
+            btb: Btb::new(cfg.btb_entries),
+            ras: Ras::new(cfg.ras_entries),
+            icache: Cache::new(cfg.l1i.clone()),
+            dcache: Cache::new(cfg.l1d.clone()),
+            l2: Cache::new(cfg.l2.clone()),
+            itlb: Tlb::new(cfg.itlb_entries),
+            dtlb: Tlb::new(cfg.dtlb_entries),
+            dram: Dram::new(cfg.dram.clone()),
+            mem: Memory::new(cfg.kernel_base),
+            stats: PipelineStats::default(),
+            rdrand_busy_until: 0,
+            rng_state: 0x243F_6A88_85A3_08D3,
+            halted: false,
+            committed_since_sample: 0,
+            unresolved_ctrl: Vec::new(),
+            stride_table: vec![(0, 0, 0); 256],
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Pipeline statistics so far.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// L1 instruction cache.
+    pub fn icache(&self) -> &Cache {
+        &self.icache
+    }
+
+    /// L1 data cache.
+    pub fn dcache(&self) -> &Cache {
+        &self.dcache
+    }
+
+    /// Shared L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Data TLB.
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
+    /// Instruction TLB.
+    pub fn itlb(&self) -> &Tlb {
+        &self.itlb
+    }
+
+    /// DRAM device (activation counts, Rowhammer flips, ...).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Backing memory (for harnesses to plant/verify data).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable backing memory.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current mitigation mode.
+    pub fn mitigation(&self) -> MitigationMode {
+        self.mitigation
+    }
+
+    /// Switches the mitigation mode (the adaptive controller's lever).
+    /// Applies to loads dispatched from now on.
+    pub fn set_mitigation(&mut self, mode: MitigationMode) {
+        self.mitigation = mode;
+    }
+
+    /// Reads an architectural register (post-run inspection).
+    pub fn arch_reg(&self, r: Reg) -> u64 {
+        self.arch_regs[r.index()]
+    }
+
+    // ------------------------------------------------------------------
+    // Top-level run loops
+    // ------------------------------------------------------------------
+
+    /// Runs `program` from its first instruction until `Halt` commits or
+    /// `max_instrs` instructions have committed.
+    pub fn run(&mut self, program: &Program, max_instrs: u64) -> RunResult {
+        self.run_sampled(program, max_instrs, u64::MAX, |_| None)
+    }
+
+    /// Runs with HPC sampling: every `sample_interval` committed
+    /// instructions, `on_sample` receives the counter deltas for the window
+    /// and may switch the mitigation mode (returning `Some(mode)`).
+    pub fn run_sampled(
+        &mut self,
+        program: &Program,
+        max_instrs: u64,
+        sample_interval: u64,
+        mut on_sample: impl FnMut(&HpcSample) -> Option<MitigationMode>,
+    ) -> RunResult {
+        let start_committed = self.stats.committed_insts;
+        self.reset_front_end();
+        let mut prev_vec = crate::hpc::hpc_vector(self);
+        self.committed_since_sample = 0;
+        // Hard cycle ceiling so a wedged configuration cannot hang the host.
+        let cycle_budget = max_instrs.saturating_mul(200).max(100_000);
+        let start_cycle = self.cycle;
+        while !self.halted
+            && self.stats.committed_insts - start_committed < max_instrs
+            && self.cycle - start_cycle < cycle_budget
+        {
+            self.step_cycle(program);
+            if self.committed_since_sample >= sample_interval {
+                self.committed_since_sample = 0;
+                let cur = crate::hpc::hpc_vector(self);
+                let values = cur
+                    .iter()
+                    .zip(prev_vec.iter())
+                    .map(|(c, p)| c - p)
+                    .collect();
+                prev_vec = cur;
+                let sample = HpcSample {
+                    instructions: self.stats.committed_insts,
+                    cycle: self.cycle,
+                    values,
+                };
+                if let Some(mode) = on_sample(&sample) {
+                    self.set_mitigation(mode);
+                }
+            }
+        }
+        let committed = self.stats.committed_insts - start_committed;
+        RunResult {
+            committed_instructions: committed,
+            cycles: self.cycle - start_cycle,
+            ipc: if self.cycle > start_cycle {
+                committed as f64 / (self.cycle - start_cycle) as f64
+            } else {
+                0.0
+            },
+            halted: self.halted,
+            regs: self.arch_regs,
+        }
+    }
+
+    fn reset_front_end(&mut self) {
+        self.fetch_pc = 0;
+        self.fetch_buffer.clear();
+        self.rob.clear();
+        self.reg_producer = [None; 32];
+        self.serialize_block = None;
+        self.halted = false;
+        self.fetch_parked = false;
+        self.fetch_stall_until = self.cycle;
+        self.unresolved_ctrl.clear();
+    }
+
+    /// Advances the core one cycle.
+    fn step_cycle(&mut self, program: &Program) {
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        if !self.unresolved_ctrl.is_empty() {
+            self.stats.spec_window_cycles += 1;
+        }
+        self.commit_stage(program);
+        if self.halted {
+            return;
+        }
+        self.complete_stage();
+        self.issue_stage();
+        self.dispatch_stage();
+        self.fetch_stage(program);
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn fetch_stage(&mut self, program: &Program) {
+        if self.fetch_parked {
+            self.stats.fetch_idle_cycles += 1;
+            return;
+        }
+        if self.cycle < self.fetch_stall_until {
+            self.stats.fetch_icache_stall_cycles += 1;
+            return;
+        }
+        if self.fetch_buffer.len() >= 2 * self.cfg.fetch_width {
+            self.stats.fetch_blocked_cycles += 1;
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            let pc = self.fetch_pc;
+            let Some(op) = program.fetch(pc) else {
+                // Ran off the program (wrong path): park until a squash
+                // redirects us.
+                self.fetch_parked = true;
+                break;
+            };
+            // I-side memory access for the line containing this pc.
+            let iaddr = CODE_BASE + pc as u64 * INSTR_BYTES;
+            let ilat = self.fetch_line_latency(iaddr);
+            if ilat > 0 {
+                // A miss stalls fetch until the line arrives; the line is
+                // filled now, so the retry after the stall hits.
+                self.fetch_stall_until = self.cycle + ilat as u64;
+                break;
+            }
+            self.stats.fetch_insts += 1;
+
+            let mut predicted_next = pc + 1;
+            let mut dir_pred = None;
+            let mut used_ras = false;
+            let mut ras_snap = None;
+            match op {
+                Op::Branch { target, .. } => {
+                    self.stats.fetch_branches += 1;
+                    let p = self.bp.predict(pc);
+                    self.stats.bp_cond_predicted += 1;
+                    if p.taken {
+                        predicted_next = target;
+                        self.stats.fetch_predicted_taken += 1;
+                    }
+                    dir_pred = Some(p);
+                    ras_snap = Some(self.ras.snapshot());
+                }
+                Op::Jmp { target } => {
+                    self.stats.fetch_branches += 1;
+                    predicted_next = target;
+                }
+                Op::Call { target } => {
+                    self.stats.fetch_branches += 1;
+                    predicted_next = target;
+                    self.ras.push(pc + 1);
+                    ras_snap = Some(self.ras.snapshot());
+                }
+                Op::Ret => {
+                    self.stats.fetch_branches += 1;
+                    match self.ras.pop() {
+                        Some(addr) => {
+                            predicted_next = addr;
+                            used_ras = true;
+                            self.stats.bp_used_ras += 1;
+                        }
+                        None => {
+                            predicted_next = pc + 1;
+                        }
+                    }
+                    ras_snap = Some(self.ras.snapshot());
+                }
+                Op::JmpInd { .. } => {
+                    self.stats.fetch_branches += 1;
+                    self.stats.bp_btb_lookups += 1;
+                    match self.btb.lookup(pc) {
+                        Some(t) => {
+                            self.stats.bp_btb_hits += 1;
+                            predicted_next = t;
+                        }
+                        None => {
+                            // No prediction: fall through (and almost surely
+                            // squash at resolve).
+                            predicted_next = pc + 1;
+                        }
+                    }
+                    ras_snap = Some(self.ras.snapshot());
+                }
+                Op::Halt => {
+                    // Stop fetching past a halt; commit decides if it's real.
+                    self.fetch_parked = true;
+                }
+                _ => {}
+            }
+
+            self.fetch_buffer.push_back(FetchedInstr {
+                pc,
+                op,
+                ready_at: self.cycle + self.cfg.frontend_depth as u64,
+                predicted_next,
+                dir_pred,
+                used_ras,
+                ras_snap,
+            });
+            self.fetch_pc = predicted_next;
+            if self.fetch_parked || op.is_control() {
+                // One control transfer per fetch group keeps things simple.
+                break;
+            }
+        }
+    }
+
+    /// I-cache access for a fetch; returns stall cycles beyond the pipelined
+    /// hit latency.
+    fn fetch_line_latency(&mut self, iaddr: u64) -> u32 {
+        let mut extra = 0u32;
+        if !self.itlb.access(iaddr, false) {
+            extra += self.cfg.tlb_walk_latency;
+        }
+        let acc = self.icache.access(iaddr, false, self.cycle);
+        if acc.hit {
+            return extra;
+        }
+        let l2 = self.l2.access(iaddr, false, self.cycle);
+        let miss_lat = if l2.hit {
+            self.l2.config().hit_latency
+        } else {
+            let resp = self.dram.access(iaddr, AccessKind::Read, self.cycle);
+            self.apply_flips_response(&resp);
+            self.l2.fill(iaddr, false, false);
+            self.l2.config().hit_latency + resp.latency
+        };
+        self.icache.fill(iaddr, false, false);
+        self.icache
+            .note_miss_latency(miss_lat as u64, self.cycle + miss_lat as u64);
+        extra + miss_lat
+    }
+
+    fn apply_flips_response(&mut self, resp: &evax_dram::DramResponse) {
+        if resp.flips.is_empty() {
+            return;
+        }
+        let flips = resp.flips.clone();
+        for flip in flips {
+            let addr = self.dram.flip_address(&flip);
+            let old = self.mem.read_u8(addr);
+            self.mem.write_u8(addr, old ^ (1 << flip.bit));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (rename)
+    // ------------------------------------------------------------------
+
+    fn dispatch_stage(&mut self) {
+        if let Some(block_seq) = self.serialize_block {
+            // Blocked behind a serializing instruction until it commits.
+            // ROB seqs are contiguous, so presence is a range check.
+            if self.rob.front().is_some_and(|f| block_seq >= f.seq) {
+                self.stats.fetch_pending_quiesce_stall_cycles += 1;
+                return;
+            }
+            self.serialize_block = None;
+        }
+        // Structural occupancy, computed once per cycle and updated locally.
+        let mut waiting = 0usize;
+        let mut loads_in_flight = 0usize;
+        let mut stores_in_flight = 0usize;
+        let mut producers = 0usize;
+        for e in self.rob.iter() {
+            if e.state != EState::Done {
+                waiting += 1;
+            }
+            match e.op {
+                Op::Load { .. } => loads_in_flight += 1,
+                Op::Store { .. } => stores_in_flight += 1,
+                _ => {}
+            }
+            if e.op.dst().is_some() {
+                producers += 1;
+            }
+        }
+        for _ in 0..self.cfg.fetch_width {
+            let Some(front) = self.fetch_buffer.front() else {
+                break;
+            };
+            if front.ready_at > self.cycle {
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob_entries {
+                self.stats.rename_rob_full_events += 1;
+                break;
+            }
+            if waiting >= self.cfg.iq_entries {
+                self.stats.rename_iq_full_events += 1;
+                break;
+            }
+            match front.op {
+                Op::Load { .. } if loads_in_flight >= self.cfg.lq_entries => {
+                    self.stats.rename_lq_full_events += 1;
+                    break;
+                }
+                Op::Store { .. } if stores_in_flight >= self.cfg.sq_entries => {
+                    self.stats.rename_sq_full_events += 1;
+                    break;
+                }
+                _ => {}
+            }
+            // Physical registers: in-flight producers + architectural state.
+            if producers + Reg::COUNT >= self.cfg.phys_int_regs {
+                self.stats.rename_full_registers_events += 1;
+                break;
+            }
+            if front.op.is_serializing() {
+                if !self.rob.is_empty() {
+                    self.stats.fetch_pending_quiesce_stall_cycles += 1;
+                    break;
+                }
+                self.stats.rename_serializing_insts += 1;
+            }
+
+            let fi = self.fetch_buffer.pop_front().expect("front checked");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let speculative = !self.unresolved_ctrl.is_empty();
+            if speculative {
+                self.stats.spec_insts_added += 1;
+            }
+            let resolved = matches!(fi.op, Op::Jmp { .. } | Op::Call { .. });
+            if fi.op.is_control() && !resolved {
+                self.unresolved_ctrl.push(seq);
+            }
+            // Rename: capture each source's in-flight producer (if any).
+            let mut deps: [Option<(Reg, u64)>; 2] = [None, None];
+            for (slot, r) in fi.op.sources().into_iter().enumerate() {
+                if r != Reg::ZERO {
+                    if let Some(pseq) = self.reg_producer[r.index()] {
+                        deps[slot] = Some((r, pseq));
+                    }
+                }
+            }
+            if let Some(dst) = fi.op.dst() {
+                if dst != Reg::ZERO {
+                    self.reg_producer[dst.index()] = Some(seq);
+                }
+            }
+            self.stats.rename_renamed_insts += 1;
+            if fi.op.is_serializing() {
+                self.serialize_block = Some(seq);
+            }
+            waiting += 1;
+            match fi.op {
+                Op::Load { .. } => loads_in_flight += 1,
+                Op::Store { .. } => stores_in_flight += 1,
+                _ => {}
+            }
+            if fi.op.dst().is_some() {
+                producers += 1;
+            }
+            let is_ser = fi.op.is_serializing();
+            self.rob.push_back(RobEntry {
+                seq,
+                pc: fi.pc,
+                op: fi.op,
+                state: EState::Waiting,
+                done_at: 0,
+                result: 0,
+                eff_addr: None,
+                store_data: None,
+                fault: false,
+                assisted: false,
+                assist_handled: false,
+                assist_replay_at: 0,
+                predicted_next: fi.predicted_next,
+                dir_pred: fi.dir_pred,
+                used_ras: fi.used_ras,
+                ras_snap: fi.ras_snap,
+                speculative_at_dispatch: speculative,
+                invisible: false,
+                exposed: false,
+                resolved,
+                executed_load: false,
+                deps,
+            });
+            if is_ser {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute
+    // ------------------------------------------------------------------
+
+    /// Reads the current value of source `r` of the entry at `idx`, using the
+    /// producer captured at rename time. ROB seqs are contiguous, so the
+    /// producer lookup is O(1). Returns `None` while the producer is in
+    /// flight; a committed producer's value comes from the architectural
+    /// file (in-order commit guarantees it is the right version).
+    fn read_operand(&self, idx: usize, r: Reg) -> Option<u64> {
+        if r == Reg::ZERO {
+            return Some(0);
+        }
+        let e = &self.rob[idx];
+        for d in e.deps.iter().flatten() {
+            if d.0 == r {
+                let front = self.rob.front().expect("rob nonempty").seq;
+                if d.1 < front {
+                    return Some(self.arch_regs[r.index()]);
+                }
+                let pe = &self.rob[(d.1 - front) as usize];
+                debug_assert_eq!(pe.seq, d.1, "ROB seq contiguity violated");
+                return if pe.state == EState::Done {
+                    Some(pe.result)
+                } else {
+                    None
+                };
+            }
+        }
+        Some(self.arch_regs[r.index()])
+    }
+
+    fn operands_ready(&self, idx: usize) -> bool {
+        let front = self.rob.front().expect("rob nonempty").seq;
+        self.rob[idx].deps.iter().flatten().all(|&(_, pseq)| {
+            pseq < front || self.rob[(pseq - front) as usize].state == EState::Done
+        })
+    }
+
+    /// `true` if an unresolved control-flow instruction older than `seq` is
+    /// in flight (the speculative shadow).
+    fn oldest_unresolved_control_before(&self, seq: u64) -> bool {
+        self.unresolved_ctrl.first().is_some_and(|&s| s < seq)
+    }
+
+    /// `true` if every instruction older than `seq` has finished executing
+    /// *with a clean outcome*: an entry that is "done" but carries a pending
+    /// fault or an unresolved assist will squash later — for serialization
+    /// and Futuristic-model gating it does not count as completed (this is
+    /// what lets fencing/InvisiSpec close the Meltdown/LVI windows).
+    fn all_older_done(&self, seq: u64) -> bool {
+        self.rob
+            .iter()
+            .take_while(|e| e.seq < seq)
+            .all(|e| e.state == EState::Done && !e.fault && (!e.assisted || e.assist_handled))
+    }
+
+    fn issue_stage(&mut self) {
+        let mut issued = 0usize;
+        let mut mem_issued = 0usize;
+        let mut had_waiting = false;
+        let mut i = 0;
+        while i < self.rob.len() && issued < self.cfg.issue_width {
+            if self.rob[i].state != EState::Waiting {
+                i += 1;
+                continue;
+            }
+            had_waiting = true;
+            if !self.operands_ready(i) {
+                i += 1;
+                continue;
+            }
+            let seq = self.rob[i].seq;
+            let op = self.rob[i].op;
+            // Serializing ops execute only when everything older is done.
+            if op.is_serializing() && !self.all_older_done(seq) {
+                i += 1;
+                continue;
+            }
+            // Mitigation gating for loads.
+            if matches!(op, Op::Load { .. }) {
+                if mem_issued >= 4 {
+                    i += 1;
+                    continue;
+                }
+                let shadowed = self.oldest_unresolved_control_before(seq);
+                match self.mitigation {
+                    MitigationMode::FenceSpectre if shadowed => {
+                        i += 1;
+                        continue;
+                    }
+                    MitigationMode::FenceFuturistic if !self.all_older_done(seq) => {
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if matches!(
+                op,
+                Op::Store { .. } | Op::Flush { .. } | Op::Prefetch { .. }
+            ) && mem_issued >= 4
+            {
+                i += 1;
+                continue;
+            }
+            self.execute_entry(i);
+            if op.is_memory() {
+                mem_issued += 1;
+            }
+            issued += 1;
+            self.stats.iq_issued_insts += 1;
+            i += 1;
+        }
+        if had_waiting && issued == 0 {
+            self.stats.iq_operand_stall_cycles += 1;
+        }
+    }
+
+    fn execute_entry(&mut self, idx: usize) {
+        let seq = self.rob[idx].seq;
+        let pc = self.rob[idx].pc;
+        let op = self.rob[idx].op;
+        if trace_enabled() {
+            eprintln!("[{}] EXEC seq={} pc={} {:?}", self.cycle, seq, pc, op);
+        }
+        self.stats.iew_executed_insts += 1;
+        let mut latency: u32 = 1;
+        let mut result: u64 = 0;
+        match op {
+            Op::Nop | Op::Halt | Op::Jmp { .. } | Op::Call { .. } => {}
+            Op::Fence => {
+                self.stats.commit_membars += 0; // counted at commit
+            }
+            Op::Li { imm, .. } => result = imm,
+            Op::Alu {
+                op: a,
+                a: ra,
+                b: rb,
+                ..
+            } => {
+                let va = self.read_operand(idx, ra).expect("ready");
+                let vb = self.read_operand(idx, rb).expect("ready");
+                result = a.eval(va, vb);
+                latency = a.latency();
+            }
+            Op::AluImm {
+                op: a, a: ra, imm, ..
+            } => {
+                let va = self.read_operand(idx, ra).expect("ready");
+                result = a.eval(va, imm);
+                latency = a.latency();
+            }
+            Op::RdCycle { .. } => {
+                result = self.cycle;
+            }
+            Op::RdRand { .. } => {
+                // Shared unit: queue behind any in-flight RDRAND.
+                let start = self.cycle.max(self.rdrand_busy_until);
+                let wait = (start - self.cycle) as u32;
+                self.stats.rdrand_contention_cycles += wait as u64;
+                self.rdrand_busy_until = start + self.cfg.rdrand_latency as u64;
+                latency = wait + self.cfg.rdrand_latency;
+                self.stats.rdrand_ops += 1;
+                // xorshift64* for a deterministic "random" value.
+                self.rng_state ^= self.rng_state >> 12;
+                self.rng_state ^= self.rng_state << 25;
+                self.rng_state ^= self.rng_state >> 27;
+                result = self.rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            }
+            Op::Syscall => {
+                latency = self.cfg.syscall_latency;
+            }
+            Op::Branch { cond, a, b, target } => {
+                let va = self.read_operand(idx, a).expect("ready");
+                let vb = self.read_operand(idx, b).expect("ready");
+                let taken = cond.eval(va, vb);
+                result = taken as u64;
+                let actual_next = if taken { target } else { pc + 1 };
+                self.rob[idx].result = result;
+                self.resolve_control(idx, actual_next, taken);
+            }
+            Op::JmpInd { base } => {
+                let target = self.read_operand(idx, base).expect("ready") as usize;
+                self.btb.update(pc, target);
+                self.resolve_control(idx, target, true);
+            }
+            Op::Ret => {
+                // Resolved at commit against the architectural return stack.
+            }
+            Op::Load { base, offset, .. } => {
+                let addr = self
+                    .read_operand(idx, base)
+                    .expect("ready")
+                    .wrapping_add(offset as u64);
+                let (value, lat) = self.execute_load(idx, addr);
+                result = value;
+                latency = lat;
+            }
+            Op::Store { src, base, offset } => {
+                let addr = self
+                    .read_operand(idx, base)
+                    .expect("ready")
+                    .wrapping_add(offset as u64);
+                let data = self.read_operand(idx, src).expect("ready");
+                self.rob[idx].eff_addr = Some(addr);
+                self.rob[idx].store_data = Some(data);
+                self.stats.iew_exec_store_insts += 1;
+                self.check_order_violation(idx, addr);
+                if self.mem.is_privileged(addr) {
+                    self.rob[idx].fault = true;
+                }
+            }
+            Op::Flush { base, offset } => {
+                let addr = self
+                    .read_operand(idx, base)
+                    .expect("ready")
+                    .wrapping_add(offset as u64);
+                self.rob[idx].eff_addr = Some(addr);
+                self.dcache.flush_line(addr);
+                self.l2.flush_line(addr);
+                latency = 4;
+            }
+            Op::Prefetch { base, offset } => {
+                let addr = self
+                    .read_operand(idx, base)
+                    .expect("ready")
+                    .wrapping_add(offset as u64);
+                self.rob[idx].eff_addr = Some(addr);
+                // Prefetches never fault (Meltdown step 2 relies on this).
+                if !self.dtlb.access(addr, false) {
+                    // charge nothing to the core; the walk is off the
+                    // critical path for prefetches
+                }
+                if !self.dcache.contains(addr) {
+                    let l2hit = self.l2.access(addr, false, self.cycle).hit;
+                    if !l2hit {
+                        let resp = self.dram.access(addr, AccessKind::Read, self.cycle);
+                        self.apply_flips_response(&resp);
+                        self.l2.fill(addr, false, true);
+                    }
+                    self.dcache.fill(addr, false, true);
+                }
+                latency = 1;
+            }
+        }
+        let e = &mut self.rob[idx];
+        e.result = result;
+        e.state = EState::Executing;
+        e.done_at = self.cycle + latency as u64;
+        if latency <= 1 {
+            e.state = EState::Done;
+            e.done_at = self.cycle;
+        }
+    }
+
+    /// Executes a load: store-to-load forwarding, TLB, privilege check,
+    /// LVI-style assisted forwarding, and the cache hierarchy (visible or
+    /// invisible).
+    fn execute_load(&mut self, idx: usize, addr: u64) -> (u64, u32) {
+        let seq = self.rob[idx].seq;
+        if trace_enabled() {
+            eprintln!(
+                "[{}] LOAD seq={} pc={} addr={:#x}",
+                self.cycle, seq, self.rob[idx].pc, addr
+            );
+        }
+        self.rob[idx].eff_addr = Some(addr);
+        self.rob[idx].executed_load = true;
+        self.stats.iew_exec_load_insts += 1;
+        let shadowed = self.oldest_unresolved_control_before(seq);
+        if shadowed {
+            self.stats.spec_loads_executed += 1;
+        }
+        let invisible = match self.mitigation {
+            MitigationMode::InvisiSpecSpectre => shadowed,
+            MitigationMode::InvisiSpecFuturistic => !self.all_older_done(seq),
+            _ => false,
+        };
+        self.rob[idx].invisible = invisible;
+
+        // --- store-to-load forwarding (exact 8-byte match) ---
+        let mut forwarded: Option<u64> = None;
+        for e in self.rob.iter() {
+            if e.seq >= seq {
+                break;
+            }
+            if let Op::Store { .. } = e.op {
+                if e.eff_addr == Some(addr) {
+                    if let Some(d) = e.store_data {
+                        forwarded = Some(d);
+                    }
+                }
+            }
+        }
+        if let Some(v) = forwarded {
+            self.stats.lsq_forw_loads += 1;
+            return (v, 1);
+        }
+
+        // --- privilege check (Meltdown) ---
+        let privileged = self.mem.is_privileged(addr);
+        if privileged {
+            self.rob[idx].fault = true;
+            self.stats.faults_deferred_with_data += 1;
+        }
+
+        // --- translation ---
+        let mut latency = 0u32;
+        let tlb_hit = self.dtlb.access(addr, false);
+        if !tlb_hit {
+            latency += self.cfg.tlb_walk_latency;
+            // Assisted translation + 4K-aliasing store buffer entry:
+            // transiently forward the aliasing store's (wrong) value —
+            // the LVI / Fallout injection surface.
+            let alias = self
+                .rob
+                .iter()
+                .rfind(|e| {
+                    e.seq < seq
+                        && matches!(e.op, Op::Store { .. })
+                        && e.store_data.is_some()
+                        && e.eff_addr
+                            .map(|a| a & 0xFFF == addr & 0xFFF && a != addr)
+                            .unwrap_or(false)
+                })
+                .and_then(|e| e.store_data);
+            if let Some(injected) = alias {
+                self.rob[idx].assisted = true;
+                // The replay fires when the assisted translation resolves;
+                // until then consumers run on the injected value — the LVI
+                // transient window.
+                self.rob[idx].assist_replay_at = self.cycle + self.cfg.tlb_walk_latency as u64;
+                self.stats.lsq_false_forwards += 1;
+                self.stats.lsq_forw_loads += 1;
+                // The wrong value is available almost immediately; the
+                // correct replay happens at completion.
+                return (injected, 2);
+            }
+        }
+
+        // --- cache hierarchy ---
+        if invisible {
+            // Probe latencies without mutating cache state.
+            let lat = if self.dcache.contains(addr) {
+                self.cfg.l1d.hit_latency
+            } else if self.l2.contains(addr) {
+                self.cfg.l1d.hit_latency + self.cfg.l2.hit_latency
+            } else {
+                self.cfg.l1d.hit_latency
+                    + self.cfg.l2.hit_latency
+                    + self.cfg.dram.t_rcd
+                    + self.cfg.dram.t_cas
+                    + self.cfg.dram.t_bus
+            };
+            latency += lat;
+        } else {
+            let acc = self.dcache.access(addr, false, self.cycle);
+            if acc.mshr_stall {
+                self.stats.lsq_cache_blocked_loads += 1;
+                latency += 4;
+            }
+            if acc.hit {
+                latency += acc.latency;
+            } else {
+                let l2acc = self.l2.access(addr, false, self.cycle);
+                let miss_lat = if l2acc.hit {
+                    self.cfg.l2.hit_latency
+                } else {
+                    let resp = self.dram.access(addr, AccessKind::Read, self.cycle);
+                    self.apply_flips_response(&resp);
+                    self.l2.fill(addr, false, false);
+                    self.cfg.l2.hit_latency + resp.latency
+                };
+                self.dcache.fill(addr, false, false);
+                self.dcache
+                    .note_miss_latency(miss_lat as u64, self.cycle + miss_lat as u64);
+                latency += acc.latency + miss_lat;
+            }
+        }
+        if !invisible && self.cfg.stride_prefetcher {
+            self.stride_prefetch(self.rob[idx].pc, addr);
+        }
+        let value = self.mem.read_u64(addr);
+        (value, latency.max(1))
+    }
+
+    /// Classic per-pc stride prefetcher: after two consecutive accesses with
+    /// the same stride, fetch the next line ahead into L1D. Prefetches are
+    /// visible cache state — which is exactly why hardware prefetchers are
+    /// themselves a side-channel surface.
+    fn stride_prefetch(&mut self, pc: usize, addr: u64) {
+        let entry = &mut self.stride_table[pc % 256];
+        let (last, stride, conf) = *entry;
+        let new_stride = addr as i64 - last as i64;
+        if new_stride == stride && new_stride != 0 {
+            *entry = (addr, stride, (conf + 1).min(3));
+        } else {
+            *entry = (addr, new_stride, 0);
+        }
+        let (_, stride, conf) = *entry;
+        if conf >= 2 {
+            let target = addr.wrapping_add((stride * 2) as u64);
+            if !self.mem.is_privileged(target) && !self.dcache.contains(target) {
+                if !self.l2.contains(target) {
+                    let resp = self.dram.access(target, AccessKind::Read, self.cycle);
+                    self.apply_flips_response(&resp);
+                    self.l2.fill(target, false, true);
+                }
+                self.dcache.fill(target, false, true);
+            }
+        }
+    }
+
+    /// A store's address became known: any younger load already executed to
+    /// the same address read stale data — memory-order violation.
+    fn check_order_violation(&mut self, store_idx: usize, addr: u64) {
+        let store_seq = self.rob[store_idx].seq;
+        let violator = self
+            .rob
+            .iter()
+            .find(|e| {
+                e.seq > store_seq
+                    && e.executed_load
+                    && e.state != EState::Waiting
+                    && e.eff_addr == Some(addr)
+            })
+            .map(|e| (e.seq, e.pc));
+        if let Some((vseq, vpc)) = violator {
+            self.stats.iew_mem_order_violations += 1;
+            self.stats.lsq_ignored_responses += 1;
+            self.squash_younger_than(vseq - 1, vpc, true);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Completion / resolution
+    // ------------------------------------------------------------------
+
+    fn complete_stage(&mut self) {
+        let mut idx = 0;
+        while idx < self.rob.len() {
+            if self.rob[idx].state == EState::Executing && self.rob[idx].done_at <= self.cycle {
+                self.rob[idx].state = EState::Done;
+            }
+            {
+                // Assisted (LVI) load replay: once the slow translation
+                // resolves, squash consumers and fix the value.
+                if self.rob[idx].state == EState::Done
+                    && self.rob[idx].assisted
+                    && !self.rob[idx].assist_handled
+                    && self.cycle >= self.rob[idx].assist_replay_at
+                {
+                    self.rob[idx].assist_handled = true;
+                    let seq = self.rob[idx].seq;
+                    let pc = self.rob[idx].pc;
+                    let addr = self.rob[idx].eff_addr.expect("load has addr");
+                    let correct = self.mem.read_u64(addr);
+                    self.stats.lsq_rescheduled_loads += 1;
+                    self.stats.lsq_ignored_responses += 1;
+                    self.rob[idx].result = correct;
+                    self.squash_younger_than(seq, pc + 1, true);
+                }
+            }
+            idx += 1;
+        }
+        // Assisted loads finish instantly in this model (latency 2), so the
+        // replay above usually runs within a couple of cycles — inside the
+        // transient window their consumers already left footprints.
+    }
+
+    /// Resolves a control instruction at `idx` with the actual next pc.
+    fn resolve_control(&mut self, idx: usize, actual_next: usize, taken: bool) {
+        let e = &mut self.rob[idx];
+        let seq = e.seq;
+        let pc = e.pc;
+        let predicted = e.predicted_next;
+        let dir_pred = e.dir_pred;
+        let used_ras = e.used_ras;
+        e.resolved = true;
+        self.unresolved_ctrl.retain(|&s| s != seq);
+        // Train the direction predictor.
+        if let Some(p) = dir_pred {
+            self.bp.update(pc, p, taken);
+            if p.taken != taken {
+                self.stats.bp_cond_incorrect += 1;
+                if p.taken {
+                    self.stats.iew_predicted_taken_incorrect += 1;
+                } else {
+                    self.stats.iew_predicted_not_taken_incorrect += 1;
+                }
+            }
+        }
+        if predicted != actual_next {
+            self.stats.iew_branch_mispredicts += 1;
+            if matches!(self.rob[idx].op, Op::JmpInd { .. }) {
+                self.stats.bp_indirect_mispredicted += 1;
+            }
+            if used_ras {
+                self.stats.bp_ras_incorrect += 1;
+            }
+            // Restore the RAS to its post-this-instruction state.
+            if let Some(snap) = self.rob[idx].ras_snap.clone() {
+                self.ras.restore(&snap);
+            }
+            self.squash_younger_than(seq, actual_next, false);
+        }
+    }
+
+    /// Squashes every instruction with `seq > keep_seq`, redirecting fetch to
+    /// `new_pc`. `replay` marks replay-style squashes (order violations /
+    /// assists) for counter purposes.
+    fn squash_younger_than(&mut self, keep_seq: u64, new_pc: usize, replay: bool) {
+        let _ = replay;
+        if trace_enabled() {
+            eprintln!(
+                "[{}] SQUASH keep<={} newpc={}",
+                self.cycle, keep_seq, new_pc
+            );
+        }
+        while let Some(back) = self.rob.back() {
+            if back.seq <= keep_seq {
+                break;
+            }
+            let e = self.rob.pop_back().expect("nonempty");
+            self.stats.commit_squashed_insts += 1;
+            if e.state != EState::Waiting {
+                self.stats.iew_exec_squashed_insts += 1;
+                self.stats.iq_squashed_insts_issued += 1;
+            }
+            match e.op {
+                Op::Load { .. } => {
+                    if e.state != EState::Waiting {
+                        self.stats.lsq_squashed_loads += 1;
+                        if !e.speculative_at_dispatch {
+                            self.stats.iq_squashed_non_spec_ld += 1;
+                        }
+                    }
+                    if e.fault {
+                        self.stats.faults_squashed += 1;
+                    }
+                }
+                Op::Store { .. } if e.eff_addr.is_some() => {
+                    self.stats.lsq_squashed_stores += 1;
+                }
+                _ => {}
+            }
+            if e.op.dst().is_some() {
+                self.stats.rename_undone_maps += 1;
+            }
+            if self.serialize_block == Some(e.seq) {
+                self.serialize_block = None;
+            }
+        }
+        self.unresolved_ctrl.retain(|&s| s <= keep_seq);
+        // Reuse squashed sequence numbers so ROB seqs stay contiguous.
+        self.next_seq = keep_seq + 1;
+        // Rebuild the rename map from surviving entries.
+        self.reg_producer = [None; 32];
+        for e in self.rob.iter() {
+            if let Some(dst) = e.op.dst() {
+                if dst != Reg::ZERO {
+                    self.reg_producer[dst.index()] = Some(e.seq);
+                }
+            }
+        }
+        self.fetch_buffer.clear();
+        self.fetch_pc = new_pc;
+        self.fetch_parked = false;
+        self.fetch_stall_until = self.cycle + 2; // redirect penalty
+        self.stats.fetch_squash_cycles += 2;
+        self.stats.commit_rob_squashing_cycles += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit_stage(&mut self, program: &Program) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.state != EState::Done {
+                break;
+            }
+            // An assisted load may not retire until its translation resolves
+            // and the replay has fixed its value.
+            if head.assisted && !head.assist_handled {
+                break;
+            }
+            let head_op = head.op;
+            let head_seq = head.seq;
+            let head_pc = head.pc;
+            let head_fault = head.fault;
+            let head_resolved = head.resolved;
+            let head_predicted_next = head.predicted_next;
+            let head_invisible = head.invisible;
+            let head_exposed = head.exposed;
+            let head_eff_addr = head.eff_addr;
+            // InvisiSpec exposure: an invisible load must become visible
+            // (validate + fill) before it can commit.
+            if head_invisible && !head_exposed {
+                let addr = head_eff_addr.expect("load has addr");
+                let seq = head_seq;
+                let was_cached = self.dcache.contains(addr);
+                self.dcache.access(addr, false, self.cycle);
+                if !was_cached {
+                    if !self.l2.contains(addr) {
+                        let resp = self.dram.access(addr, AccessKind::Read, self.cycle);
+                        self.apply_flips_response(&resp);
+                    }
+                    self.l2.fill(addr, false, false);
+                    self.dcache.fill(addr, false, false);
+                    // Exposure stalls commit.
+                    let e = self.rob.front_mut().expect("head exists");
+                    debug_assert_eq!(e.seq, seq);
+                    e.exposed = true;
+                    e.state = EState::Executing;
+                    e.done_at = self.cycle + self.cfg.invisispec_expose_latency as u64;
+                    self.stats.commit_expose_stall_cycles +=
+                        self.cfg.invisispec_expose_latency as u64;
+                    break;
+                }
+                self.rob.front_mut().expect("head").exposed = true;
+            }
+
+            // Ret resolves at commit against the architectural return stack.
+            if matches!(head_op, Op::Ret) && !head_resolved {
+                let predicted = head_predicted_next;
+                let seq = head_seq;
+                let actual = self.arch_ret_stack.pop().unwrap_or(head_pc + 1);
+                let head_mut = self.rob.front_mut().expect("head");
+                head_mut.resolved = true;
+                self.unresolved_ctrl.retain(|&s| s != seq);
+                if predicted != actual {
+                    self.stats.iew_branch_mispredicts += 1;
+                    self.stats.bp_ras_incorrect += 1;
+                    // Commit the ret itself, then squash everything younger.
+                    self.finish_commit_of_head(program);
+                    self.squash_younger_than(seq, actual, false);
+                    continue;
+                }
+            }
+
+            // Faults are architectural only at commit.
+            if head_fault {
+                self.stats.faults_raised += 1;
+                let handler = program.fault_handler().unwrap_or(head_pc + 1);
+                // Squash everything *including* the faulting instruction
+                // (its seq is greater than seq-1, so the tail squash removes
+                // it too) and redirect to the handler.
+                self.squash_younger_than(head_seq.saturating_sub(1), handler, false);
+                debug_assert!(self.rob.is_empty(), "fault squash empties the ROB");
+                continue;
+            }
+
+            self.finish_commit_of_head(program);
+            if self.halted {
+                break;
+            }
+        }
+    }
+
+    /// Retires the ROB head architecturally.
+    fn finish_commit_of_head(&mut self, _program: &Program) {
+        let e = self.rob.pop_front().expect("head exists");
+        self.stats.committed_insts += 1;
+        self.committed_since_sample += 1;
+        if let Some(dst) = e.op.dst() {
+            if dst != Reg::ZERO {
+                self.arch_regs[dst.index()] = e.result;
+                self.stats.rename_committed_maps += 1;
+            }
+            if self.reg_producer[dst.index()] == Some(e.seq) {
+                self.reg_producer[dst.index()] = None;
+            }
+        }
+        match e.op {
+            Op::Store { .. } => {
+                let addr = e.eff_addr.expect("store executed");
+                let data = e.store_data.expect("store data");
+                self.mem.write_u64(addr, data);
+                // D-cache write access at commit (write-allocate).
+                let acc = self.dcache.access(addr, true, self.cycle);
+                if !acc.hit {
+                    let l2acc = self.l2.access(addr, true, self.cycle);
+                    if !l2acc.hit {
+                        let resp = self.dram.access(addr, AccessKind::Write, self.cycle);
+                        self.apply_flips_response(&resp);
+                        self.l2.fill(addr, true, false);
+                    }
+                    self.dcache.fill(addr, true, false);
+                }
+                self.stats.commit_stores += 1;
+            }
+            Op::Load { .. } => {
+                self.stats.commit_loads += 1;
+            }
+            Op::Branch { .. } | Op::Jmp { .. } | Op::JmpInd { .. } => {
+                self.stats.commit_branches += 1;
+            }
+            Op::Call { target: _ } => {
+                self.stats.commit_branches += 1;
+                self.arch_ret_stack.push(e.pc + 1);
+            }
+            Op::Ret => {
+                self.stats.commit_branches += 1;
+                // Stack already popped during resolution.
+            }
+            Op::Fence | Op::RdCycle { .. } => {
+                self.stats.commit_membars += 1;
+            }
+            Op::Syscall => {
+                self.stats.commit_membars += 1;
+                self.stats.syscalls += 1;
+                self.kernel_noise();
+            }
+            Op::Halt => {
+                self.halted = true;
+            }
+            _ => {}
+        }
+    }
+
+    /// Models the cache/TLB noise of a kernel crossing (paper §VIII-D: "the
+    /// syscall itself adds noise to the attack sample").
+    fn kernel_noise(&mut self) {
+        let base = self.cfg.kernel_base;
+        self.rng_state ^= self.rng_state << 13;
+        self.rng_state ^= self.rng_state >> 7;
+        let mut r = self.rng_state;
+        for _ in 0..4 {
+            r ^= r << 17;
+            r ^= r >> 11;
+            let addr = base + (r % 64) * 64;
+            if !self.dcache.contains(addr) {
+                self.dcache.fill(addr, false, false);
+            }
+            let iaddr = CODE_BASE + 0x10_0000 + (r % 32) * 64;
+            if !self.icache.contains(iaddr) {
+                self.icache.fill(iaddr, false, false);
+            }
+        }
+    }
+
+    /// Deterministically perturbs the internal RNG (used by workloads that
+    /// want run-to-run variation under an external seed).
+    pub fn reseed(&mut self, rng: &mut impl Rng) {
+        self.rng_state = rng.gen::<u64>() | 1;
+    }
+}

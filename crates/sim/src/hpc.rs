@@ -1,0 +1,371 @@
+//! Flattening of every simulator counter into the named HPC feature vector
+//! the detectors consume.
+//!
+//! The paper's detector monitors 133 baseline performance counters plus 12
+//! security-centric counters engineered by EVAX (145 total, §VI-A). This
+//! module exports the 133 baseline features: raw pipeline/cache/TLB/DRAM
+//! event counts plus a handful of derived rates (the paper samples "total
+//! number, cycles, rate, average" per event). The 12 engineered features are
+//! produced in `evax-core::feature_engineering` by mining the trained AM-GAN
+//! Generator.
+
+use std::sync::OnceLock;
+
+use crate::cache::CacheStats;
+use crate::cpu::Cpu;
+use crate::tlb::TlbStats;
+
+/// Number of baseline HPC features (pre-engineering).
+pub const HPC_BASE_DIM: usize = 133;
+
+/// `(name, value)` pairs for every baseline HPC, in canonical order.
+pub fn hpc_pairs(cpu: &Cpu) -> Vec<(&'static str, f64)> {
+    let p = cpu.stats();
+    let mut v: Vec<(&'static str, f64)> = Vec::with_capacity(HPC_BASE_DIM);
+    let mut push = |name: &'static str, val: f64| v.push((name, val));
+
+    // ---- global ----
+    push("cycles", p.cycles as f64);
+    push("commit.CommittedInsts", p.committed_insts as f64);
+
+    // ---- fetch ----
+    push("fetch.Insts", p.fetch_insts as f64);
+    push("fetch.Branches", p.fetch_branches as f64);
+    push("fetch.PredictedTaken", p.fetch_predicted_taken as f64);
+    push("fetch.SquashCycles", p.fetch_squash_cycles as f64);
+    push(
+        "fetch.IcacheStallCycles",
+        p.fetch_icache_stall_cycles as f64,
+    );
+    push("fetch.BlockedCycles", p.fetch_blocked_cycles as f64);
+    push("fetch.IdleCycles", p.fetch_idle_cycles as f64);
+    push(
+        "fetch.PendingQuiesceStallCycles",
+        p.fetch_pending_quiesce_stall_cycles as f64,
+    );
+
+    // ---- rename ----
+    push("rename.RenamedInsts", p.rename_renamed_insts as f64);
+    push("rename.ROBFullEvents", p.rename_rob_full_events as f64);
+    push("rename.IQFullEvents", p.rename_iq_full_events as f64);
+    push("rename.LQFullEvents", p.rename_lq_full_events as f64);
+    push("rename.SQFullEvents", p.rename_sq_full_events as f64);
+    push(
+        "rename.FullRegistersEvents",
+        p.rename_full_registers_events as f64,
+    );
+    push("rename.serializingInsts", p.rename_serializing_insts as f64);
+    push("rename.Undone", p.rename_undone_maps as f64);
+    push("rename.CommittedMaps", p.rename_committed_maps as f64);
+
+    // ---- issue queue ----
+    push("iq.IssuedInsts", p.iq_issued_insts as f64);
+    push("iq.SquashedInstsIssued", p.iq_squashed_insts_issued as f64);
+    push("iq.SquashedNonSpecLD", p.iq_squashed_non_spec_ld as f64);
+    push("iq.OperandStallCycles", p.iq_operand_stall_cycles as f64);
+    push("iq.FUStallCycles", p.iq_fu_stall_cycles as f64);
+
+    // ---- iew ----
+    push("iew.ExecutedInsts", p.iew_executed_insts as f64);
+    push("iew.ExecSquashedInsts", p.iew_exec_squashed_insts as f64);
+    push("iew.ExecLoadInsts", p.iew_exec_load_insts as f64);
+    push("iew.ExecStoreInsts", p.iew_exec_store_insts as f64);
+    push("iew.MemOrderViolation", p.iew_mem_order_violations as f64);
+    push("iew.BranchMispredicts", p.iew_branch_mispredicts as f64);
+    push(
+        "iew.PredictedTakenIncorrect",
+        p.iew_predicted_taken_incorrect as f64,
+    );
+    push(
+        "iew.PredictedNotTakenIncorrect",
+        p.iew_predicted_not_taken_incorrect as f64,
+    );
+
+    // ---- lsq ----
+    push("lsq.forwLoads", p.lsq_forw_loads as f64);
+    push("lsq.squashedLoads", p.lsq_squashed_loads as f64);
+    push("lsq.squashedStores", p.lsq_squashed_stores as f64);
+    push("lsq.ignoredResponses", p.lsq_ignored_responses as f64);
+    push("lsq.rescheduledLoads", p.lsq_rescheduled_loads as f64);
+    push("lsq.CacheBlockedLoads", p.lsq_cache_blocked_loads as f64);
+    push("lsq.falseForwards", p.lsq_false_forwards as f64);
+
+    // ---- commit ----
+    push("commit.SquashedInsts", p.commit_squashed_insts as f64);
+    push("commit.Branches", p.commit_branches as f64);
+    push("commit.Loads", p.commit_loads as f64);
+    push("commit.Stores", p.commit_stores as f64);
+    push("commit.Membars", p.commit_membars as f64);
+    push(
+        "commit.ROBSquashingCycles",
+        p.commit_rob_squashing_cycles as f64,
+    );
+    push(
+        "commit.ExposeStallCycles",
+        p.commit_expose_stall_cycles as f64,
+    );
+
+    // ---- branch predictor ----
+    push("bp.condPredicted", p.bp_cond_predicted as f64);
+    push("bp.condIncorrect", p.bp_cond_incorrect as f64);
+    push("bp.BTBLookups", p.bp_btb_lookups as f64);
+    push("bp.BTBHits", p.bp_btb_hits as f64);
+    push("bp.indirectMispredicted", p.bp_indirect_mispredicted as f64);
+    push("bp.usedRAS", p.bp_used_ras as f64);
+    push("bp.RASIncorrect", p.bp_ras_incorrect as f64);
+
+    // ---- faults / transient ----
+    push("faults.raised", p.faults_raised as f64);
+    push(
+        "faults.deferredWithData",
+        p.faults_deferred_with_data as f64,
+    );
+    push("faults.squashed", p.faults_squashed as f64);
+    push("spec.InstsAdded", p.spec_insts_added as f64);
+    push("spec.LoadsExecuted", p.spec_loads_executed as f64);
+    push("spec.WindowCycles", p.spec_window_cycles as f64);
+
+    // ---- special units ----
+    push("rdrand.ops", p.rdrand_ops as f64);
+    push("rdrand.contentionCycles", p.rdrand_contention_cycles as f64);
+    push("syscalls", p.syscalls as f64);
+
+    // ---- caches ----
+    push_cache(&mut v, "icache", cpu.icache().stats());
+    push_cache(&mut v, "dcache", cpu.dcache().stats());
+    push_cache(&mut v, "l2", cpu.l2().stats());
+
+    // ---- TLBs ----
+    push_tlb(&mut v, "dtlb", cpu.dtlb().stats());
+    push_tlb(&mut v, "itlb", cpu.itlb().stats());
+
+    // ---- DRAM ----
+    let d = cpu.dram().stats();
+    let mut push = |name: &'static str, val: f64| v.push((name, val));
+    push("dram.activations", d.activations as f64);
+    push("dram.rowBufferHits", d.row_buffer_hits as f64);
+    push("dram.rowBufferConflicts", d.row_buffer_conflicts as f64);
+    push("dram.rowBufferEmpty", d.row_buffer_empty as f64);
+    push("dram.precharges", d.precharges as f64);
+    push("dram.refreshes", d.refreshes as f64);
+    push("dram.readReqs", d.read_reqs as f64);
+    push("dram.writeReqs", d.write_reqs as f64);
+    push("dram.bytesRead", d.bytes_read as f64);
+    push("dram.bytesWritten", d.bytes_written as f64);
+    push("dram.bytesReadWrQ", d.bytes_read_wr_q as f64);
+    push("dram.writeBursts", d.write_bursts as f64);
+    push("dram.selfRefreshEnergy", d.energy as f64);
+    push("dram.bitFlips", d.bit_flips as f64);
+    push("dram.rowsNearThreshold", d.rows_near_threshold as f64);
+    push("dram.bytesPerActivate", d.bytes_per_activate());
+    push("dram.rowHitRate", d.row_hit_rate());
+
+    // ---- derived rates (paper: "rate, average, distribution") ----
+    let cyc = (p.cycles as f64).max(1.0);
+    let fetched = (p.fetch_insts as f64).max(1.0);
+    let cond = (p.bp_cond_predicted as f64).max(1.0);
+    push("derived.ipc", p.committed_insts as f64 / cyc);
+    push(
+        "derived.wrongPathFraction",
+        p.commit_squashed_insts as f64 / fetched,
+    );
+    push(
+        "derived.condMispredictRate",
+        p.bp_cond_incorrect as f64 / cond,
+    );
+    push(
+        "derived.dcacheMissRate",
+        cpu.dcache().stats().read_misses as f64
+            / ((cpu.dcache().stats().read_hits + cpu.dcache().stats().read_misses) as f64).max(1.0),
+    );
+    push(
+        "derived.specLoadFraction",
+        p.spec_loads_executed as f64 / (p.iew_exec_load_insts as f64).max(1.0),
+    );
+    push(
+        "derived.forwLoadRate",
+        p.lsq_forw_loads as f64 / (p.iew_exec_load_insts as f64).max(1.0),
+    );
+    push(
+        "derived.execSquashRate",
+        p.iew_exec_squashed_insts as f64 / (p.iew_executed_insts as f64).max(1.0),
+    );
+    push(
+        "derived.l2MissRate",
+        cpu.l2().stats().read_misses as f64
+            / ((cpu.l2().stats().read_hits + cpu.l2().stats().read_misses) as f64).max(1.0),
+    );
+
+    debug_assert_eq!(
+        v.len(),
+        HPC_BASE_DIM,
+        "HPC vector drifted from HPC_BASE_DIM"
+    );
+    v
+}
+
+fn push_cache(v: &mut Vec<(&'static str, f64)>, level: &'static str, s: &CacheStats) {
+    // One static name table per level keeps names 'static without leaking.
+    let names: &[&'static str; 12] = match level {
+        "icache" => &[
+            "icache.ReadReq_hits",
+            "icache.ReadReq_misses",
+            "icache.WriteReq_hits",
+            "icache.WriteReq_misses",
+            "icache.cleanEvicts",
+            "icache.writebacks",
+            "icache.flushes",
+            "icache.mshr_misses",
+            "icache.ReadReq_mshr_miss_latency",
+            "icache.mshr_full_events",
+            "icache.prefetch_fills",
+            "icache.prefetch_hits",
+        ],
+        "dcache" => &[
+            "dcache.ReadReq_hits",
+            "dcache.ReadReq_misses",
+            "dcache.WriteReq_hits",
+            "dcache.WriteReq_misses",
+            "dcache.cleanEvicts",
+            "dcache.writebacks",
+            "dcache.flushes",
+            "dcache.mshr_misses",
+            "dcache.ReadReq_mshr_miss_latency",
+            "dcache.mshr_full_events",
+            "dcache.prefetch_fills",
+            "dcache.prefetch_hits",
+        ],
+        _ => &[
+            "l2.ReadReq_hits",
+            "l2.ReadReq_misses",
+            "l2.WriteReq_hits",
+            "l2.WriteReq_misses",
+            "l2.cleanEvicts",
+            "l2.writebacks",
+            "l2.flushes",
+            "l2.mshr_misses",
+            "l2.ReadReq_mshr_miss_latency",
+            "l2.mshr_full_events",
+            "l2.prefetch_fills",
+            "l2.prefetch_hits",
+        ],
+    };
+    let vals = [
+        s.read_hits as f64,
+        s.read_misses as f64,
+        s.write_hits as f64,
+        s.write_misses as f64,
+        s.clean_evicts as f64,
+        s.writebacks as f64,
+        s.flushes as f64,
+        s.mshr_misses as f64,
+        s.mshr_miss_latency as f64,
+        s.mshr_full_events as f64,
+        s.prefetch_fills as f64,
+        s.prefetch_hits as f64,
+    ];
+    for (n, val) in names.iter().zip(vals) {
+        v.push((n, val));
+    }
+}
+
+fn push_tlb(v: &mut Vec<(&'static str, f64)>, which: &'static str, s: &TlbStats) {
+    let names: &[&'static str; 5] = match which {
+        "dtlb" => &[
+            "dtlb.rdHits",
+            "dtlb.rdMisses",
+            "dtlb.wrHits",
+            "dtlb.wrMisses",
+            "dtlb.evictions",
+        ],
+        _ => &[
+            "itlb.rdHits",
+            "itlb.rdMisses",
+            "itlb.wrHits",
+            "itlb.wrMisses",
+            "itlb.evictions",
+        ],
+    };
+    let vals = [
+        s.rd_hits as f64,
+        s.rd_misses as f64,
+        s.wr_hits as f64,
+        s.wr_misses as f64,
+        s.evictions as f64,
+    ];
+    for (n, val) in names.iter().zip(vals) {
+        v.push((n, val));
+    }
+}
+
+/// Canonical HPC names, in the same order as [`hpc_vector`].
+pub fn hpc_names() -> &'static [&'static str] {
+    static NAMES: OnceLock<Vec<&'static str>> = OnceLock::new();
+    NAMES.get_or_init(|| {
+        let cpu = Cpu::new(crate::config::CpuConfig::default());
+        hpc_pairs(&cpu).into_iter().map(|(n, _)| n).collect()
+    })
+}
+
+/// The baseline HPC feature vector (order matches [`hpc_names`]).
+pub fn hpc_vector(cpu: &Cpu) -> Vec<f64> {
+    hpc_pairs(cpu).into_iter().map(|(_, v)| v).collect()
+}
+
+/// Index of a named HPC in the vector, if present.
+pub fn hpc_index(name: &str) -> Option<usize> {
+    hpc_names().iter().position(|&n| n == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpuConfig;
+
+    #[test]
+    fn vector_matches_base_dim() {
+        let cpu = Cpu::new(CpuConfig::default());
+        assert_eq!(hpc_vector(&cpu).len(), HPC_BASE_DIM);
+        assert_eq!(hpc_names().len(), HPC_BASE_DIM);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names = hpc_names();
+        let mut sorted: Vec<_> = names.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate HPC names");
+    }
+
+    #[test]
+    fn table1_source_counters_exist() {
+        // The counters EVAX's Table I engineered features are built from.
+        for name in [
+            "lsq.squashedStores",
+            "lsq.forwLoads",
+            "lsq.ignoredResponses",
+            "rename.Undone",
+            "rename.CommittedMaps",
+            "iew.MemOrderViolation",
+            "dtlb.rdMisses",
+            "iq.SquashedNonSpecLD",
+            "dcache.ReadReq_mshr_miss_latency",
+            "rename.serializingInsts",
+            "iew.ExecSquashedInsts",
+            "dram.bytesReadWrQ",
+            "dram.selfRefreshEnergy",
+            "dram.bytesPerActivate",
+            "fetch.PendingQuiesceStallCycles",
+        ] {
+            assert!(hpc_index(name).is_some(), "missing HPC {name}");
+        }
+    }
+
+    #[test]
+    fn fresh_cpu_vector_is_zeroish() {
+        let cpu = Cpu::new(CpuConfig::default());
+        let v = hpc_vector(&cpu);
+        assert!(v.iter().all(|x| *x == 0.0));
+    }
+}

@@ -1,0 +1,763 @@
+//! The simulator's instruction set and program representation.
+//!
+//! A small RISC-like register ISA, rich enough to express every attack the
+//! EVAX paper evaluates: loads/stores (with privileged-address faults),
+//! cache-line flush and prefetch, conditional/indirect/return control flow
+//! (to exercise the PHT, BTB and RAS), a serializing cycle counter for
+//! timing measurements, fences, syscalls and the hardware RNG (`RDRAND`
+//! covert channel).
+
+/// An architectural register index (`r0`–`r31`). `r0` is hard-wired to zero.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+    /// The hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register.
+    ///
+    /// # Panics
+    /// Panics if `index >= 32`.
+    pub const fn new(index: u8) -> Self {
+        assert!(index < Reg::COUNT as u8, "register index out of range");
+        Reg(index)
+    }
+
+    /// The register's index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Comparison condition for conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Cond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if `a < b` (unsigned).
+    Lt,
+    /// Branch if `a >= b` (unsigned).
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two operand values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+        }
+    }
+}
+
+/// Binary ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (3-cycle unit).
+    Mul,
+    /// Division (12-cycle unit); division by zero yields `u64::MAX`.
+    Div,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (modulo 64).
+    Shl,
+    /// Logical shift right (modulo 64).
+    Shr,
+}
+
+impl AluOp {
+    /// Evaluates the operation.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => a.checked_div(b).unwrap_or(u64::MAX),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+        }
+    }
+
+    /// Execution latency in cycles on its functional unit.
+    pub fn latency(self) -> u32 {
+        match self {
+            AluOp::Mul => 3,
+            AluOp::Div => 12,
+            _ => 1,
+        }
+    }
+}
+
+/// One instruction. Branch/jump targets are absolute instruction indices
+/// (filled in by [`ProgramBuilder`] label resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Op {
+    /// `dst = imm`.
+    Li {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `dst = op(a, b)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// First source.
+        a: Reg,
+        /// Second source.
+        b: Reg,
+    },
+    /// `dst = op(a, imm)`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        a: Reg,
+        /// Immediate operand.
+        imm: u64,
+    },
+    /// `dst = mem[base + offset]` (8 bytes). Faults if the address is
+    /// privileged; the fault is raised at commit (transient window).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// `mem[base + offset] = src` (8 bytes). Performed at commit.
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Evicts the line containing `base + offset` from all cache levels
+    /// (`clflush`).
+    Flush {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Software prefetch of the line containing `base + offset` into L1D.
+    /// Prefetches to privileged addresses do not fault (the Meltdown setup
+    /// step).
+    Prefetch {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Conditional branch to `target` when `cond(a, b)` holds.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+        /// Absolute target instruction index.
+        target: usize,
+    },
+    /// Unconditional direct jump.
+    Jmp {
+        /// Absolute target instruction index.
+        target: usize,
+    },
+    /// Indirect jump through a register holding an instruction index
+    /// (predicted by the BTB — the Spectre-BTB surface).
+    JmpInd {
+        /// Register holding the target instruction index.
+        base: Reg,
+    },
+    /// Direct call: pushes the return address on the RAS.
+    Call {
+        /// Absolute target instruction index.
+        target: usize,
+    },
+    /// Return: pops the RAS (the Spectre-RSB surface).
+    Ret,
+    /// `dst = current cycle`. Serializing: waits for all older instructions
+    /// to complete, like `lfence; rdtsc`.
+    RdCycle {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Full serializing fence.
+    Fence,
+    /// System call: serializing, models the user/kernel crossing noise of a
+    /// full-system run (touches kernel lines, costs ~100 cycles).
+    Syscall,
+    /// `dst = pseudo-random`. Shares one contended hardware RNG unit (the
+    /// RDRAND covert-channel surface).
+    RdRand {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// No operation.
+    Nop,
+    /// Stops the program.
+    Halt,
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Op::Li { dst, imm } => write!(f, "li    {dst}, {imm:#x}"),
+            Op::Alu { op, dst, a, b } => {
+                write!(f, "{:<5} {dst}, {a}, {b}", format!("{op:?}").to_lowercase())
+            }
+            Op::AluImm { op, dst, a, imm } => {
+                write!(
+                    f,
+                    "{:<5} {dst}, {a}, {imm:#x}",
+                    format!("{op:?}i").to_lowercase()
+                )
+            }
+            Op::Load { dst, base, offset } => write!(f, "ld    {dst}, {offset}({base})"),
+            Op::Store { src, base, offset } => write!(f, "st    {src}, {offset}({base})"),
+            Op::Flush { base, offset } => write!(f, "clflush {offset}({base})"),
+            Op::Prefetch { base, offset } => write!(f, "prefetch {offset}({base})"),
+            Op::Branch { cond, a, b, target } => write!(
+                f,
+                "b{:<4} {a}, {b}, @{target}",
+                format!("{cond:?}").to_lowercase()
+            ),
+            Op::Jmp { target } => write!(f, "jmp   @{target}"),
+            Op::JmpInd { base } => write!(f, "jmpr  {base}"),
+            Op::Call { target } => write!(f, "call  @{target}"),
+            Op::Ret => write!(f, "ret"),
+            Op::RdCycle { dst } => write!(f, "rdcycle {dst}"),
+            Op::Fence => write!(f, "fence"),
+            Op::Syscall => write!(f, "syscall"),
+            Op::RdRand { dst } => write!(f, "rdrand {dst}"),
+            Op::Nop => write!(f, "nop"),
+            Op::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl Op {
+    /// Destination register written by this instruction, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match *self {
+            Op::Li { dst, .. }
+            | Op::Alu { dst, .. }
+            | Op::AluImm { dst, .. }
+            | Op::Load { dst, .. }
+            | Op::RdCycle { dst }
+            | Op::RdRand { dst } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// Source registers read by this instruction.
+    pub fn sources(&self) -> Vec<Reg> {
+        match *self {
+            Op::Alu { a, b, .. } => vec![a, b],
+            Op::AluImm { a, .. } => vec![a],
+            Op::Load { base, .. } => vec![base],
+            Op::Store { src, base, .. } => vec![src, base],
+            Op::Flush { base, .. } | Op::Prefetch { base, .. } => vec![base],
+            Op::Branch { a, b, .. } => vec![a, b],
+            Op::JmpInd { base } => vec![base],
+            _ => Vec::new(),
+        }
+    }
+
+    /// `true` for control-flow instructions.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Op::Branch { .. } | Op::Jmp { .. } | Op::JmpInd { .. } | Op::Call { .. } | Op::Ret
+        )
+    }
+
+    /// `true` for instructions that access data memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Op::Load { .. } | Op::Store { .. } | Op::Flush { .. } | Op::Prefetch { .. }
+        )
+    }
+
+    /// `true` for serializing instructions that drain the pipeline before
+    /// renaming.
+    pub fn is_serializing(&self) -> bool {
+        matches!(self, Op::Fence | Op::Syscall | Op::RdCycle { .. })
+    }
+}
+
+/// A complete program: a static instruction array plus metadata.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Program {
+    name: String,
+    instrs: Vec<Op>,
+    fault_handler: Option<usize>,
+}
+
+impl Program {
+    /// Creates a program from raw instructions (targets must already be
+    /// resolved). Prefer [`ProgramBuilder`].
+    pub fn from_instructions(name: impl Into<String>, instrs: Vec<Op>) -> Self {
+        Program {
+            name: name.into(),
+            instrs,
+            fault_handler: None,
+        }
+    }
+
+    /// Program name (used in experiment reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    pub fn fetch(&self, pc: usize) -> Option<Op> {
+        self.instrs.get(pc).copied()
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Where architectural faults transfer control (a SIGSEGV-handler
+    /// analog). `None` means "resume at the next instruction".
+    pub fn fault_handler(&self) -> Option<usize> {
+        self.fault_handler
+    }
+
+    /// Sets the fault handler target.
+    pub fn set_fault_handler(&mut self, target: Option<usize>) {
+        self.fault_handler = target;
+    }
+
+    /// Borrow the instruction stream.
+    pub fn instructions(&self) -> &[Op] {
+        &self.instrs
+    }
+
+    /// Renders a human-readable disassembly listing.
+    ///
+    /// # Example
+    /// ```
+    /// use evax_sim::isa::{ProgramBuilder, Reg};
+    /// let mut b = ProgramBuilder::new("demo");
+    /// b.li(Reg::new(1), 7);
+    /// b.halt();
+    /// let listing = b.build().disassemble();
+    /// assert!(listing.contains("li    r1, 0x7"));
+    /// ```
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "; {} ({} instructions)\n",
+            self.name,
+            self.instrs.len()
+        ));
+        for (pc, op) in self.instrs.iter().enumerate() {
+            out.push_str(&format!("{pc:>6}: {op}\n"));
+        }
+        out
+    }
+}
+
+/// Incremental program builder with label-based control flow.
+///
+/// # Example
+/// ```
+/// use evax_sim::isa::{ProgramBuilder, Reg, Cond, AluOp};
+/// let r1 = Reg::new(1);
+/// let mut b = ProgramBuilder::new("count");
+/// b.li(r1, 3);
+/// let top = b.label();
+/// b.alu_imm(AluOp::Sub, r1, r1, 1);
+/// b.branch(Cond::Ne, r1, Reg::ZERO, top);
+/// b.halt();
+/// let program = b.build();
+/// assert_eq!(program.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    instrs: Vec<Op>,
+    /// Forward references: (instruction index, label id).
+    pending: Vec<(usize, LabelId)>,
+    labels: Vec<Option<usize>>,
+    fault_handler: Option<LabelId>,
+}
+
+/// An opaque label handle issued by [`ProgramBuilder::forward_label`] /
+/// [`ProgramBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelId(usize);
+
+impl ProgramBuilder {
+    /// Starts building a program.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            pending: Vec::new(),
+            labels: Vec::new(),
+            fault_handler: None,
+        }
+    }
+
+    /// Current instruction index (where the next instruction will land).
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Declares a label bound to the current position.
+    pub fn label(&mut self) -> LabelId {
+        let id = LabelId(self.labels.len());
+        self.labels.push(Some(self.instrs.len()));
+        id
+    }
+
+    /// Declares a label to be bound later with [`ProgramBuilder::bind`].
+    pub fn forward_label(&mut self) -> LabelId {
+        let id = LabelId(self.labels.len());
+        self.labels.push(None);
+        id
+    }
+
+    /// Binds a forward label to the current position.
+    ///
+    /// # Panics
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: LabelId) {
+        assert!(self.labels[label.0].is_none(), "label already bound");
+        self.labels[label.0] = Some(self.instrs.len());
+    }
+
+    /// Routes architectural faults to `label` (signal-handler analog).
+    pub fn on_fault(&mut self, label: LabelId) {
+        self.fault_handler = Some(label);
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.instrs.push(op);
+        self
+    }
+
+    /// `dst = imm`.
+    pub fn li(&mut self, dst: Reg, imm: u64) -> &mut Self {
+        self.push(Op::Li { dst, imm })
+    }
+
+    /// `dst = op(a, b)`.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Op::Alu { op, dst, a, b })
+    }
+
+    /// `dst = op(a, imm)`.
+    pub fn alu_imm(&mut self, op: AluOp, dst: Reg, a: Reg, imm: u64) -> &mut Self {
+        self.push(Op::AluImm { op, dst, a, imm })
+    }
+
+    /// `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Op::Load { dst, base, offset })
+    }
+
+    /// `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Op::Store { src, base, offset })
+    }
+
+    /// `clflush base + offset`.
+    pub fn flush(&mut self, base: Reg, offset: i64) -> &mut Self {
+        self.push(Op::Flush { base, offset })
+    }
+
+    /// Software prefetch.
+    pub fn prefetch(&mut self, base: Reg, offset: i64) -> &mut Self {
+        self.push(Op::Prefetch { base, offset })
+    }
+
+    /// Conditional branch to a label.
+    pub fn branch(&mut self, cond: Cond, a: Reg, b: Reg, target: LabelId) -> &mut Self {
+        let idx = self.instrs.len();
+        self.pending.push((idx, target));
+        self.push(Op::Branch {
+            cond,
+            a,
+            b,
+            target: usize::MAX,
+        })
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jmp(&mut self, target: LabelId) -> &mut Self {
+        let idx = self.instrs.len();
+        self.pending.push((idx, target));
+        self.push(Op::Jmp { target: usize::MAX })
+    }
+
+    /// Indirect jump through a register.
+    pub fn jmp_ind(&mut self, base: Reg) -> &mut Self {
+        self.push(Op::JmpInd { base })
+    }
+
+    /// Call a label.
+    pub fn call(&mut self, target: LabelId) -> &mut Self {
+        let idx = self.instrs.len();
+        self.pending.push((idx, target));
+        self.push(Op::Call { target: usize::MAX })
+    }
+
+    /// Return via the RAS.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Op::Ret)
+    }
+
+    /// Serializing cycle-counter read.
+    pub fn rdcycle(&mut self, dst: Reg) -> &mut Self {
+        self.push(Op::RdCycle { dst })
+    }
+
+    /// Serializing fence.
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Op::Fence)
+    }
+
+    /// System call.
+    pub fn syscall(&mut self) -> &mut Self {
+        self.push(Op::Syscall)
+    }
+
+    /// Hardware RNG read.
+    pub fn rdrand(&mut self, dst: Reg) -> &mut Self {
+        self.push(Op::RdRand { dst })
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Op::Nop)
+    }
+
+    /// Halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Op::Halt)
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    /// Panics if any referenced label is unbound.
+    pub fn build(mut self) -> Program {
+        for (idx, label) in &self.pending {
+            let target = self.labels[label.0].expect("unbound label referenced");
+            match &mut self.instrs[*idx] {
+                Op::Branch { target: t, .. } | Op::Jmp { target: t } | Op::Call { target: t } => {
+                    *t = target;
+                }
+                other => panic!("pending patch on non-branch {other:?}"),
+            }
+        }
+        let fault_handler = self
+            .fault_handler
+            .map(|l| self.labels[l.0].expect("unbound fault handler label"));
+        let mut p = Program::from_instructions(self.name, self.instrs);
+        p.set_fault_handler(fault_handler);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_back() {
+        let mut b = ProgramBuilder::new("t");
+        let skip = b.forward_label();
+        b.jmp(skip);
+        b.nop();
+        b.bind(skip);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.fetch(0), Some(Op::Jmp { target: 2 }));
+    }
+
+    #[test]
+    fn backward_label() {
+        let mut b = ProgramBuilder::new("t");
+        let top = b.label();
+        b.branch(Cond::Eq, Reg::ZERO, Reg::ZERO, top);
+        let p = b.build();
+        match p.fetch(0) {
+            Some(Op::Branch { target, .. }) => assert_eq!(target, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label referenced")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.forward_label();
+        b.jmp(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn sources_and_dst() {
+        let op = Op::Alu {
+            op: AluOp::Add,
+            dst: Reg::new(1),
+            a: Reg::new(2),
+            b: Reg::new(3),
+        };
+        assert_eq!(op.dst(), Some(Reg::new(1)));
+        assert_eq!(op.sources(), vec![Reg::new(2), Reg::new(3)]);
+        assert!(Op::Fence.is_serializing());
+        assert!(Op::Ret.is_control());
+        assert!(Op::Flush {
+            base: Reg::ZERO,
+            offset: 0
+        }
+        .is_memory());
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.eval(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Div.eval(10, 0), u64::MAX);
+        assert_eq!(AluOp::Shl.eval(1, 65), 2); // shift modulo 64
+        assert_eq!(AluOp::Div.latency(), 12);
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(Cond::Lt.eval(1, 2));
+        assert!(!Cond::Lt.eval(2, 1));
+        assert!(Cond::Ge.eval(2, 2));
+        assert!(Cond::Ne.eval(0, 1));
+    }
+
+    #[test]
+    fn fault_handler_via_builder() {
+        let mut b = ProgramBuilder::new("t");
+        let h = b.forward_label();
+        b.on_fault(h);
+        b.nop();
+        b.bind(h);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.fault_handler(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn bad_register_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn disassembly_covers_every_opcode() {
+        let r1 = Reg::new(1);
+        let ops = vec![
+            Op::Li { dst: r1, imm: 1 },
+            Op::Alu {
+                op: AluOp::Add,
+                dst: r1,
+                a: r1,
+                b: r1,
+            },
+            Op::AluImm {
+                op: AluOp::Xor,
+                dst: r1,
+                a: r1,
+                imm: 2,
+            },
+            Op::Load {
+                dst: r1,
+                base: r1,
+                offset: 8,
+            },
+            Op::Store {
+                src: r1,
+                base: r1,
+                offset: -8,
+            },
+            Op::Flush {
+                base: r1,
+                offset: 0,
+            },
+            Op::Prefetch {
+                base: r1,
+                offset: 0,
+            },
+            Op::Branch {
+                cond: Cond::Lt,
+                a: r1,
+                b: r1,
+                target: 0,
+            },
+            Op::Jmp { target: 1 },
+            Op::JmpInd { base: r1 },
+            Op::Call { target: 2 },
+            Op::Ret,
+            Op::RdCycle { dst: r1 },
+            Op::Fence,
+            Op::Syscall,
+            Op::RdRand { dst: r1 },
+            Op::Nop,
+            Op::Halt,
+        ];
+        let p = Program::from_instructions("dis", ops);
+        let text = p.disassemble();
+        for needle in [
+            "li", "add", "xori", "ld", "st", "clflush", "prefetch", "blt", "jmp", "jmpr", "call",
+            "ret", "rdcycle", "fence", "syscall", "rdrand", "nop", "halt",
+        ] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+        assert_eq!(text.lines().count(), 19); // header + 18 instructions
+    }
+}

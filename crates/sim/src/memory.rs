@@ -1,0 +1,139 @@
+//! Backing store: sparse paged physical memory with a privileged (kernel)
+//! range and Rowhammer bit-flip application.
+
+use std::collections::HashMap;
+
+use evax_dram::BitFlip;
+
+const PAGE_SIZE: u64 = 4096;
+
+/// Sparse byte-addressable memory. Reads of untouched memory return a
+/// deterministic address-derived pattern (so "secrets" exist everywhere
+/// without initialization).
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8]>>,
+    kernel_base: u64,
+}
+
+impl Memory {
+    /// Creates memory where addresses at or above `kernel_base` are
+    /// privileged.
+    pub fn new(kernel_base: u64) -> Self {
+        Memory {
+            pages: HashMap::new(),
+            kernel_base,
+        }
+    }
+
+    /// `true` if a user-mode access to `addr` must fault.
+    pub fn is_privileged(&self, addr: u64) -> bool {
+        addr >= self.kernel_base
+    }
+
+    fn background_byte(addr: u64) -> u8 {
+        // Deterministic "uninitialized" contents.
+        let mut h = addr.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        h ^= h >> 29;
+        (h & 0xFF) as u8
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut Box<[u8]> {
+        self.pages.entry(page).or_insert_with(|| {
+            let base = page * PAGE_SIZE;
+            (0..PAGE_SIZE)
+                .map(|i| Self::background_byte(base + i))
+                .collect()
+        })
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr / PAGE_SIZE)) {
+            Some(p) => p[(addr % PAGE_SIZE) as usize],
+            None => Self::background_byte(addr),
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let off = (addr % PAGE_SIZE) as usize;
+        self.page_mut(addr / PAGE_SIZE)[off] = value;
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut v = 0u64;
+        for i in 0..8 {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        for i in 0..8 {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Applies a Rowhammer bit flip at the physical location the DRAM model
+    /// reported, given the mapping function from (bank, row, byte) to a
+    /// physical address. Returns the affected address.
+    pub fn apply_flip(&mut self, flip: BitFlip, addr_of: impl Fn(usize, u64) -> u64) -> u64 {
+        let addr = addr_of(flip.bank, flip.row) + flip.byte;
+        let old = self.read_u8(addr);
+        self.write_u8(addr, old ^ (1 << flip.bit));
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = Memory::new(u64::MAX);
+        m.write_u64(0x1234, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.read_u64(0x1234), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn background_is_deterministic_nonzero() {
+        let m = Memory::new(u64::MAX);
+        let a = m.read_u64(0xFFFF_0000_1000);
+        let b = m.read_u64(0xFFFF_0000_1000);
+        assert_eq!(a, b);
+        assert_ne!(a, 0, "kernel 'secrets' should be nonzero");
+    }
+
+    #[test]
+    fn cross_page_u64() {
+        let mut m = Memory::new(u64::MAX);
+        m.write_u64(PAGE_SIZE - 4, 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u64(PAGE_SIZE - 4), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn privileged_check() {
+        let m = Memory::new(0x1000);
+        assert!(!m.is_privileged(0xFFF));
+        assert!(m.is_privileged(0x1000));
+    }
+
+    #[test]
+    fn flip_toggles_one_bit() {
+        let mut m = Memory::new(u64::MAX);
+        m.write_u8(100, 0b0000_0000);
+        let flip = BitFlip {
+            bank: 0,
+            row: 0,
+            byte: 100,
+            bit: 3,
+        };
+        let addr = m.apply_flip(flip, |_, _| 0);
+        assert_eq!(addr, 100);
+        assert_eq!(m.read_u8(100), 0b0000_1000);
+    }
+}

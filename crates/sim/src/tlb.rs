@@ -1,0 +1,137 @@
+//! Translation lookaside buffers (fully associative, LRU).
+
+/// TLB statistics (`dtlb.rdMisses` and friends).
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TlbStats {
+    /// Read (load/fetch) hits.
+    pub rd_hits: u64,
+    /// Read misses (page walks).
+    pub rd_misses: u64,
+    /// Write (store) hits.
+    pub wr_hits: u64,
+    /// Write misses.
+    pub wr_misses: u64,
+    /// Entries evicted.
+    pub evictions: u64,
+}
+
+/// A fully-associative TLB over 4 KiB pages.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<(u64, u64)>, // (page, lru)
+    capacity: usize,
+    tick: u64,
+    stats: TlbStats,
+}
+
+const PAGE_SHIFT: u32 = 12;
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB must have entries");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Translates `addr`; returns `true` on a hit. A miss installs the
+    /// translation (after the caller charges the walk latency).
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.tick += 1;
+        let page = addr >> PAGE_SHIFT;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.tick;
+            if write {
+                self.stats.wr_hits += 1;
+            } else {
+                self.stats.rd_hits += 1;
+            }
+            return true;
+        }
+        if write {
+            self.stats.wr_misses += 1;
+        } else {
+            self.stats.rd_misses += 1;
+        }
+        if self.entries.len() >= self.capacity {
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .expect("nonempty");
+            self.entries.swap_remove(idx);
+            self.stats.evictions += 1;
+        }
+        self.entries.push((page, self.tick));
+        false
+    }
+
+    /// `true` if the page containing `addr` is cached (no state change).
+    pub fn contains(&self, addr: u64) -> bool {
+        let page = addr >> PAGE_SHIFT;
+        self.entries.iter().any(|(p, _)| *p == page)
+    }
+
+    /// Drops every entry (context-switch / secure-mode flush analog).
+    pub fn flush(&mut self) {
+        self.stats.evictions += self.entries.len() as u64;
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_same_page() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(0x1000, false));
+        assert!(t.access(0x1FFF, false)); // same page
+        assert!(!t.access(0x2000, false)); // next page
+        assert_eq!(t.stats().rd_misses, 2);
+        assert_eq!(t.stats().rd_hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2);
+        t.access(0x1000, false);
+        t.access(0x2000, false);
+        t.access(0x1000, false); // refresh page 1
+        t.access(0x3000, false); // evicts page 2
+        assert!(t.contains(0x1000));
+        assert!(!t.contains(0x2000));
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn write_misses_counted_separately() {
+        let mut t = Tlb::new(4);
+        t.access(0x5000, true);
+        t.access(0x5000, true);
+        assert_eq!(t.stats().wr_misses, 1);
+        assert_eq!(t.stats().wr_hits, 1);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = Tlb::new(4);
+        t.access(0x1000, false);
+        t.flush();
+        assert!(!t.contains(0x1000));
+    }
+}

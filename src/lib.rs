@@ -1,0 +1,41 @@
+//! # EVAX — facade crate
+//!
+//! Reproduction of *"EVAX: Towards a Practical, Pro-active & Adaptive
+//! Architecture for High Performance & Security"* (MICRO 2022).
+//!
+//! This crate re-exports the workspace's member crates under one roof so
+//! examples and downstream users can depend on a single `evax` package:
+//!
+//! - [`nn`] — from-scratch dense NN substrate (GANs, quantized perceptron).
+//! - [`dram`] — DRAM timing model with a Rowhammer corruption module.
+//! - [`sim`] — cycle-level out-of-order CPU simulator with gem5-style HPCs.
+//! - [`attacks`] — 19+ microarchitectural attack kernels and benign workloads.
+//! - [`core`] — the EVAX framework: AM-GAN training, Gram-matrix style loss,
+//!   automatic security-HPC engineering, detectors, fuzzing/AML evaluation.
+//! - [`defense`] — InvisiSpec/fencing models and the adaptive controller.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
+//! the per-experiment index.
+//!
+//! ## Example
+//!
+//! ```
+//! use evax::sim::{Cpu, CpuConfig};
+//! use evax::attacks::{build_attack, AttackClass, KernelParams};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let program = build_attack(AttackClass::SpectrePht, &KernelParams::default(), &mut rng);
+//! let mut cpu = Cpu::new(CpuConfig::default());
+//! let result = cpu.run(&program, 200_000);
+//! assert!(result.halted);
+//! // The transient probe touch left a cache footprint.
+//! assert!(cpu.stats().lsq_squashed_loads > 0);
+//! ```
+
+pub use evax_attacks as attacks;
+pub use evax_core as core;
+pub use evax_defense as defense;
+pub use evax_dram as dram;
+pub use evax_nn as nn;
+pub use evax_sim as sim;

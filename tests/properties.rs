@@ -1,0 +1,205 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: matrix algebra, cache/TLB behaviour, DRAM address mapping,
+//! the quantized detector datapath, normalization, ROC metrics and the
+//! program builder.
+
+use evax::core::dataset::Normalizer;
+use evax::core::metrics::{auc, roc_curve};
+use evax::dram::{Dram, DramConfig};
+use evax::nn::{HwPerceptron, Matrix, QuantizedWeights};
+use evax::sim::cache::Cache;
+use evax::sim::config::CacheConfig;
+use evax::sim::isa::{AluOp, Cond, ProgramBuilder, Reg};
+use evax::sim::{Cpu, CpuConfig};
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-100i32..100).prop_map(|v| v as f32 / 10.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- matrix algebra ----
+
+    #[test]
+    fn transpose_is_involutive(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let mut vals = Vec::new();
+        let mut s = seed;
+        for _ in 0..rows * cols {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            vals.push((s >> 33) as f32 / 1e6);
+        }
+        let m = Matrix::from_vec(rows, cols, vals);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_identity(n in 1usize..6, v in proptest::collection::vec(small_f32(), 1..36)) {
+        let len = n * n;
+        let mut vals = v;
+        vals.resize(len, 1.0);
+        let m = Matrix::from_vec(n, n, vals);
+        let i = Matrix::identity(n);
+        prop_assert_eq!(m.matmul(&i), m.clone());
+        prop_assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn hcat_preserves_rows_and_data(r in 1usize..5, c1 in 1usize..5, c2 in 1usize..5) {
+        let a = Matrix::full(r, c1, 1.0);
+        let b = Matrix::full(r, c2, 2.0);
+        let h = a.hcat(&b);
+        prop_assert_eq!(h.rows(), r);
+        prop_assert_eq!(h.cols(), c1 + c2);
+        for i in 0..r {
+            prop_assert!(h.row(i)[..c1].iter().all(|&v| v == 1.0));
+            prop_assert!(h.row(i)[c1..].iter().all(|&v| v == 2.0));
+        }
+    }
+
+    // ---- cache invariants ----
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(addrs in proptest::collection::vec(0u64..1u64 << 20, 1..200)) {
+        let cfg = CacheConfig { size: 4096, line: 64, ways: 4, hit_latency: 1, mshrs: 4, write_buffers: 4 };
+        let capacity = cfg.size / cfg.line;
+        let mut cache = Cache::new(cfg);
+        for (t, &a) in addrs.iter().enumerate() {
+            cache.access(a, t % 3 == 0, t as u64);
+            cache.fill(a, t % 3 == 0, false);
+            prop_assert!(cache.occupancy() <= capacity);
+            prop_assert!(cache.contains(a), "just-filled line must be present");
+        }
+    }
+
+    #[test]
+    fn cache_flush_removes_exactly_that_line(a in 0u64..1u64 << 16, b in 0u64..1u64 << 16) {
+        let cfg = CacheConfig { size: 8192, line: 64, ways: 8, hit_latency: 1, mshrs: 4, write_buffers: 4 };
+        let mut cache = Cache::new(cfg);
+        cache.fill(a, false, false);
+        cache.fill(b, false, false);
+        cache.flush_line(a);
+        prop_assert!(!cache.contains(a));
+        if a / 64 != b / 64 {
+            prop_assert!(cache.contains(b));
+        }
+    }
+
+    // ---- DRAM address mapping ----
+
+    #[test]
+    fn dram_mapping_round_trips(bank in 0usize..8, row in 0u64..1u64 << 15) {
+        let dram = Dram::new(DramConfig::default());
+        let addr = dram.address_of(bank, row);
+        let (b, r, _) = dram.map_address(addr);
+        prop_assert_eq!(b, bank);
+        prop_assert_eq!(r, row);
+    }
+
+    #[test]
+    fn dram_flip_addresses_map_back_to_victim_row(row in 1u64..1000, byte in 0u64..8192, bit in 0u8..8) {
+        let dram = Dram::new(DramConfig::default());
+        let flip = evax::dram::BitFlip { bank: 3, row, byte, bit };
+        let addr = dram.flip_address(&flip);
+        let (b, r, _) = dram.map_address(addr);
+        prop_assert_eq!(b, 3);
+        prop_assert_eq!(r, row);
+    }
+
+    // ---- quantized detector datapath ----
+
+    #[test]
+    fn quantized_weights_always_in_hw_range(ws in proptest::collection::vec(small_f32(), 1..200)) {
+        let p = HwPerceptron::from_parts(ws, 0.0);
+        let q = p.quantize();
+        prop_assert!(q.weights().iter().all(|&w| (-2..=1).contains(&w)));
+        let (min, max) = q.accumulator_range();
+        prop_assert!(min <= 0 && max >= 0);
+        prop_assert!(q.accumulator_bits() <= 9 || q.n_features() > 145);
+    }
+
+    #[test]
+    fn serial_adder_sum_matches_direct_dot(bits in proptest::collection::vec(any::<bool>(), 1..145)) {
+        let ws: Vec<i8> = (0..bits.len()).map(|i| ((i % 4) as i8) - 2).collect();
+        let q = QuantizedWeights::new(ws.clone(), 0);
+        let d = q.classify_bits(&bits);
+        let expect: i32 = ws.iter().zip(&bits).filter(|(_, &b)| b).map(|(&w, _)| w as i32).sum();
+        prop_assert_eq!(d.sum, expect);
+        prop_assert!(d.cycles as usize <= bits.len());
+    }
+
+    // ---- normalization ----
+
+    #[test]
+    fn normalized_features_always_in_unit_interval(
+        maxes in proptest::collection::vec(0.0f64..1e6, 1..20),
+        vals in proptest::collection::vec(-1e6f64..1e6, 1..20),
+    ) {
+        let dim = maxes.len().min(vals.len());
+        let mut norm = Normalizer::new(dim);
+        norm.observe(&maxes[..dim]);
+        let out = norm.normalize(&vals[..dim]);
+        prop_assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    // ---- ROC metrics ----
+
+    #[test]
+    fn auc_is_a_probability(scored in proptest::collection::vec((small_f32(), any::<bool>()), 2..100)) {
+        prop_assume!(scored.iter().any(|(_, m)| *m) && scored.iter().any(|(_, m)| !*m));
+        let roc = roc_curve(&scored);
+        let a = auc(&roc);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&a), "auc={a}");
+        // Endpoints pinned.
+        prop_assert_eq!(roc.first().unwrap().tpr, 0.0);
+        prop_assert_eq!(roc.last().unwrap().tpr, 1.0);
+    }
+
+    // ---- pipeline functional correctness on random ALU programs ----
+
+    #[test]
+    fn random_alu_programs_match_reference_interpreter(
+        ops in proptest::collection::vec((0usize..5, 1u8..8, 1u8..8, 1u64..1000), 1..40)
+    ) {
+        let mut b = ProgramBuilder::new("random-alu");
+        // Reference interpreter state.
+        let mut regs = [0u64; 32];
+        for &(kind, dst, src, imm) in &ops {
+            let (d, s) = (Reg::new(dst), Reg::new(src));
+            match kind {
+                0 => { b.li(d, imm); regs[dst as usize] = imm; }
+                1 => { b.alu_imm(AluOp::Add, d, s, imm); regs[dst as usize] = regs[src as usize].wrapping_add(imm); }
+                2 => { b.alu_imm(AluOp::Mul, d, s, imm); regs[dst as usize] = regs[src as usize].wrapping_mul(imm); }
+                3 => { b.alu_imm(AluOp::Xor, d, s, imm); regs[dst as usize] = regs[src as usize] ^ imm; }
+                _ => { b.alu(AluOp::Sub, d, d, s); regs[dst as usize] = regs[dst as usize].wrapping_sub(regs[src as usize]); }
+            }
+        }
+        b.halt();
+        let mut cpu = Cpu::new(CpuConfig::default());
+        let res = cpu.run(&b.build(), 100_000);
+        prop_assert!(res.halted);
+        #[allow(clippy::needless_range_loop)] // i indexes two parallel register files
+        for i in 1..8 {
+            prop_assert_eq!(res.regs[i], regs[i], "register r{} diverged", i);
+        }
+    }
+
+    // ---- control flow: loops compute the right trip counts ----
+
+    #[test]
+    fn counted_loops_commit_exactly(n in 1u64..500) {
+        let (i, limit, acc) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        let mut b = ProgramBuilder::new("count");
+        b.li(i, 0).li(limit, n).li(acc, 0);
+        let top = b.label();
+        b.alu_imm(AluOp::Add, acc, acc, 2);
+        b.alu_imm(AluOp::Add, i, i, 1);
+        b.branch(Cond::Lt, i, limit, top);
+        b.halt();
+        let mut cpu = Cpu::new(CpuConfig::default());
+        let res = cpu.run(&b.build(), 1_000_000);
+        prop_assert!(res.halted);
+        prop_assert_eq!(res.regs[3], 2 * n);
+    }
+}
