@@ -67,7 +67,7 @@ impl KernelParams {
         match rng.gen_range(0..6) {
             0 => p.iterations = rng.gen_range(4..64),
             1 => p.train_iters = rng.gen_range(4..64),
-            2 => p.stride = 64 * rng.gen_range(1..8),
+            2 => p.stride = 64 * rng.gen_range(1..8u64),
             3 => p.decoy_ops = rng.gen_range(0..48),
             4 => p.delay_ops = rng.gen_range(0..96),
             _ => p.probe_lines = rng.gen_range(1..24),

@@ -1,0 +1,65 @@
+//! Dataset-collection throughput: serial vs parallel `collect_dataset`,
+//! plus the threaded matmul kernels the training loop leans on.
+//!
+//! On a multi-core machine the `threads/N` rows should scale with N; on a
+//! single-core box they mostly document the substrate's overhead. Either
+//! way every configuration produces bit-identical datasets (asserted by
+//! `evax-core`'s equivalence tests), so these numbers compare like with
+//! like.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use evax_core::collect::{collect_dataset, CollectConfig};
+use evax_core::par::Parallelism;
+use evax_nn::Matrix;
+
+fn bench_cfg(parallelism: Parallelism) -> CollectConfig {
+    CollectConfig {
+        interval: 200,
+        runs_per_attack: 1,
+        runs_per_benign: 1,
+        max_instrs: 3_000,
+        benign_scale: 3_000,
+        parallelism,
+    }
+}
+
+fn bench_collect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collect");
+    // One full tiny collection sweep = 21 attack + 10 benign programs.
+    group.throughput(Throughput::Elements(31));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.bench_function("serial", |b| {
+        let cfg = bench_cfg(Parallelism::serial());
+        b.iter(|| black_box(collect_dataset(black_box(&cfg), 7)))
+    });
+    for threads in [2usize, 4] {
+        group.bench_function(format!("threads/{threads}"), |b| {
+            let cfg = bench_cfg(Parallelism::Fixed(threads));
+            b.iter(|| black_box(collect_dataset(black_box(&cfg), 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let n = 192;
+    let data: Vec<f32> = (0..n * n).map(|i| (i as f32 * 0.61).sin()).collect();
+    let a = Matrix::from_vec(n, n, data.clone());
+    let b_mat = Matrix::from_vec(n, n, data);
+
+    let mut group = c.benchmark_group("matmul_192");
+    group.throughput(Throughput::Elements((n * n * n) as u64));
+    group.bench_function("serial", |bench| {
+        bench.iter(|| black_box(a.matmul_threaded(black_box(&b_mat), 1)))
+    });
+    for threads in [2usize, 4] {
+        group.bench_function(format!("threads/{threads}"), |bench| {
+            bench.iter(|| black_box(a.matmul_threaded(black_box(&b_mat), threads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collect, bench_matmul);
+criterion_main!(benches);

@@ -2,20 +2,30 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! experiments <id>... [--seed N] [--scale small|full]
+//! experiments <id>... [--seed N] [--scale small|full] [--threads N] [--json]
 //! experiments all [--seed N] [--scale small|full]
 //! experiments list
 //! ```
+//!
+//! Experiments fan out across worker threads (`--threads`, default: all
+//! cores / `EVAX_THREADS`); every experiment derives its randomness from the
+//! shared seed alone, so reports are identical at any thread count and are
+//! printed in id order regardless of completion order. `--json` replaces the
+//! text reports with a machine-readable timing summary: wall-clock per
+//! experiment plus the trained pipeline's per-stage breakdown.
 
 use std::process::ExitCode;
 
 use evax_bench::{run_experiment, ExperimentScale, Harness, EXPERIMENT_IDS};
+use evax_core::par::{self, Parallelism};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut seed = 42u64;
     let mut scale = ExperimentScale::Small;
+    let mut parallelism = Parallelism::Auto;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -39,12 +49,25 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--threads" => {
+                i += 1;
+                parallelism = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => Parallelism::Fixed(n),
+                    _ => {
+                        eprintln!("--threads requires a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--json" => json = true,
             other => ids.push(other.to_string()),
         }
         i += 1;
     }
     if ids.is_empty() || ids.iter().any(|i| i == "help" || i == "--help") {
-        eprintln!("usage: experiments <id>... [--seed N] [--scale small|full]");
+        eprintln!(
+            "usage: experiments <id>... [--seed N] [--scale small|full] [--threads N] [--json]"
+        );
         eprintln!("ids: {} | all | list", EXPERIMENT_IDS.join(" "));
         return ExitCode::FAILURE;
     }
@@ -59,18 +82,97 @@ fn main() -> ExitCode {
     }
 
     let harness = Harness::new(seed, scale);
-    for id in &ids {
+    let total_start = std::time::Instant::now();
+    // Fan the experiments out; each returns (report-or-error, seconds).
+    // Results merge back in id order, so output is stable at any thread count.
+    let results: Vec<(Result<String, String>, f64)> = par::map(parallelism, &ids, |id| {
         let started = std::time::Instant::now();
-        match run_experiment(id, &harness) {
-            Ok(report) => {
-                println!("{report}");
-                eprintln!("[{id}] done in {:.1?}\n", started.elapsed());
+        let result = run_experiment(id, &harness);
+        (result, started.elapsed().as_secs_f64())
+    });
+    let total_secs = total_start.elapsed().as_secs_f64();
+
+    let mut failed = false;
+    if json {
+        println!("{}", json_summary(&harness, &ids, &results, total_secs));
+        failed = results.iter().any(|(r, _)| r.is_err());
+        for (id, (result, _)) in ids.iter().zip(&results) {
+            if let Err(e) = result {
+                eprintln!("error [{id}]: {e}");
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
+        }
+    } else {
+        for (id, (result, secs)) in ids.iter().zip(&results) {
+            match result {
+                Ok(report) => {
+                    println!("{report}");
+                    eprintln!("[{id}] done in {secs:.1}s\n");
+                }
+                Err(e) => {
+                    eprintln!("error [{id}]: {e}");
+                    failed = true;
+                }
             }
         }
     }
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Renders the `--json` timing summary. Hand-rolled (the workspace has no
+/// JSON serializer); every string placed here is a known-safe literal or an
+/// escaped experiment id.
+fn json_summary(
+    harness: &Harness,
+    ids: &[String],
+    results: &[(Result<String, String>, f64)],
+    total_secs: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"seed\": {},\n", harness.seed));
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match harness.scale {
+            ExperimentScale::Small => "small",
+            ExperimentScale::Full => "full",
+        }
+    ));
+    out.push_str("  \"experiments\": [\n");
+    for (i, (id, (result, secs))) in ids.iter().zip(results).enumerate() {
+        let comma = if i + 1 < ids.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ok\": {}, \"secs\": {:.3}}}{}\n",
+            escape_json(id),
+            result.is_ok(),
+            secs,
+            comma
+        ));
+    }
+    out.push_str("  ],\n");
+    match harness.stage_timings() {
+        Some(t) => out.push_str(&format!(
+            "  \"pipeline_stages\": {{\"collect_secs\": {:.3}, \"gan_secs\": {:.3}, \
+             \"engineer_secs\": {:.3}, \"vaccinate_secs\": {:.3}, \"baseline_secs\": {:.3}}},\n",
+            t.collect_secs, t.gan_secs, t.engineer_secs, t.vaccinate_secs, t.baseline_secs
+        )),
+        None => out.push_str("  \"pipeline_stages\": null,\n"),
+    }
+    out.push_str(&format!("  \"total_secs\": {total_secs:.3}\n"));
+    out.push('}');
+    out
+}
+
+/// Minimal JSON string escaping for experiment ids.
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }

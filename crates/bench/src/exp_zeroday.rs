@@ -19,6 +19,7 @@ fn kfold_cfg(h: &Harness) -> KfoldConfig {
         fuzz_programs_per_tool: 2,
         collect: evax_cfg.collect.clone(),
         tpr_target: evax_cfg.tpr_target,
+        ..Default::default()
     }
 }
 

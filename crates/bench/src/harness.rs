@@ -38,6 +38,7 @@ impl ExperimentScale {
                     runs_per_benign: 4,
                     max_instrs: 8_000,
                     benign_scale: 8_000,
+                    ..Default::default()
                 },
                 gan: AmGanConfig {
                     epochs: 60,
@@ -56,6 +57,7 @@ impl ExperimentScale {
                     runs_per_benign: 12,
                     max_instrs: 20_000,
                     benign_scale: 20_000,
+                    ..Default::default()
                 },
                 gan: AmGanConfig {
                     epochs: 120,
@@ -105,7 +107,8 @@ impl Harness {
         }
     }
 
-    /// The shared pipeline, trained on first use.
+    /// The shared pipeline, trained on first use. Thread-safe: concurrent
+    /// experiments block on the one training run instead of repeating it.
     pub fn pipeline(&self) -> &EvaxPipeline {
         self.pipeline.get_or_init(|| {
             eprintln!("[harness] training EVAX pipeline (collect + AM-GAN + vaccinate)...");
@@ -117,6 +120,12 @@ impl Harness {
             );
             p
         })
+    }
+
+    /// Stage timings of the shared pipeline, if any experiment has trained
+    /// it (the `--json` summary reports them without forcing training).
+    pub fn stage_timings(&self) -> Option<evax_core::pipeline::StageTimings> {
+        self.pipeline.get().map(|p| p.timings)
     }
 }
 

@@ -7,12 +7,13 @@
 //! codes, since we need to train to detect short patterns quickly."
 
 use evax_attacks::benign::Scale;
-use evax_attacks::{build_attack, build_benign, KernelParams};
+use evax_attacks::{build_attack, build_benign, AttackClass, BenignKind, KernelParams};
 use evax_sim::{Cpu, CpuConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::dataset::{Dataset, Normalizer, Sample, BENIGN_CLASS};
+use crate::par::{self, Parallelism};
 
 /// Collection configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +28,9 @@ pub struct CollectConfig {
     pub max_instrs: u64,
     /// Benign workload scale (dynamic instructions per program).
     pub benign_scale: u64,
+    /// Worker threads for the simulation fan-out. Collection is
+    /// bit-deterministic at any setting (see [`crate::par`]).
+    pub parallelism: Parallelism,
 }
 
 impl Default for CollectConfig {
@@ -37,6 +41,7 @@ impl Default for CollectConfig {
             runs_per_benign: 8,
             max_instrs: 12_000,
             benign_scale: 12_000,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -53,46 +58,75 @@ pub fn raw_windows(
         .write_u64(evax_attacks::mds::KERNEL_SECRET_ADDR, 5);
     let mut windows = Vec::new();
     cpu.run_sampled(program, cfg.max_instrs, cfg.interval, |s| {
-        windows.push(s.values.clone());
+        windows.push(s.values);
         None
     });
     windows
 }
 
+/// One unit of collection work: a single program run with its own
+/// pre-assigned random stream.
+enum RunSpec {
+    /// One attack-kernel run (`run` indexes the per-class jitter schedule).
+    Attack { class: AttackClass, run: usize },
+    /// One benign-workload run.
+    Benign { kind: BenignKind },
+}
+
 /// A full labeled collection run: every attack class plus every benign kind,
 /// with per-run parameter jitter so samples are not identical.
+///
+/// Runs fan out across `cfg.parallelism` worker threads; every run's random
+/// stream is a child seed drawn from the master RNG in canonical run order
+/// before the fan-out, and windows are merged back in that same order, so
+/// the result is **bit-identical at any thread count** (see [`crate::par`]).
 ///
 /// Returns the dataset (normalized) and the fitted normalizer (needed to
 /// normalize future/evasive samples consistently).
 pub fn collect_dataset(cfg: &CollectConfig, seed: u64) -> (Dataset, Normalizer) {
     let cpu_cfg = CpuConfig::default();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut labeled_raw: Vec<(Vec<f64>, usize)> = Vec::new();
 
+    // Fix the work list and per-run child seeds up front, in canonical order.
+    let mut runs: Vec<(RunSpec, u64)> = Vec::new();
     for class in evax_attacks::ATTACK_CLASSES {
         for run in 0..cfg.runs_per_attack {
-            // Enough attack rounds to fill the instruction budget, so every
-            // class yields a comparable number of windows (short kernels
-            // like LVI would otherwise contribute almost no samples).
-            let params = KernelParams {
-                seed: rng.gen(),
-                iterations: 150 + (run as u32 % 4) * 75,
-                ..Default::default()
-            };
-            let program = build_attack(class, &params, &mut rng);
-            for w in raw_windows(&program, cfg, &cpu_cfg) {
-                labeled_raw.push((w, class.label()));
-            }
+            runs.push((RunSpec::Attack { class, run }, rng.gen()));
         }
     }
     for kind in evax_attacks::BENIGN_KINDS {
         for _ in 0..cfg.runs_per_benign {
-            let program = build_benign(kind, Scale(cfg.benign_scale), &mut rng);
-            for w in raw_windows(&program, cfg, &cpu_cfg) {
-                labeled_raw.push((w, BENIGN_CLASS));
-            }
+            runs.push((RunSpec::Benign { kind }, rng.gen()));
         }
     }
+
+    let per_run: Vec<Vec<(Vec<f64>, usize)>> =
+        par::map(cfg.parallelism, &runs, |(spec, child_seed)| {
+            let mut rng = StdRng::seed_from_u64(*child_seed);
+            let (program, label) = match spec {
+                RunSpec::Attack { class, run } => {
+                    // Enough attack rounds to fill the instruction budget, so
+                    // every class yields a comparable number of windows
+                    // (short kernels like LVI would otherwise contribute
+                    // almost no samples).
+                    let params = KernelParams {
+                        seed: rng.gen(),
+                        iterations: 150 + (*run as u32 % 4) * 75,
+                        ..Default::default()
+                    };
+                    (build_attack(*class, &params, &mut rng), class.label())
+                }
+                RunSpec::Benign { kind } => (
+                    build_benign(*kind, Scale(cfg.benign_scale), &mut rng),
+                    BENIGN_CLASS,
+                ),
+            };
+            raw_windows(&program, cfg, &cpu_cfg)
+                .into_iter()
+                .map(|w| (w, label))
+                .collect()
+        });
+    let labeled_raw: Vec<(Vec<f64>, usize)> = per_run.into_iter().flatten().collect();
 
     let dim = labeled_raw.first().map_or(0, |(w, _)| w.len());
     let mut norm = Normalizer::new(dim);
@@ -132,6 +166,7 @@ mod tests {
             runs_per_benign: 1,
             max_instrs: 3_000,
             benign_scale: 3_000,
+            parallelism: Parallelism::serial(),
         }
     }
 
@@ -175,5 +210,24 @@ mod tests {
         let (b, _) = collect_dataset(&tiny(), 9);
         assert_eq!(a.len(), b.len());
         assert_eq!(a.samples[0], b.samples[0]);
+    }
+
+    /// The tentpole contract: the whole dataset (every sample, in order) and
+    /// the fitted normalizer are byte-identical whether collection ran on
+    /// one thread or many — including more threads than this machine has
+    /// cores.
+    #[test]
+    fn parallel_collection_matches_serial_bitwise() {
+        let serial = tiny();
+        let (a, norm_a) = collect_dataset(&serial, 11);
+        for threads in [2, 4, 7] {
+            let parallel = CollectConfig {
+                parallelism: Parallelism::Fixed(threads),
+                ..serial.clone()
+            };
+            let (b, norm_b) = collect_dataset(&parallel, 11);
+            assert_eq!(a.samples, b.samples, "threads={threads}");
+            assert_eq!(norm_a, norm_b, "threads={threads}");
+        }
     }
 }

@@ -134,10 +134,24 @@ impl Dataset {
     }
 
     /// Merges another dataset into this one.
+    ///
+    /// # Panics
+    /// Panics if the feature dimensions differ.
     pub fn extend(&mut self, other: Dataset) {
-        for s in other.samples {
-            self.push(s);
+        let mut incoming = other.samples;
+        // One dimension check per sample, then a single append — the
+        // per-sample `push` path would re-read the first sample every time.
+        let dim = self
+            .samples
+            .first()
+            .or_else(|| incoming.first())
+            .map(|s| s.features.len());
+        if let Some(dim) = dim {
+            for s in &incoming {
+                assert_eq!(s.features.len(), dim, "feature dim mismatch");
+            }
         }
+        self.samples.append(&mut incoming);
     }
 
     /// Count of malicious samples.

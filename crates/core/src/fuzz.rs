@@ -222,6 +222,11 @@ fn osiris_program(rng: &mut StdRng) -> Program {
 
 /// Runs an evasive corpus through the simulator, producing a labeled
 /// dataset of `n_programs` per tool under an existing normalizer.
+///
+/// Program *generation* is cheap and stays serial (it fixes the work list in
+/// canonical tool/program order); the simulation of each program fans out
+/// across `collect_cfg.parallelism` workers and merges back in that order,
+/// so the corpus is bit-identical at any thread count.
 pub fn collect_corpus(
     tools: &[FuzzTool],
     n_programs_per_tool: usize,
@@ -229,17 +234,20 @@ pub fn collect_corpus(
     norm: &Normalizer,
     seed: u64,
 ) -> Dataset {
-    let mut ds = Dataset::new();
+    let mut programs: Vec<(Program, AttackClass)> = Vec::new();
     for (ti, &tool) in tools.iter().enumerate() {
-        for (program, class) in generate_programs(
+        programs.extend(generate_programs(
             tool,
             n_programs_per_tool,
             seed.wrapping_add(ti as u64 * 7919),
-        ) {
-            for s in collect_program(&program, class.label(), collect_cfg, norm) {
-                ds.push(s);
-            }
-        }
+        ));
+    }
+    let per_program = crate::par::map(collect_cfg.parallelism, &programs, |(program, class)| {
+        collect_program(program, class.label(), collect_cfg, norm)
+    });
+    let mut ds = Dataset::new();
+    for s in per_program.into_iter().flatten() {
+        ds.push(s);
     }
     ds
 }

@@ -17,6 +17,7 @@ use crate::feature_engineering::{engineer_features, EngineeredFeature, N_ENGINEE
 use crate::fuzz::{collect_corpus, FuzzTool};
 use crate::gan::{AmGan, AmGanConfig};
 use crate::metrics::Confusion;
+use crate::par::{self, Parallelism};
 
 /// K-fold experiment configuration.
 #[derive(Debug, Clone)]
@@ -35,6 +36,10 @@ pub struct KfoldConfig {
     pub collect: CollectConfig,
     /// Sensitivity target when tuning detector thresholds.
     pub tpr_target: f64,
+    /// Worker threads for the fold fan-out. Each fold's random stream is
+    /// derived from the master seed and the fold index alone, so outcomes
+    /// are bit-identical at any setting (see [`crate::par`]).
+    pub parallelism: Parallelism,
 }
 
 impl Default for KfoldConfig {
@@ -51,12 +56,13 @@ impl Default for KfoldConfig {
                 ..Default::default()
             },
             tpr_target: 0.5,
+            parallelism: Parallelism::Auto,
         }
     }
 }
 
 /// Per-fold, per-detector results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FoldOutcome {
     /// The held-out attack class.
     pub class: AttackClass,
@@ -90,7 +96,6 @@ pub fn leave_one_out(
     cfg: &KfoldConfig,
     seed: u64,
 ) -> Vec<FoldOutcome> {
-    let mut out = Vec::with_capacity(classes.len());
     // The fuzz corpus is generated once; folds filter out their held-out
     // class so the baseline never trains on the attack it is tested on.
     let fuzz_all = collect_corpus(
@@ -101,7 +106,25 @@ pub fn leave_one_out(
         seed ^ 0xFA77,
     );
 
-    for (fold, &class) in classes.iter().enumerate() {
+    // Folds are independent by construction — each derives its random
+    // stream from the master seed and its fold index alone — so they fan
+    // out across workers and merge back in class order.
+    par::map_indexed(cfg.parallelism, classes, |fold, &class| {
+        run_fold(dataset, &fuzz_all, class, fold, cfg, seed)
+    })
+}
+
+/// Runs one leave-one-out fold: retrains all three detectors without the
+/// held-out class and scores them on it.
+fn run_fold(
+    dataset: &Dataset,
+    fuzz_all: &Dataset,
+    class: AttackClass,
+    fold: usize,
+    cfg: &KfoldConfig,
+    seed: u64,
+) -> FoldOutcome {
+    {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(fold as u64 * 1315423911));
         let mut train = dataset.clone();
         let held_out = train.remove_class(class.label());
@@ -173,7 +196,7 @@ pub fn leave_one_out(
         let (p_tpr, p_err) = triple(&perspectron);
         let (f_tpr, f_err) = triple(&pfuzzer);
         let (e_tpr, e_err) = triple(&evax);
-        out.push(FoldOutcome {
+        FoldOutcome {
             class,
             tpr: DetectorTriple {
                 perspectron: p_tpr,
@@ -185,9 +208,8 @@ pub fn leave_one_out(
                 pfuzzer: f_err,
                 evax: e_err,
             },
-        });
+        }
     }
-    out
 }
 
 /// Engineered features for a fold ("we use a set of fixed features ... we
@@ -227,6 +249,7 @@ mod tests {
             runs_per_benign: 1,
             max_instrs: 3_000,
             benign_scale: 3_000,
+            ..Default::default()
         };
         let (ds, norm) = collect_dataset(&collect, 3);
         let cfg = KfoldConfig {
@@ -243,6 +266,44 @@ mod tests {
         let f = &folds[0];
         assert!(f.tpr.evax >= 0.0 && f.tpr.evax <= 1.0);
         assert!(f.error.perspectron >= 0.0 && f.error.perspectron <= 1.0);
+    }
+
+    /// Fold fan-out equivalence: outcomes are byte-identical whether folds
+    /// run serially or across more workers than this machine has cores.
+    /// Slow (two full k-fold runs with GAN training), so it is gated the
+    /// same way as the end-to-end pipeline test.
+    #[test]
+    fn parallel_folds_match_serial_bitwise() {
+        if std::env::var("EVAX_SLOW_TESTS").is_err() {
+            eprintln!("skipping parallel_folds_match_serial_bitwise: set EVAX_SLOW_TESTS=1");
+            return;
+        }
+        let collect = CollectConfig {
+            interval: 200,
+            runs_per_attack: 1,
+            runs_per_benign: 1,
+            max_instrs: 3_000,
+            benign_scale: 3_000,
+            parallelism: Parallelism::serial(),
+        };
+        let (ds, norm) = collect_dataset(&collect, 3);
+        let base = KfoldConfig {
+            gan: AmGanConfig {
+                epochs: 2,
+                ..AmGanConfig::small()
+            },
+            fuzz_programs_per_tool: 1,
+            collect,
+            parallelism: Parallelism::serial(),
+            ..Default::default()
+        };
+        let classes = [AttackClass::Drama, AttackClass::FlushReload];
+        let serial = leave_one_out(&ds, &norm, &classes, &base, 5);
+        let mut par_cfg = base.clone();
+        par_cfg.parallelism = Parallelism::Fixed(4);
+        par_cfg.collect.parallelism = Parallelism::Fixed(3);
+        let parallel = leave_one_out(&ds, &norm, &classes, &par_cfg, 5);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -30,6 +30,9 @@
 //!   (§VI-A): suppressing one region's footprint does not evade the rest.
 //! * [`kfold`] — leave-one-attack-out cross-validation (zero-day setting,
 //!   Fig. 19 and the §VIII-C TPR headlines).
+//! * [`par`] — the deterministic parallel execution substrate (scoped
+//!   threads + atomic work-queue) behind collection, k-fold, fuzz corpora
+//!   and holdout scoring; results are bit-identical at any thread count.
 //! * [`deep_eval`] — EVAX training applied to 1/16/32-layer deep networks
 //!   (Fig. 20).
 //! * [`pipeline`] — the end-to-end `collect → AM-GAN → engineer →
@@ -61,6 +64,7 @@ pub mod gram;
 pub mod io;
 pub mod kfold;
 pub mod metrics;
+pub mod par;
 pub mod patch;
 pub mod pipeline;
 pub mod replicated;
@@ -68,3 +72,4 @@ pub mod replicated;
 pub use dataset::{Dataset, Normalizer, Sample, BENIGN_CLASS, N_CLASSES};
 pub use detector::{Detector, DetectorKind};
 pub use gram::{gram_matrix, style_loss, style_loss_normalized};
+pub use par::Parallelism;

@@ -3,6 +3,7 @@
 
 use crate::dataset::Dataset;
 use crate::detector::Detector;
+use crate::par::{self, Parallelism};
 
 /// Binary confusion counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -18,18 +19,39 @@ pub struct Confusion {
 }
 
 impl Confusion {
-    /// Evaluates a detector over a dataset.
+    /// Evaluates a detector over a dataset, fanning scoring out across the
+    /// machine's cores (counts are integer sums, so the result is identical
+    /// at any thread count).
     pub fn evaluate(det: &Detector, ds: &Dataset) -> Confusion {
-        let mut c = Confusion::default();
-        for s in &ds.samples {
-            match (s.malicious, det.classify_sample(s)) {
-                (true, true) => c.tp += 1,
-                (true, false) => c.fn_ += 1,
-                (false, true) => c.fp += 1,
-                (false, false) => c.tn += 1,
+        Self::evaluate_par(det, ds, Parallelism::Auto)
+    }
+
+    /// [`Confusion::evaluate`] with an explicit thread policy.
+    pub fn evaluate_par(det: &Detector, ds: &Dataset, parallelism: Parallelism) -> Confusion {
+        // Coarse chunks: scoring one sample is cheap, so per-sample work
+        // items would be all queue traffic.
+        const CHUNK: usize = 256;
+        let chunks: Vec<&[crate::dataset::Sample]> = ds.samples.chunks(CHUNK).collect();
+        let partials = par::map(parallelism, &chunks, |chunk| {
+            let mut c = Confusion::default();
+            for s in *chunk {
+                match (s.malicious, det.classify_sample(s)) {
+                    (true, true) => c.tp += 1,
+                    (true, false) => c.fn_ += 1,
+                    (false, true) => c.fp += 1,
+                    (false, false) => c.tn += 1,
+                }
             }
-        }
-        c
+            c
+        });
+        partials
+            .into_iter()
+            .fold(Confusion::default(), |a, b| Confusion {
+                tp: a.tp + b.tp,
+                tn: a.tn + b.tn,
+                fp: a.fp + b.fp,
+                fn_: a.fn_ + b.fn_,
+            })
     }
 
     /// Total samples.

@@ -1,0 +1,201 @@
+//! Dependency-free deterministic parallel execution substrate.
+//!
+//! The EVAX pipeline is dominated by embarrassingly-parallel work: running
+//! attack/benign programs through the cycle-level simulator to collect HPC
+//! windows, k-fold retraining, fuzz-corpus generation, and holdout scoring.
+//! This module provides the one primitive they all share — a deterministic
+//! `map` over a work list — built purely on `std::thread::scope` plus an
+//! atomic work-queue, so the workspace stays hermetic (no rayon).
+//!
+//! # Determinism contract
+//!
+//! [`map`] guarantees the output is **bit-identical at any thread count**:
+//!
+//! 1. Work items are fixed before the fan-out; every per-item random stream
+//!    is derived from a child seed assigned in canonical item order (callers
+//!    pre-derive seeds from their master RNG — see
+//!    [`crate::collect::collect_dataset`]).
+//! 2. Each item is computed by exactly one worker, with no shared mutable
+//!    state, so its result does not depend on scheduling.
+//! 3. Results are merged back in item order, not completion order.
+//!
+//! Thread count resolution (highest priority first): explicit
+//! [`Parallelism::Fixed`], the `EVAX_THREADS` environment variable, then
+//! [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads a parallel stage may use.
+///
+/// Plumbed through [`crate::pipeline::EvaxConfig`],
+/// [`crate::collect::CollectConfig`] and [`crate::kfold::KfoldConfig`];
+/// `Auto` defers to `EVAX_THREADS` / the machine size at call time, so a
+/// stored config stays portable across hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Resolve from `EVAX_THREADS`, falling back to the available cores.
+    #[default]
+    Auto,
+    /// Exactly this many threads (clamped to at least 1). `Fixed(1)` forces
+    /// the serial path — useful for baselines and equivalence tests.
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Single-threaded execution.
+    pub const fn serial() -> Self {
+        Parallelism::Fixed(1)
+    }
+
+    /// The concrete worker count this policy resolves to right now.
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => env_threads().unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+        }
+    }
+}
+
+/// Parses `EVAX_THREADS` (ignored when unset, empty, zero or malformed).
+fn env_threads() -> Option<usize> {
+    let raw = std::env::var("EVAX_THREADS").ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+/// Maps `f` over `items`, returning results in item order.
+///
+/// Runs serially when the policy resolves to one thread or there is at most
+/// one item; otherwise spawns scoped workers that pull item indices from an
+/// atomic queue. See the module docs for the determinism contract.
+///
+/// # Panics
+/// Propagates the first worker panic (the panicking closure's payload).
+pub fn map<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = par.threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    let worker = |queue: &AtomicUsize| {
+        let mut produced: Vec<(usize, R)> = Vec::new();
+        loop {
+            let idx = queue.fetch_add(1, Ordering::Relaxed);
+            if idx >= items.len() {
+                return produced;
+            }
+            produced.push((idx, f(&items[idx])));
+        }
+    };
+
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| scope.spawn(|| worker(&next)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(results) => results,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    for (idx, result) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[idx].is_none(), "work item {idx} produced twice");
+        slots[idx] = Some(result);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(idx, slot)| slot.unwrap_or_else(|| panic!("work item {idx} never completed")))
+        .collect()
+}
+
+/// Maps `f` over index/item pairs — convenience for callers whose work-item
+/// identity is positional (fold number, experiment number, …).
+pub fn map_indexed<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let indexed: Vec<(usize, &T)> = items.iter().enumerate().collect();
+    map(par, &indexed, |(i, item)| f(*i, item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = map(Parallelism::serial(), &items, |&x| x * x);
+        for threads in [2, 3, 8, 64] {
+            let parallel = map(Parallelism::Fixed(threads), &items, |&x| x * x);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(map(Parallelism::Fixed(4), &empty, |&x| x).is_empty());
+        assert_eq!(map(Parallelism::Fixed(4), &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_indexed_passes_positions() {
+        let items = ["a", "b", "c"];
+        let out = map_indexed(Parallelism::Fixed(2), &items, |i, s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn fixed_clamps_to_one() {
+        assert_eq!(Parallelism::Fixed(0).threads(), 1);
+        assert_eq!(Parallelism::serial().threads(), 1);
+    }
+
+    #[test]
+    fn auto_resolves_to_at_least_one() {
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items: Vec<u32> = (0..3).collect();
+        assert_eq!(
+            map(Parallelism::Fixed(16), &items, |&x| x + 1),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            map(Parallelism::Fixed(2), &items, |&x| {
+                assert!(x != 5, "boom on 5");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -182,6 +182,7 @@ mod tests {
             runs_per_benign: 1,
             max_instrs: 3_000,
             benign_scale: 3_000,
+            ..Default::default()
         }
     }
 

@@ -178,69 +178,140 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
+    /// Large products fan out across worker threads (see
+    /// [`Matrix::matmul_threaded`]); the result is bit-identical to the
+    /// serial computation at any thread count.
+    ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let work = self.rows * self.cols * other.cols;
+        self.matmul_threaded(other, auto_threads(work))
+    }
+
+    /// [`Matrix::matmul`] with an explicit worker-thread count.
+    ///
+    /// Output rows are sharded into contiguous ranges, one per worker; each
+    /// element's k-accumulation runs entirely on one thread, in ascending-k
+    /// order, so the product is **bit-identical** to the serial kernel for
+    /// every thread count.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_threaded(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order: sequential access on both `other` and `out`.
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        shard_rows(&mut out.data, other.cols, threads, |row0, shard| {
+            self.matmul_rows_into(other, row0, shard)
+        });
+        out
+    }
+
+    /// Computes output rows `row0..` of `self * other` into `out_rows`
+    /// (k-tiled so a block of `other` rows stays hot across the shard).
+    fn matmul_rows_into(&self, other: &Matrix, row0: usize, out_rows: &mut [f32]) {
+        // 64 rows of `other` per tile: the tile is revisited by every row of
+        // the shard before moving on. Ascending tiles + ascending k inside a
+        // tile keep each element's accumulation order identical to the plain
+        // i-k-j loop.
+        const K_TILE: usize = 64;
+        let n_rows = out_rows.len().checked_div(other.cols).unwrap_or(0);
+        for kb in (0..self.cols).step_by(K_TILE) {
+            let kend = (kb + K_TILE).min(self.cols);
+            for local_i in 0..n_rows {
+                let i = row0 + local_i;
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                let out_row = &mut out_rows[local_i * other.cols..(local_i + 1) * other.cols];
+                for (k, &a) in a_row[kb..kend].iter().enumerate().map(|(o, a)| (kb + o, a)) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
         }
-        out
     }
 
     /// `self^T * other` without materializing the transpose.
     ///
+    /// Threaded like [`Matrix::matmul`]; bit-identical at any thread count.
+    ///
     /// # Panics
     /// Panics if `self.rows != other.rows`.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let work = self.rows * self.cols * other.cols;
+        self.matmul_tn_threaded(other, auto_threads(work))
+    }
+
+    /// [`Matrix::matmul_tn`] with an explicit worker-thread count.
+    ///
+    /// # Panics
+    /// Panics if `self.rows != other.rows`.
+    pub fn matmul_tn_threaded(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn dimension mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
+        shard_rows(&mut out.data, other.cols, threads, |i0, shard| {
+            self.matmul_tn_rows_into(other, i0, shard)
+        });
+        out
+    }
+
+    /// Computes output rows `i0..` of `self^T * other` into `out_rows`.
+    /// The r-reduction stays whole (ascending) per element.
+    fn matmul_tn_rows_into(&self, other: &Matrix, i0: usize, out_rows: &mut [f32]) {
+        let n_rows = out_rows.len().checked_div(other.cols).unwrap_or(0);
         for r in 0..self.rows {
             let a_row = self.row(r);
             let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
+            for local_i in 0..n_rows {
+                let a = a_row[i0 + local_i];
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let out_row = &mut out_rows[local_i * other.cols..(local_i + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
                 }
             }
         }
-        out
     }
 
     /// `self * other^T` without materializing the transpose.
     ///
+    /// Threaded like [`Matrix::matmul`]; bit-identical at any thread count.
+    ///
     /// # Panics
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let work = self.rows * self.cols * other.rows;
+        self.matmul_nt_threaded(other, auto_threads(work))
+    }
+
+    /// [`Matrix::matmul_nt`] with an explicit worker-thread count.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_nt_threaded(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
+        shard_rows(&mut out.data, other.rows, threads, |i0, shard| {
+            let n_rows = shard.len().checked_div(other.rows).unwrap_or(0);
+            for local_i in 0..n_rows {
+                let a_row = self.row(i0 + local_i);
+                let out_row = &mut shard[local_i * other.rows..(local_i + 1) * other.rows];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = other.row(j);
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                        acc += a * b;
+                    }
+                    *o = acc;
                 }
-                out.set(i, j, acc);
             }
-        }
+        });
         out
     }
 
@@ -410,6 +481,57 @@ impl Matrix {
     }
 }
 
+/// Multiply–accumulate count below which a product always runs serially:
+/// thread spawn/join overhead dwarfs the arithmetic. 2^18 ≈ a 64×64×64
+/// product.
+const PAR_WORK_THRESHOLD: usize = 1 << 18;
+
+/// Worker threads for a product of the given multiply–accumulate count.
+///
+/// Resolution matches `evax-core`'s parallel substrate (this crate sits
+/// below it in the dependency DAG, so the policy is mirrored rather than
+/// imported): the `EVAX_THREADS` environment variable when set to a positive
+/// integer, else the machine's available parallelism.
+fn auto_threads(work: usize) -> usize {
+    if work < PAR_WORK_THRESHOLD {
+        return 1;
+    }
+    if let Ok(raw) = std::env::var("EVAX_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits a row-major output buffer into contiguous row ranges and runs
+/// `body(first_row, shard)` for each — on scoped worker threads when
+/// `threads > 1`, inline otherwise. Each output row is written by exactly
+/// one worker, so kernels that keep per-element accumulation order intact
+/// stay bit-identical to their serial form.
+fn shard_rows<F>(data: &mut [f32], cols: usize, threads: usize, body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let rows = data.len().checked_div(cols).unwrap_or(0);
+    let threads = threads.max(1).min(rows.max(1));
+    if threads <= 1 {
+        body(0, data);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (shard_idx, shard) in data.chunks_mut(chunk_rows * cols).enumerate() {
+            let body = &body;
+            scope.spawn(move || body(shard_idx * chunk_rows, shard));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,5 +609,38 @@ mod tests {
     fn debug_is_nonempty() {
         let a = Matrix::zeros(1, 1);
         assert!(!format!("{a:?}").is_empty());
+    }
+
+    fn filled(rows: usize, cols: usize) -> Matrix {
+        let data = (0..rows * cols).map(|i| (i as f32 * 0.37).sin()).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn threaded_products_match_serial_exactly() {
+        let a = filled(7, 130); // k spans two 64-wide tiles plus a remainder
+        let b = filled(130, 5);
+        let serial = a.matmul_threaded(&b, 1);
+        for threads in [2, 3, 16] {
+            assert_eq!(a.matmul_threaded(&b, threads), serial, "threads={threads}");
+        }
+        let t = filled(9, 6);
+        let u = filled(9, 4);
+        assert_eq!(t.matmul_tn_threaded(&u, 4), t.matmul_tn_threaded(&u, 1));
+        let p = filled(6, 9);
+        let q = filled(4, 9);
+        assert_eq!(p.matmul_nt_threaded(&q, 4), p.matmul_nt_threaded(&q, 1));
+    }
+
+    #[test]
+    fn threaded_products_handle_degenerate_shapes() {
+        let a = Matrix::zeros(1, 3);
+        let b = Matrix::zeros(3, 1);
+        assert_eq!(a.matmul_threaded(&b, 8), Matrix::zeros(1, 1));
+        let empty_rows = Matrix::zeros(0, 3);
+        assert_eq!(empty_rows.matmul_threaded(&b, 4), Matrix::zeros(0, 1));
+        let no_cols = Matrix::zeros(2, 0);
+        let other = Matrix::zeros(0, 4);
+        assert_eq!(no_cols.matmul_threaded(&other, 4), Matrix::zeros(2, 4));
     }
 }

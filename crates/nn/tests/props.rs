@@ -17,8 +17,64 @@ fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
     Matrix::from_vec(rows, cols, vals)
 }
 
+/// Reference product: the naive i-j-k triple loop, no blocking, no
+/// threading, no zero-skip shortcuts beyond accumulating in ascending-k
+/// order — the order the optimized kernels must reproduce exactly.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tentpole equivalence: the blocked/threaded kernels are **exactly**
+    /// (bit-for-bit) equal to the naive triple loop — f32 accumulation order
+    /// is preserved per output element, so no epsilon is needed. Thread
+    /// counts beyond the machine's cores are included on purpose.
+    #[test]
+    fn threaded_blocked_matmul_equals_naive_exactly(
+        r in 1usize..20, k in 1usize..90, c in 1usize..20, seed in 1u64..999
+    ) {
+        let a = mat(r, k, seed);
+        let b = mat(k, c, seed ^ 0xBEEF);
+        let reference = naive_matmul(&a, &b);
+        for threads in [1usize, 2, 3, 8] {
+            prop_assert_eq!(&a.matmul_threaded(&b, threads), &reference, "threads={}", threads);
+        }
+        prop_assert_eq!(&a.matmul(&b), &reference);
+    }
+
+    /// Same exact-equality contract for the fused-transpose kernels.
+    #[test]
+    fn threaded_transpose_products_equal_serial_exactly(
+        r in 1usize..12, k in 1usize..12, c in 1usize..12, seed in 1u64..999
+    ) {
+        let a = mat(k, r, seed);
+        let b = mat(k, c, seed ^ 0x33);
+        let tn = a.matmul_tn_threaded(&b, 1);
+        for threads in [2usize, 5] {
+            prop_assert_eq!(&a.matmul_tn_threaded(&b, threads), &tn, "tn threads={}", threads);
+        }
+        prop_assert_eq!(&tn, &naive_matmul(&a.transpose(), &b));
+        let p = mat(r, k, seed ^ 0x77);
+        let q = mat(c, k, seed ^ 0x99);
+        let nt = p.matmul_nt_threaded(&q, 1);
+        for threads in [2usize, 5] {
+            prop_assert_eq!(&p.matmul_nt_threaded(&q, threads), &nt, "nt threads={}", threads);
+        }
+        prop_assert_eq!(&nt, &naive_matmul(&p, &q.transpose()));
+    }
 
     #[test]
     fn matmul_is_associative_up_to_float_error(

@@ -284,12 +284,16 @@ impl Cpu {
     /// Runs with HPC sampling: every `sample_interval` committed
     /// instructions, `on_sample` receives the counter deltas for the window
     /// and may switch the mitigation mode (returning `Some(mode)`).
+    ///
+    /// The sample is passed **by value**: collection call-backs that retain
+    /// every window (the common case — see `evax-core::collect`) keep the
+    /// delta vector without copying it.
     pub fn run_sampled(
         &mut self,
         program: &Program,
         max_instrs: u64,
         sample_interval: u64,
-        mut on_sample: impl FnMut(&HpcSample) -> Option<MitigationMode>,
+        mut on_sample: impl FnMut(HpcSample) -> Option<MitigationMode>,
     ) -> RunResult {
         let start_committed = self.stats.committed_insts;
         self.reset_front_end();
@@ -317,7 +321,7 @@ impl Cpu {
                     cycle: self.cycle,
                     values,
                 };
-                if let Some(mode) = on_sample(&sample) {
+                if let Some(mode) = on_sample(sample) {
                     self.set_mitigation(mode);
                 }
             }

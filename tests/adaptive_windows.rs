@@ -18,6 +18,7 @@ fn small_collect() -> CollectConfig {
         runs_per_benign: 2,
         max_instrs: 4_000,
         benign_scale: 4_000,
+        ..Default::default()
     }
 }
 

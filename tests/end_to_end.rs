@@ -17,6 +17,7 @@ fn tiny_config() -> EvaxConfig {
         runs_per_benign: 2,
         max_instrs: 5_000,
         benign_scale: 5_000,
+        ..Default::default()
     };
     cfg.gan.epochs = 8;
     cfg

@@ -1,0 +1,242 @@
+//! Hermetic stand-in for the `criterion` benchmark crate (API subset).
+//!
+//! The workspace builds in offline environments with no crates.io mirror, so
+//! the external `criterion` dev-dependency is replaced by this small timing
+//! harness. It supports the surface the EVAX benches use — [`black_box`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! `throughput`/`sample_size`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — and reports mean wall-clock per iteration on
+//! stdout. There is no statistical analysis or HTML report; numbers are for
+//! relative, same-machine comparison, which is all the repo's perf tracking
+//! needs (see `BENCH_*.json` workflow in `DESIGN.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (reported alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark identifier, `"name/param"`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id formatted as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` times the
+/// workload.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, adaptively choosing an iteration count so the measurement
+    /// spans roughly the group's measurement time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement_time || n >= 1 << 22 {
+                self.measured = Some((elapsed, n));
+                return;
+            }
+            // Grow toward the target, at least 2x per round.
+            n = (n * 4).max(2);
+        }
+    }
+}
+
+fn report(group: &str, id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let Some((elapsed, iters)) = bencher.measured else {
+        println!("[bench] {group}/{id}: no measurement (closure never called iter)");
+        return;
+    };
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    let human = if per_iter >= 1.0 {
+        format!("{per_iter:.3} s")
+    } else if per_iter >= 1e-3 {
+        format!("{:.3} ms", per_iter * 1e3)
+    } else if per_iter >= 1e-6 {
+        format!("{:.3} µs", per_iter * 1e6)
+    } else {
+        format!("{:.1} ns", per_iter * 1e9)
+    };
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(", {:.3e} elem/s", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) => format!(", {:.3e} B/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!("[bench] {group}/{id}: {human}/iter ({iters} iters{extra})");
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility (the stand-in takes one adaptive
+    /// measurement rather than `n` statistical samples).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the target wall-clock span of one measurement.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measured: None,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), &bencher, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Short by design: the stand-in favours fast feedback over
+            // statistical rigour.
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group function calling each benchmark function in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        let mut group = c.benchmark_group("example");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| black_box((0..100u64).product::<u64>()))
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_example);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("a", 3).to_string(), "a/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,21 @@
+//! Hermetic stand-in for the `serde` crate.
+//!
+//! The workspace builds in offline environments with no crates.io mirror.
+//! Nothing in the workspace actually drives a serializer (dataset CSV I/O is
+//! hand-rolled in `evax-core::io`), so this crate only needs to make
+//! `#[derive(serde::Serialize, serde::Deserialize)]` compile: the re-exported
+//! derive macros expand to nothing, and the marker traits below exist so
+//! `use serde::{Serialize, Deserialize}` style imports keep working.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the no-op derive
+/// does not implement it).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods; the no-op derive
+/// does not implement it).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! No-op derive macros backing the hermetic in-repo `serde` stand-in.
+//!
+//! The EVAX workspace annotates types with `#[derive(serde::Serialize,
+//! serde::Deserialize)]` so datasets/configs *can* be exported, but no code
+//! path in the workspace invokes a serializer (CSV I/O in `evax-core::io` is
+//! hand-rolled). In offline builds the derives therefore expand to nothing;
+//! `#[serde(...)]` helper attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
