@@ -1,11 +1,16 @@
 //! Simulator throughput: committed instructions per second for a benign
 //! workload and a transient attack kernel (attacks squash heavily, so they
-//! are slower per committed instruction).
+//! are slower per committed instruction), plus the full registry mix under
+//! both scheduling cores (`event_driven` vs the reference `scan`) — the pair
+//! that quantifies the event-driven hot path's win.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use evax_attacks::benign::Scale;
-use evax_attacks::{build_attack, build_benign, AttackClass, BenignKind, KernelParams};
-use evax_sim::{Cpu, CpuConfig};
+use evax_attacks::{
+    build_attack, build_benign, AttackClass, BenignKind, KernelParams, ATTACK_CLASSES, BENIGN_KINDS,
+};
+use evax_sim::isa::Program;
+use evax_sim::{Cpu, CpuConfig, SchedulerKind};
 use rand::SeedableRng;
 
 fn bench_sim(c: &mut Criterion) {
@@ -31,5 +36,62 @@ fn bench_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sim);
+/// Runs one pass over the mix under the given scheduler; returns total
+/// committed instructions so criterion can't dead-code it.
+fn run_mix(mix: &[Program], scheduler: SchedulerKind, max_instrs: u64) -> u64 {
+    let cfg = CpuConfig {
+        scheduler,
+        ..CpuConfig::default()
+    };
+    let mut committed = 0u64;
+    for program in mix {
+        let mut cpu = Cpu::new(cfg.clone());
+        cpu.memory_mut()
+            .write_u64(evax_attacks::mds::KERNEL_SECRET_ADDR, 5);
+        committed += cpu.run(program, max_instrs).committed_instructions;
+    }
+    committed
+}
+
+/// Event-driven vs scan scheduling on the registry mix (every attack class +
+/// every benign kind). Both are bit-identical (golden-equivalence tests);
+/// the ratio of these two benchmarks is the scheduler speedup.
+fn bench_schedulers(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let params = KernelParams {
+        iterations: 24,
+        ..Default::default()
+    };
+    let mut mix: Vec<Program> = ATTACK_CLASSES
+        .iter()
+        .map(|&cl| build_attack(cl, &params, &mut rng))
+        .collect();
+    mix.extend(
+        BENIGN_KINDS
+            .iter()
+            .map(|&k| build_benign(k, Scale(3_000), &mut rng)),
+    );
+    let max_instrs = 30_000u64;
+    let total = run_mix(&mix, SchedulerKind::EventDriven, max_instrs);
+    assert_eq!(total, run_mix(&mix, SchedulerKind::Scan, max_instrs));
+
+    let mut group = c.benchmark_group("registry_mix");
+    group.throughput(Throughput::Elements(total));
+    group.sample_size(10);
+    group.bench_function("event_driven", |b| {
+        b.iter(|| {
+            black_box(run_mix(
+                black_box(&mix),
+                SchedulerKind::EventDriven,
+                max_instrs,
+            ))
+        })
+    });
+    group.bench_function("scan", |b| {
+        b.iter(|| black_box(run_mix(black_box(&mix), SchedulerKind::Scan, max_instrs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_schedulers);
 criterion_main!(benches);

@@ -152,6 +152,17 @@ fn json_summary(
         ));
     }
     out.push_str("  ],\n");
+    // Simulator throughput baseline (event-driven vs scan scheduling on the
+    // registry mix) — the perf trajectory future PRs compare against.
+    let sim = evax_bench::exp_sim::measure(harness.seed, harness.scale);
+    out.push_str(&format!(
+        "  \"sim_instrs_per_sec\": {:.0},\n  \"sim_scan_instrs_per_sec\": {:.0},\n  \
+         \"sim_speedup\": {:.3},\n  \"sim_committed_instrs\": {},\n",
+        sim.event_ips(),
+        sim.scan_ips(),
+        sim.speedup(),
+        sim.committed
+    ));
     match harness.stage_timings() {
         Some(t) => out.push_str(&format!(
             "  \"pipeline_stages\": {{\"collect_secs\": {:.3}, \"gan_secs\": {:.3}, \

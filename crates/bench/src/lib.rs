@@ -25,6 +25,7 @@ pub mod exp_gan;
 pub mod exp_hpc;
 pub mod exp_perf;
 pub mod exp_robust;
+pub mod exp_sim;
 pub mod exp_tables;
 pub mod exp_zeroday;
 pub mod harness;
@@ -52,6 +53,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "ablate-features",
     "ablate-asymmetry",
     "ablate-replication",
+    "sim-throughput",
 ];
 
 /// Dispatches one experiment by id.
@@ -79,6 +81,7 @@ pub fn run_experiment(id: &str, harness: &Harness) -> Result<String, String> {
         "ablate-features" => Ok(exp_ablations::ablate_features(harness)),
         "ablate-asymmetry" => Ok(exp_ablations::ablate_asymmetry(harness)),
         "ablate-replication" => Ok(exp_ablations::ablate_replication(harness)),
+        "sim-throughput" => Ok(exp_sim::sim_throughput(harness)),
         other => Err(format!(
             "unknown experiment '{other}'; known: {}",
             EXPERIMENT_IDS.join(", ")

@@ -69,22 +69,32 @@ impl Normalizer {
         }
     }
 
+    /// Normalizes a raw vector by the running maxima into `[0, 1]`, writing
+    /// into a caller-provided buffer — the allocation-free fast path for
+    /// per-window deployment loops.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch (either slice).
+    pub fn normalize_into(&self, raw: &[f64], out: &mut [f32]) {
+        assert_eq!(raw.len(), self.max.len(), "feature dim mismatch");
+        assert_eq!(out.len(), self.max.len(), "output dim mismatch");
+        for ((o, &v), &m) in out.iter_mut().zip(raw.iter()).zip(self.max.iter()) {
+            *o = if m <= 0.0 {
+                0.0
+            } else {
+                (v.abs() / m).min(1.0) as f32
+            };
+        }
+    }
+
     /// Normalizes a raw vector by the running maxima into `[0, 1]`.
     ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn normalize(&self, raw: &[f64]) -> Vec<f32> {
-        assert_eq!(raw.len(), self.max.len(), "feature dim mismatch");
-        raw.iter()
-            .zip(self.max.iter())
-            .map(|(&v, &m)| {
-                if m <= 0.0 {
-                    0.0
-                } else {
-                    (v.abs() / m).min(1.0) as f32
-                }
-            })
-            .collect()
+        let mut out = vec![0.0f32; self.max.len()];
+        self.normalize_into(raw, &mut out);
+        out
     }
 }
 
@@ -256,6 +266,23 @@ mod tests {
     fn normalizer_zero_max_gives_zero() {
         let n = Normalizer::new(1);
         assert_eq!(n.normalize(&[3.0])[0], 0.0);
+    }
+
+    #[test]
+    fn normalize_into_matches_normalize() {
+        let mut n = Normalizer::new(3);
+        n.observe(&[10.0, 4.0, 0.0]);
+        let raw = [5.0, 8.0, 2.0];
+        let mut out = [0.0f32; 3];
+        n.normalize_into(&raw, &mut out);
+        assert_eq!(out.to_vec(), n.normalize(&raw));
+    }
+
+    #[test]
+    #[should_panic(expected = "output dim mismatch")]
+    fn normalize_into_rejects_wrong_output_length() {
+        let n = Normalizer::new(2);
+        n.normalize_into(&[1.0, 2.0], &mut [0.0f32; 3]);
     }
 
     #[test]

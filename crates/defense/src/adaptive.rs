@@ -107,9 +107,11 @@ pub fn run_adaptive(
     let mut secure_instructions = 0u64;
     let mut secure_remaining = 0u64;
     let mut ipc_series = Vec::new();
+    // One features buffer reused across every sampling window.
+    let mut features = vec![0.0f32; normalizer.dim()];
     let result = cpu.run_sampled(program, max_instrs, cfg.sample_interval, |sample| {
         ipc_series.push((sample.instructions, window_ipc(&sample.values)));
-        let features = normalizer.normalize(&sample.values);
+        normalizer.normalize_into(&sample.values, &mut features);
         let malicious = detector.classify(&features);
         if malicious {
             flags += 1;

@@ -1,6 +1,10 @@
-use evax_sim::isa::{AluOp, Cond, ProgramBuilder, Reg};
-use evax_sim::{Cpu, CpuConfig};
-fn main() {
+//! Quick wall-clock throughput check of both scheduling cores on a
+//! load/add/branch loop. `cargo run -p evax-sim --release --example throughput`
+
+use evax_sim::isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+use evax_sim::{Cpu, CpuConfig, SchedulerKind};
+
+fn build() -> Program {
     let (i, n, a, v, acc) = (
         Reg::new(1),
         Reg::new(2),
@@ -18,16 +22,28 @@ fn main() {
     b.alu_imm(AluOp::Add, i, i, 1);
     b.branch(Cond::Lt, i, n, top);
     b.halt();
-    let mut cpu = Cpu::new(CpuConfig::default());
+    b.build()
+}
+
+fn run(program: &Program, scheduler: SchedulerKind) -> f64 {
+    let mut cpu = Cpu::new(CpuConfig {
+        scheduler,
+        ..CpuConfig::default()
+    });
     let t = std::time::Instant::now();
-    let res = cpu.run(&b.build(), 12_000_000);
+    let res = cpu.run(program, 12_000_000);
     let el = t.elapsed();
+    let mips = res.committed_instructions as f64 / el.as_secs_f64() / 1e6;
     println!(
-        "committed={} cycles={} ipc={:.3} wall={:?} minstr/s={:.2}",
-        res.committed_instructions,
-        res.cycles,
-        res.ipc,
-        el,
-        res.committed_instructions as f64 / el.as_secs_f64() / 1e6
+        "{scheduler:?}: committed={} cycles={} ipc={:.3} wall={:?} minstr/s={:.2}",
+        res.committed_instructions, res.cycles, res.ipc, el, mips
     );
+    mips
+}
+
+fn main() {
+    let program = build();
+    let event = run(&program, SchedulerKind::EventDriven);
+    let scan = run(&program, SchedulerKind::Scan);
+    println!("speedup (event vs scan): {:.2}x", event / scan);
 }

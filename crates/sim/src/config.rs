@@ -57,6 +57,28 @@ impl MitigationMode {
     }
 }
 
+/// Which scheduling core drives `Cpu::step_cycle`.
+///
+/// Both produce **bit-identical** results (pipeline stats, HPC vectors,
+/// architectural state); they differ only in how ready work is found each
+/// cycle. The scan scheduler is the original reference implementation, kept
+/// for the golden-equivalence harness; the event-driven scheduler is the
+/// production hot path (see `DESIGN.md`, "Simulator scheduling & hot-path
+/// model").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum SchedulerKind {
+    /// Event-driven: register scoreboard + per-entry dependency counters, an
+    /// explicit ready queue woken by producers, and a time-ordered event heap
+    /// for latency-bound completions. O(ready work) per cycle.
+    #[default]
+    EventDriven,
+    /// Reference scan scheduler: full-ROB scans in issue/complete/dispatch,
+    /// O(ROB) per cycle. Kept as the golden reference for equivalence tests.
+    Scan,
+}
+
 /// Cache geometry and timing for one level.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheConfig {
@@ -163,6 +185,9 @@ pub struct CpuConfig {
     pub rdrand_latency: u32,
     /// Syscall cost in cycles (serialization + kernel crossing).
     pub syscall_latency: u32,
+    /// Scheduling core (event-driven vs. the reference scan scheduler).
+    /// Results are bit-identical either way; only throughput differs.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for CpuConfig {
@@ -214,6 +239,7 @@ impl Default for CpuConfig {
             stride_prefetcher: false,
             rdrand_latency: 40,
             syscall_latency: 100,
+            scheduler: SchedulerKind::EventDriven,
         }
     }
 }

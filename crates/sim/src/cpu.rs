@@ -14,15 +14,29 @@
 //!
 //! The transient window is bounded by the ROB (`ROBEntries=192`, Table II),
 //! the property EVAX's adversarial hardening leans on.
+//!
+//! # Scheduling
+//!
+//! Two interchangeable scheduling cores drive `step_cycle`
+//! ([`SchedulerKind`]): the original **scan** scheduler (full-ROB sweeps in
+//! issue/complete/dispatch every cycle — the golden reference) and the
+//! **event-driven** scheduler (per-entry dependency counters, producer→
+//! consumer wakeup edges, a seq-ordered ready heap, and a time-ordered
+//! completion/replay event heap), which touches only entries with actual
+//! work. Both are bit-identical by construction — the event machinery
+//! reproduces the scan order exactly (ready candidates pop in seq order,
+//! events in `(cycle, seq, kind)` order, matching the scan's index order) —
+//! and the golden-equivalence tests plus debug assertions enforce it.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use evax_dram::{AccessKind, Dram};
 use rand::Rng;
 
 use crate::branch::{Btb, DirPrediction, Ras, RasSnapshot, TournamentPredictor};
 use crate::cache::Cache;
-use crate::config::{CpuConfig, MitigationMode};
+use crate::config::{CpuConfig, MitigationMode, SchedulerKind};
 use crate::isa::{Op, Program, Reg};
 use crate::memory::Memory;
 use crate::stats::PipelineStats;
@@ -37,6 +51,15 @@ fn trace_enabled() -> bool {
 pub const CODE_BASE: u64 = 0x4000_0000;
 /// Bytes per instruction (fixed-width encoding).
 pub const INSTR_BYTES: u64 = 4;
+
+/// Sentinel for "no wakeup edge" in the intrusive waiter lists.
+const EDGE_NONE: u32 = u32::MAX;
+/// Event kinds on the time-ordered heap. A completion and a replay due the
+/// same cycle for the same entry must run completion-first (the scan
+/// scheduler transitions to `Done` before checking the replay), hence
+/// `EV_COMPLETE < EV_ASSIST_REPLAY` in the `(cycle, seq, kind)` sort key.
+const EV_COMPLETE: u8 = 0;
+const EV_ASSIST_REPLAY: u8 = 1;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EState {
@@ -144,6 +167,57 @@ pub struct Cpu {
     /// Stride-prefetcher table: per load-pc (last address, stride,
     /// 2-bit confidence).
     stride_table: Vec<(u64, i64, u8)>,
+
+    // --- scheduling core (see module docs) -----------------------------
+    //
+    // Entries are addressed by ring slot: ROB seqs are contiguous, so
+    // `seq & ring_mask` (ring = rob_entries rounded up to a power of two)
+    // maps every in-flight seq to a unique slot. The bookkeeping below is
+    // maintained in BOTH scheduler modes (it is cheap and keeps the state
+    // coherent regardless of the configured mode); only the ready/event
+    // heaps are fed in event-driven mode.
+    /// Active scheduling core, from `CpuConfig::scheduler`.
+    sched: SchedulerKind,
+    /// `ring - 1` where `ring = rob_entries.next_power_of_two()`.
+    ring_mask: u64,
+    /// Per-slot count of not-yet-`Done` producers of the entry's sources.
+    deps_pending: Vec<u8>,
+    /// Per-slot head of the producer's intrusive waiter list (edge id).
+    waiter_head: Vec<u32>,
+    /// Edge id -> next edge in the same waiter list. Edge id
+    /// `consumer_slot * 2 + dep_index`, so each entry owns exactly two.
+    edge_next: Vec<u32>,
+    /// Edge id -> consumer seq (for the ready push on wakeup).
+    edge_consumer: Vec<u64>,
+    /// Edge id -> currently threaded into some waiter list.
+    edge_linked: Vec<bool>,
+    /// Seq-ordered min-heap of issue candidates (lazily validated on pop).
+    ready: BinaryHeap<Reverse<u64>>,
+    /// Scratch for candidates skipped by issue gating this cycle (ports,
+    /// serialization, fencing); re-pushed after the issue loop. Reused
+    /// across cycles so the hot path never allocates.
+    ready_skipped: Vec<u64>,
+    /// Time-ordered `(due_cycle, seq, kind)` completion/replay events,
+    /// lazily validated on pop (squash + seq reuse make events stale).
+    events: BinaryHeap<Reverse<(u64, u64, u8)>>,
+    /// All seqs `< clean_watermark` have finished with a clean outcome
+    /// (Done, no pending fault, no unresolved assist). Advanced lazily in
+    /// `all_older_done`; clamped back on squash and InvisiSpec exposure.
+    clean_watermark: u64,
+    /// Entries in `Waiting` state (for the issue-stall counter).
+    num_waiting: usize,
+    /// Entries not yet `Done` (the IQ occupancy the rename stage checks).
+    num_not_done: usize,
+    /// In-flight loads / stores / destination-register writers (the other
+    /// structural occupancies the rename stage checks).
+    loads_in_flight: usize,
+    stores_in_flight: usize,
+    producers_in_flight: usize,
+    /// Seqs of in-flight stores/loads (ascending, bounded by SQ/LQ size):
+    /// restrict forwarding, 4K-alias and order-violation sweeps to actual
+    /// memory ops instead of the whole ROB.
+    store_seqs: VecDeque<u64>,
+    load_seqs: VecDeque<u64>,
 }
 
 impl std::fmt::Debug for Cpu {
@@ -166,6 +240,7 @@ impl Cpu {
         if let Err(e) = cfg.validate() {
             panic!("invalid CPU config: {e}");
         }
+        let ring = cfg.rob_entries.next_power_of_two();
         Cpu {
             mitigation: cfg.mitigation,
             cycle: 0,
@@ -196,6 +271,24 @@ impl Cpu {
             committed_since_sample: 0,
             unresolved_ctrl: Vec::new(),
             stride_table: vec![(0, 0, 0); 256],
+            sched: cfg.scheduler,
+            ring_mask: ring as u64 - 1,
+            deps_pending: vec![0; ring],
+            waiter_head: vec![EDGE_NONE; ring],
+            edge_next: vec![EDGE_NONE; ring * 2],
+            edge_consumer: vec![0; ring * 2],
+            edge_linked: vec![false; ring * 2],
+            ready: BinaryHeap::with_capacity(ring),
+            ready_skipped: Vec::with_capacity(64),
+            events: BinaryHeap::with_capacity(ring),
+            clean_watermark: 0,
+            num_waiting: 0,
+            num_not_done: 0,
+            loads_in_flight: 0,
+            stores_in_flight: 0,
+            producers_in_flight: 0,
+            store_seqs: VecDeque::with_capacity(cfg.sq_entries),
+            load_seqs: VecDeque::with_capacity(cfg.lq_entries),
             cfg,
         }
     }
@@ -297,7 +390,9 @@ impl Cpu {
     ) -> RunResult {
         let start_committed = self.stats.committed_insts;
         self.reset_front_end();
-        let mut prev_vec = crate::hpc::hpc_vector(self);
+        let dim = crate::hpc::hpc_dim();
+        let mut prev_vec = vec![0.0f64; dim];
+        crate::hpc::hpc_vector_into(self, &mut prev_vec);
         self.committed_since_sample = 0;
         // Hard cycle ceiling so a wedged configuration cannot hang the host.
         let cycle_budget = max_instrs.saturating_mul(200).max(100_000);
@@ -309,13 +404,16 @@ impl Cpu {
             self.step_cycle(program);
             if self.committed_since_sample >= sample_interval {
                 self.committed_since_sample = 0;
-                let cur = crate::hpc::hpc_vector(self);
-                let values = cur
-                    .iter()
-                    .zip(prev_vec.iter())
-                    .map(|(c, p)| c - p)
-                    .collect();
-                prev_vec = cur;
+                // The retained delta row is the window's only allocation:
+                // counters are read straight into it, then converted to
+                // deltas in place while the absolute values move to `prev`.
+                let mut values = vec![0.0f64; dim];
+                crate::hpc::hpc_vector_into(self, &mut values);
+                for (v, p) in values.iter_mut().zip(prev_vec.iter_mut()) {
+                    let cur = *v;
+                    *v -= *p;
+                    *p = cur;
+                }
                 let sample = HpcSample {
                     instructions: self.stats.committed_insts,
                     cycle: self.cycle,
@@ -350,6 +448,25 @@ impl Cpu {
         self.fetch_parked = false;
         self.fetch_stall_until = self.cycle;
         self.unresolved_ctrl.clear();
+        self.ready.clear();
+        self.ready_skipped.clear();
+        self.events.clear();
+        for h in &mut self.waiter_head {
+            *h = EDGE_NONE;
+        }
+        for l in &mut self.edge_linked {
+            *l = false;
+        }
+        self.num_waiting = 0;
+        self.num_not_done = 0;
+        self.loads_in_flight = 0;
+        self.stores_in_flight = 0;
+        self.producers_in_flight = 0;
+        self.store_seqs.clear();
+        self.load_seqs.clear();
+        // Seqs are not reset across runs; nothing older than the next
+        // dispatch is in flight, so everything "older" counts as clean.
+        self.clean_watermark = self.next_seq;
     }
 
     /// Advances the core one cycle.
@@ -363,8 +480,16 @@ impl Cpu {
         if self.halted {
             return;
         }
-        self.complete_stage();
-        self.issue_stage();
+        match self.sched {
+            SchedulerKind::Scan => {
+                self.complete_stage_scan();
+                self.issue_stage_scan();
+            }
+            SchedulerKind::EventDriven => {
+                self.complete_stage_event();
+                self.issue_stage_event();
+            }
+        }
         self.dispatch_stage();
         self.fetch_stage(program);
     }
@@ -537,24 +662,23 @@ impl Cpu {
             }
             self.serialize_block = None;
         }
-        // Structural occupancy, computed once per cycle and updated locally.
-        let mut waiting = 0usize;
-        let mut loads_in_flight = 0usize;
-        let mut stores_in_flight = 0usize;
-        let mut producers = 0usize;
-        for e in self.rob.iter() {
-            if e.state != EState::Done {
-                waiting += 1;
-            }
-            match e.op {
-                Op::Load { .. } => loads_in_flight += 1,
-                Op::Store { .. } => stores_in_flight += 1,
-                _ => {}
-            }
-            if e.op.dst().is_some() {
-                producers += 1;
-            }
-        }
+        // Structural occupancy, read once per cycle and updated locally.
+        // The event scheduler keeps these as running counters; the scan
+        // scheduler recomputes them (the original reference behavior).
+        let (mut waiting, mut loads_in_flight, mut stores_in_flight, mut producers) =
+            match self.sched {
+                SchedulerKind::Scan => self.occupancy_scan(),
+                SchedulerKind::EventDriven => {
+                    let counted = (
+                        self.num_not_done,
+                        self.loads_in_flight,
+                        self.stores_in_flight,
+                        self.producers_in_flight,
+                    );
+                    debug_assert_eq!(counted, self.occupancy_scan());
+                    counted
+                }
+            };
         for _ in 0..self.cfg.fetch_width {
             let Some(front) = self.fetch_buffer.front() else {
                 break;
@@ -608,6 +732,7 @@ impl Cpu {
             // Rename: capture each source's in-flight producer (if any).
             let mut deps: [Option<(Reg, u64)>; 2] = [None, None];
             for (slot, r) in fi.op.sources().into_iter().enumerate() {
+                let Some(r) = r else { continue };
                 if r != Reg::ZERO {
                     if let Some(pseq) = self.reg_producer[r.index()] {
                         deps[slot] = Some((r, pseq));
@@ -657,9 +782,217 @@ impl Cpu {
                 executed_load: false,
                 deps,
             });
+            self.note_dispatched();
             if is_ser {
                 break;
             }
+        }
+    }
+
+    /// Recomputes the structural occupancies by scanning the ROB (the scan
+    /// scheduler's per-cycle behavior; also the debug cross-check for the
+    /// event scheduler's running counters).
+    fn occupancy_scan(&self) -> (usize, usize, usize, usize) {
+        let mut waiting = 0usize;
+        let mut loads_in_flight = 0usize;
+        let mut stores_in_flight = 0usize;
+        let mut producers = 0usize;
+        for e in self.rob.iter() {
+            if e.state != EState::Done {
+                waiting += 1;
+            }
+            match e.op {
+                Op::Load { .. } => loads_in_flight += 1,
+                Op::Store { .. } => stores_in_flight += 1,
+                _ => {}
+            }
+            if e.op.dst().is_some() {
+                producers += 1;
+            }
+        }
+        (waiting, loads_in_flight, stores_in_flight, producers)
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling bookkeeping (both modes; see module docs)
+    // ------------------------------------------------------------------
+
+    /// Ring slot of a seq. The ring is at least `rob_entries` slots and ROB
+    /// seqs are contiguous, so every in-flight seq maps to a unique slot.
+    fn slot(&self, seq: u64) -> usize {
+        (seq & self.ring_mask) as usize
+    }
+
+    /// ROB index of `seq`, or `None` if it is not in flight (committed,
+    /// squashed, or a stale heap entry from a reused seq range).
+    fn rob_index_of(&self, seq: u64) -> Option<usize> {
+        let front = self.rob.front()?.seq;
+        if seq < front {
+            return None;
+        }
+        let idx = (seq - front) as usize;
+        if idx < self.rob.len() {
+            debug_assert_eq!(self.rob[idx].seq, seq, "ROB seq contiguity violated");
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Queues an issue candidate (event mode only; lazily validated on pop).
+    fn push_ready(&mut self, seq: u64) {
+        if self.sched == SchedulerKind::EventDriven {
+            self.ready.push(Reverse(seq));
+        }
+    }
+
+    /// Queues a timed completion/replay event (event mode only).
+    fn schedule_event(&mut self, at: u64, seq: u64, kind: u8) {
+        if self.sched == SchedulerKind::EventDriven {
+            self.events.push(Reverse((at, seq, kind)));
+        }
+    }
+
+    /// Threads wakeup edge `edge` (owned by its consumer) into
+    /// `producer_seq`'s waiter list.
+    fn link_edge(&mut self, producer_seq: u64, edge: u32, consumer_seq: u64) {
+        let pslot = self.slot(producer_seq);
+        let eu = edge as usize;
+        debug_assert!(!self.edge_linked[eu]);
+        self.edge_linked[eu] = true;
+        self.edge_consumer[eu] = consumer_seq;
+        self.edge_next[eu] = self.waiter_head[pslot];
+        self.waiter_head[pslot] = edge;
+    }
+
+    /// A producer's result became available: drain its waiter list,
+    /// decrementing each consumer's pending-dependency counter and queueing
+    /// consumers that became ready.
+    fn wake_waiters(&mut self, producer_seq: u64) {
+        let pslot = self.slot(producer_seq);
+        let mut edge = self.waiter_head[pslot];
+        self.waiter_head[pslot] = EDGE_NONE;
+        while edge != EDGE_NONE {
+            let eu = edge as usize;
+            let next = self.edge_next[eu];
+            self.edge_linked[eu] = false;
+            let cslot = eu / 2;
+            debug_assert!(self.deps_pending[cslot] > 0);
+            self.deps_pending[cslot] -= 1;
+            if self.deps_pending[cslot] == 0 {
+                self.push_ready(self.edge_consumer[eu]);
+            }
+            edge = next;
+        }
+    }
+
+    /// Transition bookkeeping for an entry reaching `Done`: occupancy
+    /// counter plus consumer wakeup.
+    fn entry_done(&mut self, seq: u64) {
+        debug_assert!(self.num_not_done > 0);
+        self.num_not_done -= 1;
+        self.wake_waiters(seq);
+    }
+
+    /// Bookkeeping for the entry just pushed onto the ROB tail: seed its
+    /// dependency counter from the captured producers' states, register
+    /// wakeup edges on still-in-flight producers, and bump the occupancy
+    /// counters and LQ/SQ seq lists.
+    fn note_dispatched(&mut self) {
+        let e = self.rob.back().expect("just pushed");
+        let seq = e.seq;
+        let deps = e.deps;
+        let op = e.op;
+        let slot = self.slot(seq);
+        debug_assert!(!self.edge_linked[slot * 2] && !self.edge_linked[slot * 2 + 1]);
+        let front = self.rob.front().expect("rob nonempty").seq;
+        let mut pending = 0u8;
+        for (d_i, d) in deps.iter().enumerate() {
+            let Some((_, pseq)) = *d else { continue };
+            // Rename only captures in-flight producers, so `pseq` is in the
+            // ROB window by construction.
+            debug_assert!(pseq >= front);
+            if self.rob[(pseq - front) as usize].state != EState::Done {
+                pending += 1;
+                self.link_edge(pseq, (slot * 2 + d_i) as u32, seq);
+            }
+        }
+        self.deps_pending[slot] = pending;
+        if pending == 0 {
+            self.push_ready(seq);
+        }
+        self.num_waiting += 1;
+        self.num_not_done += 1;
+        match op {
+            Op::Load { .. } => {
+                self.loads_in_flight += 1;
+                self.load_seqs.push_back(seq);
+            }
+            Op::Store { .. } => {
+                self.stores_in_flight += 1;
+                self.store_seqs.push_back(seq);
+            }
+            _ => {}
+        }
+        if op.dst().is_some() {
+            self.producers_in_flight += 1;
+        }
+    }
+
+    /// Counter + wakeup-edge bookkeeping for an entry leaving the ROB
+    /// (commit or squash). Clears the entry's waiter list: a committed
+    /// entry's list is already empty (drained when it became `Done`); a
+    /// squashed entry's list may still hold edges to consumers squashed in
+    /// the same pass.
+    fn note_removed(&mut self, e: &RobEntry) {
+        if e.state == EState::Waiting {
+            debug_assert!(self.num_waiting > 0);
+            self.num_waiting -= 1;
+        }
+        if e.state != EState::Done {
+            debug_assert!(self.num_not_done > 0);
+            self.num_not_done -= 1;
+        }
+        match e.op {
+            Op::Load { .. } => self.loads_in_flight -= 1,
+            Op::Store { .. } => self.stores_in_flight -= 1,
+            _ => {}
+        }
+        if e.op.dst().is_some() {
+            self.producers_in_flight -= 1;
+        }
+        let slot = self.slot(e.seq);
+        let mut edge = self.waiter_head[slot];
+        self.waiter_head[slot] = EDGE_NONE;
+        while edge != EDGE_NONE {
+            let eu = edge as usize;
+            self.edge_linked[eu] = false;
+            edge = self.edge_next[eu];
+        }
+    }
+
+    /// The head load regressed from `Done` to `Executing` for InvisiSpec
+    /// exposure: any still-`Waiting` consumer that captured it as a producer
+    /// must block again. Consumers whose edge is still linked are already
+    /// blocked (their other dependency); the rest get their counter bumped
+    /// and a fresh edge — stale ready-heap entries then fail validation.
+    fn reblock_consumers_of(&mut self, producer_seq: u64) {
+        let mut i = 0;
+        while i < self.rob.len() {
+            if self.rob[i].state == EState::Waiting {
+                let cseq = self.rob[i].seq;
+                let cslot = self.slot(cseq);
+                let deps = self.rob[i].deps;
+                for (d_i, d) in deps.iter().enumerate() {
+                    let Some((_, pseq)) = *d else { continue };
+                    let edge = cslot * 2 + d_i;
+                    if pseq == producer_seq && !self.edge_linked[edge] {
+                        self.deps_pending[cslot] += 1;
+                        self.link_edge(producer_seq, edge as u32, cseq);
+                    }
+                }
+            }
+            i += 1;
         }
     }
 
@@ -713,14 +1046,48 @@ impl Cpu {
     /// fault or an unresolved assist will squash later — for serialization
     /// and Futuristic-model gating it does not count as completed (this is
     /// what lets fencing/InvisiSpec close the Meltdown/LVI windows).
-    fn all_older_done(&self, seq: u64) -> bool {
+    fn all_older_done(&mut self, seq: u64) -> bool {
+        match self.sched {
+            SchedulerKind::Scan => self.all_older_done_scan(seq),
+            SchedulerKind::EventDriven => {
+                let r = self.all_older_done_watermark(seq);
+                debug_assert_eq!(r, self.all_older_done_scan(seq));
+                r
+            }
+        }
+    }
+
+    fn all_older_done_scan(&self, seq: u64) -> bool {
         self.rob
             .iter()
             .take_while(|e| e.seq < seq)
             .all(|e| e.state == EState::Done && !e.fault && (!e.assisted || e.assist_handled))
     }
 
-    fn issue_stage(&mut self) {
+    /// Incremental form of [`Self::all_older_done_scan`]: the watermark only
+    /// ever has to advance over each entry once (amortized O(1)); squash and
+    /// InvisiSpec exposure clamp it back when an entry regresses.
+    fn all_older_done_watermark(&mut self, seq: u64) -> bool {
+        let Some(front) = self.rob.front().map(|e| e.seq) else {
+            return true;
+        };
+        if self.clean_watermark < front {
+            self.clean_watermark = front;
+        }
+        let end = front + self.rob.len() as u64;
+        while self.clean_watermark < end {
+            let e = &self.rob[(self.clean_watermark - front) as usize];
+            if e.state != EState::Done || e.fault || (e.assisted && !e.assist_handled) {
+                break;
+            }
+            self.clean_watermark += 1;
+        }
+        self.clean_watermark >= seq
+    }
+
+    /// Reference scan scheduler's issue stage: sweep the whole ROB in seq
+    /// order, executing up to `issue_width` ready entries.
+    fn issue_stage_scan(&mut self) {
         let mut issued = 0usize;
         let mut mem_issued = 0usize;
         let mut had_waiting = false;
@@ -749,7 +1116,8 @@ impl Cpu {
                     continue;
                 }
                 let shadowed = self.oldest_unresolved_control_before(seq);
-                match self.mitigation {
+                let mitigation = self.mitigation;
+                match mitigation {
                     MitigationMode::FenceSpectre if shadowed => {
                         i += 1;
                         continue;
@@ -776,6 +1144,88 @@ impl Cpu {
             issued += 1;
             self.stats.iq_issued_insts += 1;
             i += 1;
+        }
+        if had_waiting && issued == 0 {
+            self.stats.iq_operand_stall_cycles += 1;
+        }
+    }
+
+    /// Event-driven issue: pop ready candidates in seq order (identical to
+    /// the scan's index order over eligible entries), validate lazily, and
+    /// apply the exact gating sequence of the scan scheduler. Candidates
+    /// rejected by *gating* (ports, serialization, fencing) stay ready and
+    /// are re-queued for the next cycle; stale candidates (squashed,
+    /// already executed, or re-blocked by exposure) are dropped.
+    fn issue_stage_event(&mut self) {
+        // No execute happens when nothing issues, so `num_waiting` at entry
+        // equals the scan's "encountered a Waiting entry" flag whenever the
+        // stall counter condition (issued == 0) can fire.
+        let had_waiting = self.num_waiting > 0;
+        let mut issued = 0usize;
+        let mut mem_issued = 0usize;
+        debug_assert!(self.ready_skipped.is_empty());
+        let mut last_popped: Option<u64> = None;
+        while issued < self.cfg.issue_width {
+            let Some(Reverse(seq)) = self.ready.pop() else {
+                break;
+            };
+            // Duplicate pushes of one seq pop back-to-back; skip repeats.
+            if last_popped == Some(seq) {
+                continue;
+            }
+            last_popped = Some(seq);
+            let Some(idx) = self.rob_index_of(seq) else {
+                continue;
+            };
+            if self.rob[idx].state != EState::Waiting || self.deps_pending[self.slot(seq)] != 0 {
+                continue;
+            }
+            debug_assert!(self.operands_ready(idx));
+            let op = self.rob[idx].op;
+            // Gating, in the scan scheduler's exact order.
+            if op.is_serializing() && !self.all_older_done(seq) {
+                self.ready_skipped.push(seq);
+                continue;
+            }
+            if matches!(op, Op::Load { .. }) {
+                if mem_issued >= 4 {
+                    self.ready_skipped.push(seq);
+                    continue;
+                }
+                let shadowed = self.oldest_unresolved_control_before(seq);
+                let mitigation = self.mitigation;
+                match mitigation {
+                    MitigationMode::FenceSpectre if shadowed => {
+                        self.ready_skipped.push(seq);
+                        continue;
+                    }
+                    MitigationMode::FenceFuturistic if !self.all_older_done(seq) => {
+                        self.ready_skipped.push(seq);
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if matches!(
+                op,
+                Op::Store { .. } | Op::Flush { .. } | Op::Prefetch { .. }
+            ) && mem_issued >= 4
+            {
+                self.ready_skipped.push(seq);
+                continue;
+            }
+            self.execute_entry(idx);
+            if op.is_memory() {
+                mem_issued += 1;
+            }
+            issued += 1;
+            self.stats.iq_issued_insts += 1;
+        }
+        // Gated candidates stay ready next cycle. Any squash during the
+        // loop kept them: an executing entry's squash keeps seqs <= its
+        // own, and every skipped seq popped before (hence below) it.
+        while let Some(s) = self.ready_skipped.pop() {
+            self.ready.push(Reverse(s));
         }
         if had_waiting && issued == 0 {
             self.stats.iq_operand_stall_cycles += 1;
@@ -909,13 +1359,29 @@ impl Cpu {
                 latency = 1;
             }
         }
-        let e = &mut self.rob[idx];
-        e.result = result;
-        e.state = EState::Executing;
-        e.done_at = self.cycle + latency as u64;
-        if latency <= 1 {
-            e.state = EState::Done;
-            e.done_at = self.cycle;
+        {
+            let e = &mut self.rob[idx];
+            e.result = result;
+            e.state = EState::Executing;
+            e.done_at = self.cycle + latency as u64;
+            if latency <= 1 {
+                e.state = EState::Done;
+                e.done_at = self.cycle;
+            }
+        }
+        debug_assert!(self.num_waiting > 0);
+        self.num_waiting -= 1;
+        if self.rob[idx].state == EState::Done {
+            self.entry_done(seq);
+        } else {
+            self.schedule_event(self.rob[idx].done_at, seq, EV_COMPLETE);
+        }
+        if self.rob[idx].assisted && !self.rob[idx].assist_handled {
+            // The replay fires on the first cycle the entry is both Done
+            // and past `assist_replay_at` — exactly when the scan's
+            // complete sweep would have fired it.
+            let at = self.rob[idx].done_at.max(self.rob[idx].assist_replay_at);
+            self.schedule_event(at, seq, EV_ASSIST_REPLAY);
         }
     }
 
@@ -945,15 +1411,36 @@ impl Cpu {
         self.rob[idx].invisible = invisible;
 
         // --- store-to-load forwarding (exact 8-byte match) ---
+        // Youngest older matching store wins. The event scheduler walks the
+        // (≤ SQEntries) in-flight store seqs; the scan reference sweeps the
+        // whole ROB. Both visit the same stores in the same order.
         let mut forwarded: Option<u64> = None;
-        for e in self.rob.iter() {
-            if e.seq >= seq {
-                break;
+        match self.sched {
+            SchedulerKind::Scan => {
+                for e in self.rob.iter() {
+                    if e.seq >= seq {
+                        break;
+                    }
+                    if let Op::Store { .. } = e.op {
+                        if e.eff_addr == Some(addr) {
+                            if let Some(d) = e.store_data {
+                                forwarded = Some(d);
+                            }
+                        }
+                    }
+                }
             }
-            if let Op::Store { .. } = e.op {
-                if e.eff_addr == Some(addr) {
-                    if let Some(d) = e.store_data {
-                        forwarded = Some(d);
+            SchedulerKind::EventDriven => {
+                let front = self.rob.front().expect("rob nonempty").seq;
+                for &sseq in self.store_seqs.iter() {
+                    if sseq >= seq {
+                        break;
+                    }
+                    let e = &self.rob[(sseq - front) as usize];
+                    if e.eff_addr == Some(addr) {
+                        if let Some(d) = e.store_data {
+                            forwarded = Some(d);
+                        }
                     }
                 }
             }
@@ -977,19 +1464,41 @@ impl Cpu {
             latency += self.cfg.tlb_walk_latency;
             // Assisted translation + 4K-aliasing store buffer entry:
             // transiently forward the aliasing store's (wrong) value —
-            // the LVI / Fallout injection surface.
-            let alias = self
-                .rob
-                .iter()
-                .rfind(|e| {
-                    e.seq < seq
-                        && matches!(e.op, Op::Store { .. })
-                        && e.store_data.is_some()
-                        && e.eff_addr
-                            .map(|a| a & 0xFFF == addr & 0xFFF && a != addr)
-                            .unwrap_or(false)
-                })
-                .and_then(|e| e.store_data);
+            // the LVI / Fallout injection surface. Youngest older 4K-alias
+            // wins; event mode walks the store seq list back to front.
+            let alias = match self.sched {
+                SchedulerKind::Scan => self
+                    .rob
+                    .iter()
+                    .rfind(|e| {
+                        e.seq < seq
+                            && matches!(e.op, Op::Store { .. })
+                            && e.store_data.is_some()
+                            && e.eff_addr
+                                .map(|a| a & 0xFFF == addr & 0xFFF && a != addr)
+                                .unwrap_or(false)
+                    })
+                    .and_then(|e| e.store_data),
+                SchedulerKind::EventDriven => {
+                    let front = self.rob.front().expect("rob nonempty").seq;
+                    let mut found = None;
+                    for &sseq in self.store_seqs.iter().rev() {
+                        if sseq >= seq {
+                            continue;
+                        }
+                        let e = &self.rob[(sseq - front) as usize];
+                        if e.store_data.is_some()
+                            && e.eff_addr
+                                .map(|a| a & 0xFFF == addr & 0xFFF && a != addr)
+                                .unwrap_or(false)
+                        {
+                            found = e.store_data;
+                            break;
+                        }
+                    }
+                    found
+                }
+            };
             if let Some(injected) = alias {
                 self.rob[idx].assisted = true;
                 // The replay fires when the assisted translation resolves;
@@ -1081,16 +1590,35 @@ impl Cpu {
     /// the same address read stale data — memory-order violation.
     fn check_order_violation(&mut self, store_idx: usize, addr: u64) {
         let store_seq = self.rob[store_idx].seq;
-        let violator = self
-            .rob
-            .iter()
-            .find(|e| {
-                e.seq > store_seq
-                    && e.executed_load
-                    && e.state != EState::Waiting
-                    && e.eff_addr == Some(addr)
-            })
-            .map(|e| (e.seq, e.pc));
+        // Oldest younger executed load to the same address; event mode walks
+        // the (≤ LQEntries) in-flight load seqs instead of the whole ROB.
+        let violator = match self.sched {
+            SchedulerKind::Scan => self
+                .rob
+                .iter()
+                .find(|e| {
+                    e.seq > store_seq
+                        && e.executed_load
+                        && e.state != EState::Waiting
+                        && e.eff_addr == Some(addr)
+                })
+                .map(|e| (e.seq, e.pc)),
+            SchedulerKind::EventDriven => {
+                let front = self.rob.front().expect("rob nonempty").seq;
+                let mut found = None;
+                for &lseq in self.load_seqs.iter() {
+                    if lseq <= store_seq {
+                        continue;
+                    }
+                    let e = &self.rob[(lseq - front) as usize];
+                    if e.executed_load && e.state != EState::Waiting && e.eff_addr == Some(addr) {
+                        found = Some((e.seq, e.pc));
+                        break;
+                    }
+                }
+                found
+            }
+        };
         if let Some((vseq, vpc)) = violator {
             self.stats.iew_mem_order_violations += 1;
             self.stats.lsq_ignored_responses += 1;
@@ -1102,11 +1630,15 @@ impl Cpu {
     // Completion / resolution
     // ------------------------------------------------------------------
 
-    fn complete_stage(&mut self) {
+    /// Reference scan scheduler's completion stage: sweep every entry in
+    /// seq order, retiring due executions and firing due assist replays.
+    fn complete_stage_scan(&mut self) {
         let mut idx = 0;
         while idx < self.rob.len() {
             if self.rob[idx].state == EState::Executing && self.rob[idx].done_at <= self.cycle {
                 self.rob[idx].state = EState::Done;
+                let seq = self.rob[idx].seq;
+                self.entry_done(seq);
             }
             {
                 // Assisted (LVI) load replay: once the slow translation
@@ -1132,6 +1664,51 @@ impl Cpu {
         // Assisted loads finish instantly in this model (latency 2), so the
         // replay above usually runs within a couple of cycles — inside the
         // transient window their consumers already left footprints.
+    }
+
+    /// Event-driven completion: pop due events in `(cycle, seq, kind)`
+    /// order — exactly the order the scan sweep observes them (seq order,
+    /// completion before replay for one entry) — and validate each against
+    /// the entry's current state, so events orphaned by squash or seq reuse
+    /// are dropped.
+    fn complete_stage_event(&mut self) {
+        while let Some(&Reverse((at, _, _))) = self.events.peek() {
+            if at > self.cycle {
+                break;
+            }
+            let Reverse((at, seq, kind)) = self.events.pop().expect("peeked");
+            let Some(idx) = self.rob_index_of(seq) else {
+                continue;
+            };
+            if kind == EV_COMPLETE {
+                // `done_at` must still match: exposure reschedules the
+                // completion, orphaning the original event.
+                if self.rob[idx].state == EState::Executing && self.rob[idx].done_at == at {
+                    self.rob[idx].state = EState::Done;
+                    self.entry_done(seq);
+                }
+            } else {
+                debug_assert_eq!(kind, EV_ASSIST_REPLAY);
+                let fire = {
+                    let e = &self.rob[idx];
+                    e.state == EState::Done
+                        && e.assisted
+                        && !e.assist_handled
+                        && e.done_at.max(e.assist_replay_at) == at
+                };
+                if fire {
+                    // Mirror of the scan scheduler's replay block.
+                    self.rob[idx].assist_handled = true;
+                    let pc = self.rob[idx].pc;
+                    let addr = self.rob[idx].eff_addr.expect("load has addr");
+                    let correct = self.mem.read_u64(addr);
+                    self.stats.lsq_rescheduled_loads += 1;
+                    self.stats.lsq_ignored_responses += 1;
+                    self.rob[idx].result = correct;
+                    self.squash_younger_than(seq, pc + 1, true);
+                }
+            }
+        }
     }
 
     /// Resolves a control instruction at `idx` with the actual next pc.
@@ -1216,12 +1793,42 @@ impl Cpu {
             if self.serialize_block == Some(e.seq) {
                 self.serialize_block = None;
             }
+            self.note_removed(&e);
+        }
+        while self.load_seqs.back().is_some_and(|&s| s > keep_seq) {
+            self.load_seqs.pop_back();
+        }
+        while self.store_seqs.back().is_some_and(|&s| s > keep_seq) {
+            self.store_seqs.pop_back();
         }
         self.unresolved_ctrl.retain(|&s| s <= keep_seq);
         // Reuse squashed sequence numbers so ROB seqs stay contiguous.
         self.next_seq = keep_seq + 1;
-        // Rebuild the rename map from surviving entries.
+        // Squashed seqs will be reused by entries that are not yet clean.
+        self.clean_watermark = self.clean_watermark.min(keep_seq + 1);
+        // Rebuild the rename map from surviving entries, and prune wakeup
+        // edges whose consumers were squashed (survivors' waiter lists must
+        // only reference live consumers; stale ready/event heap entries are
+        // instead dropped lazily on pop).
         self.reg_producer = [None; 32];
+        let mut i = 0;
+        while i < self.rob.len() {
+            let slot = self.slot(self.rob[i].seq);
+            let mut edge = self.waiter_head[slot];
+            self.waiter_head[slot] = EDGE_NONE;
+            while edge != EDGE_NONE {
+                let eu = edge as usize;
+                let next = self.edge_next[eu];
+                if self.edge_consumer[eu] <= keep_seq {
+                    self.edge_next[eu] = self.waiter_head[slot];
+                    self.waiter_head[slot] = edge;
+                } else {
+                    self.edge_linked[eu] = false;
+                }
+                edge = next;
+            }
+            i += 1;
+        }
         for e in self.rob.iter() {
             if let Some(dst) = e.op.dst() {
                 if dst != Reg::ZERO {
@@ -1276,13 +1883,22 @@ impl Cpu {
                     self.l2.fill(addr, false, false);
                     self.dcache.fill(addr, false, false);
                     // Exposure stalls commit.
+                    let done_at = self.cycle + self.cfg.invisispec_expose_latency as u64;
                     let e = self.rob.front_mut().expect("head exists");
                     debug_assert_eq!(e.seq, seq);
                     e.exposed = true;
                     e.state = EState::Executing;
-                    e.done_at = self.cycle + self.cfg.invisispec_expose_latency as u64;
+                    e.done_at = done_at;
                     self.stats.commit_expose_stall_cycles +=
                         self.cfg.invisispec_expose_latency as u64;
+                    // The head regressed from Done to Executing — the only
+                    // such transition in the pipeline. Restore the occupancy
+                    // counter, re-arm its completion, re-block any Waiting
+                    // consumer, and pull the clean watermark behind it.
+                    self.num_not_done += 1;
+                    self.schedule_event(done_at, seq, EV_COMPLETE);
+                    self.reblock_consumers_of(seq);
+                    self.clean_watermark = self.clean_watermark.min(seq);
                     break;
                 }
                 self.rob.front_mut().expect("head").exposed = true;
@@ -1328,6 +1944,18 @@ impl Cpu {
     /// Retires the ROB head architecturally.
     fn finish_commit_of_head(&mut self, _program: &Program) {
         let e = self.rob.pop_front().expect("head exists");
+        self.note_removed(&e);
+        match e.op {
+            Op::Load { .. } => {
+                debug_assert_eq!(self.load_seqs.front(), Some(&e.seq));
+                self.load_seqs.pop_front();
+            }
+            Op::Store { .. } => {
+                debug_assert_eq!(self.store_seqs.front(), Some(&e.seq));
+                self.store_seqs.pop_front();
+            }
+            _ => {}
+        }
         self.stats.committed_insts += 1;
         self.committed_since_sample += 1;
         if let Some(dst) = e.op.dst() {

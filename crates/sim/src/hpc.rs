@@ -8,6 +8,11 @@
 //! number, cycles, rate, average" per event). The 12 engineered features are
 //! produced in `evax-core::feature_engineering` by mining the trained AM-GAN
 //! Generator.
+//!
+//! [`for_each_hpc`] is the single source of truth for the counter order;
+//! everything else (names, allocation-free [`hpc_vector_into`], the
+//! `Vec`-returning conveniences) derives from it, so the name table and the
+//! value fill can never drift apart.
 
 use std::sync::OnceLock;
 
@@ -18,193 +23,186 @@ use crate::tlb::TlbStats;
 /// Number of baseline HPC features (pre-engineering).
 pub const HPC_BASE_DIM: usize = 133;
 
-/// `(name, value)` pairs for every baseline HPC, in canonical order.
-pub fn hpc_pairs(cpu: &Cpu) -> Vec<(&'static str, f64)> {
+/// Visits every baseline HPC as a `(name, value)` pair, in canonical order.
+///
+/// This is the sampling hot path's primitive: it reads counters straight off
+/// the simulator with no intermediate allocation.
+pub fn for_each_hpc(cpu: &Cpu, mut f: impl FnMut(&'static str, f64)) {
     let p = cpu.stats();
-    let mut v: Vec<(&'static str, f64)> = Vec::with_capacity(HPC_BASE_DIM);
-    let mut push = |name: &'static str, val: f64| v.push((name, val));
 
     // ---- global ----
-    push("cycles", p.cycles as f64);
-    push("commit.CommittedInsts", p.committed_insts as f64);
+    f("cycles", p.cycles as f64);
+    f("commit.CommittedInsts", p.committed_insts as f64);
 
     // ---- fetch ----
-    push("fetch.Insts", p.fetch_insts as f64);
-    push("fetch.Branches", p.fetch_branches as f64);
-    push("fetch.PredictedTaken", p.fetch_predicted_taken as f64);
-    push("fetch.SquashCycles", p.fetch_squash_cycles as f64);
-    push(
+    f("fetch.Insts", p.fetch_insts as f64);
+    f("fetch.Branches", p.fetch_branches as f64);
+    f("fetch.PredictedTaken", p.fetch_predicted_taken as f64);
+    f("fetch.SquashCycles", p.fetch_squash_cycles as f64);
+    f(
         "fetch.IcacheStallCycles",
         p.fetch_icache_stall_cycles as f64,
     );
-    push("fetch.BlockedCycles", p.fetch_blocked_cycles as f64);
-    push("fetch.IdleCycles", p.fetch_idle_cycles as f64);
-    push(
+    f("fetch.BlockedCycles", p.fetch_blocked_cycles as f64);
+    f("fetch.IdleCycles", p.fetch_idle_cycles as f64);
+    f(
         "fetch.PendingQuiesceStallCycles",
         p.fetch_pending_quiesce_stall_cycles as f64,
     );
 
     // ---- rename ----
-    push("rename.RenamedInsts", p.rename_renamed_insts as f64);
-    push("rename.ROBFullEvents", p.rename_rob_full_events as f64);
-    push("rename.IQFullEvents", p.rename_iq_full_events as f64);
-    push("rename.LQFullEvents", p.rename_lq_full_events as f64);
-    push("rename.SQFullEvents", p.rename_sq_full_events as f64);
-    push(
+    f("rename.RenamedInsts", p.rename_renamed_insts as f64);
+    f("rename.ROBFullEvents", p.rename_rob_full_events as f64);
+    f("rename.IQFullEvents", p.rename_iq_full_events as f64);
+    f("rename.LQFullEvents", p.rename_lq_full_events as f64);
+    f("rename.SQFullEvents", p.rename_sq_full_events as f64);
+    f(
         "rename.FullRegistersEvents",
         p.rename_full_registers_events as f64,
     );
-    push("rename.serializingInsts", p.rename_serializing_insts as f64);
-    push("rename.Undone", p.rename_undone_maps as f64);
-    push("rename.CommittedMaps", p.rename_committed_maps as f64);
+    f("rename.serializingInsts", p.rename_serializing_insts as f64);
+    f("rename.Undone", p.rename_undone_maps as f64);
+    f("rename.CommittedMaps", p.rename_committed_maps as f64);
 
     // ---- issue queue ----
-    push("iq.IssuedInsts", p.iq_issued_insts as f64);
-    push("iq.SquashedInstsIssued", p.iq_squashed_insts_issued as f64);
-    push("iq.SquashedNonSpecLD", p.iq_squashed_non_spec_ld as f64);
-    push("iq.OperandStallCycles", p.iq_operand_stall_cycles as f64);
-    push("iq.FUStallCycles", p.iq_fu_stall_cycles as f64);
+    f("iq.IssuedInsts", p.iq_issued_insts as f64);
+    f("iq.SquashedInstsIssued", p.iq_squashed_insts_issued as f64);
+    f("iq.SquashedNonSpecLD", p.iq_squashed_non_spec_ld as f64);
+    f("iq.OperandStallCycles", p.iq_operand_stall_cycles as f64);
+    f("iq.FUStallCycles", p.iq_fu_stall_cycles as f64);
 
     // ---- iew ----
-    push("iew.ExecutedInsts", p.iew_executed_insts as f64);
-    push("iew.ExecSquashedInsts", p.iew_exec_squashed_insts as f64);
-    push("iew.ExecLoadInsts", p.iew_exec_load_insts as f64);
-    push("iew.ExecStoreInsts", p.iew_exec_store_insts as f64);
-    push("iew.MemOrderViolation", p.iew_mem_order_violations as f64);
-    push("iew.BranchMispredicts", p.iew_branch_mispredicts as f64);
-    push(
+    f("iew.ExecutedInsts", p.iew_executed_insts as f64);
+    f("iew.ExecSquashedInsts", p.iew_exec_squashed_insts as f64);
+    f("iew.ExecLoadInsts", p.iew_exec_load_insts as f64);
+    f("iew.ExecStoreInsts", p.iew_exec_store_insts as f64);
+    f("iew.MemOrderViolation", p.iew_mem_order_violations as f64);
+    f("iew.BranchMispredicts", p.iew_branch_mispredicts as f64);
+    f(
         "iew.PredictedTakenIncorrect",
         p.iew_predicted_taken_incorrect as f64,
     );
-    push(
+    f(
         "iew.PredictedNotTakenIncorrect",
         p.iew_predicted_not_taken_incorrect as f64,
     );
 
     // ---- lsq ----
-    push("lsq.forwLoads", p.lsq_forw_loads as f64);
-    push("lsq.squashedLoads", p.lsq_squashed_loads as f64);
-    push("lsq.squashedStores", p.lsq_squashed_stores as f64);
-    push("lsq.ignoredResponses", p.lsq_ignored_responses as f64);
-    push("lsq.rescheduledLoads", p.lsq_rescheduled_loads as f64);
-    push("lsq.CacheBlockedLoads", p.lsq_cache_blocked_loads as f64);
-    push("lsq.falseForwards", p.lsq_false_forwards as f64);
+    f("lsq.forwLoads", p.lsq_forw_loads as f64);
+    f("lsq.squashedLoads", p.lsq_squashed_loads as f64);
+    f("lsq.squashedStores", p.lsq_squashed_stores as f64);
+    f("lsq.ignoredResponses", p.lsq_ignored_responses as f64);
+    f("lsq.rescheduledLoads", p.lsq_rescheduled_loads as f64);
+    f("lsq.CacheBlockedLoads", p.lsq_cache_blocked_loads as f64);
+    f("lsq.falseForwards", p.lsq_false_forwards as f64);
 
     // ---- commit ----
-    push("commit.SquashedInsts", p.commit_squashed_insts as f64);
-    push("commit.Branches", p.commit_branches as f64);
-    push("commit.Loads", p.commit_loads as f64);
-    push("commit.Stores", p.commit_stores as f64);
-    push("commit.Membars", p.commit_membars as f64);
-    push(
+    f("commit.SquashedInsts", p.commit_squashed_insts as f64);
+    f("commit.Branches", p.commit_branches as f64);
+    f("commit.Loads", p.commit_loads as f64);
+    f("commit.Stores", p.commit_stores as f64);
+    f("commit.Membars", p.commit_membars as f64);
+    f(
         "commit.ROBSquashingCycles",
         p.commit_rob_squashing_cycles as f64,
     );
-    push(
+    f(
         "commit.ExposeStallCycles",
         p.commit_expose_stall_cycles as f64,
     );
 
     // ---- branch predictor ----
-    push("bp.condPredicted", p.bp_cond_predicted as f64);
-    push("bp.condIncorrect", p.bp_cond_incorrect as f64);
-    push("bp.BTBLookups", p.bp_btb_lookups as f64);
-    push("bp.BTBHits", p.bp_btb_hits as f64);
-    push("bp.indirectMispredicted", p.bp_indirect_mispredicted as f64);
-    push("bp.usedRAS", p.bp_used_ras as f64);
-    push("bp.RASIncorrect", p.bp_ras_incorrect as f64);
+    f("bp.condPredicted", p.bp_cond_predicted as f64);
+    f("bp.condIncorrect", p.bp_cond_incorrect as f64);
+    f("bp.BTBLookups", p.bp_btb_lookups as f64);
+    f("bp.BTBHits", p.bp_btb_hits as f64);
+    f("bp.indirectMispredicted", p.bp_indirect_mispredicted as f64);
+    f("bp.usedRAS", p.bp_used_ras as f64);
+    f("bp.RASIncorrect", p.bp_ras_incorrect as f64);
 
     // ---- faults / transient ----
-    push("faults.raised", p.faults_raised as f64);
-    push(
+    f("faults.raised", p.faults_raised as f64);
+    f(
         "faults.deferredWithData",
         p.faults_deferred_with_data as f64,
     );
-    push("faults.squashed", p.faults_squashed as f64);
-    push("spec.InstsAdded", p.spec_insts_added as f64);
-    push("spec.LoadsExecuted", p.spec_loads_executed as f64);
-    push("spec.WindowCycles", p.spec_window_cycles as f64);
+    f("faults.squashed", p.faults_squashed as f64);
+    f("spec.InstsAdded", p.spec_insts_added as f64);
+    f("spec.LoadsExecuted", p.spec_loads_executed as f64);
+    f("spec.WindowCycles", p.spec_window_cycles as f64);
 
     // ---- special units ----
-    push("rdrand.ops", p.rdrand_ops as f64);
-    push("rdrand.contentionCycles", p.rdrand_contention_cycles as f64);
-    push("syscalls", p.syscalls as f64);
+    f("rdrand.ops", p.rdrand_ops as f64);
+    f("rdrand.contentionCycles", p.rdrand_contention_cycles as f64);
+    f("syscalls", p.syscalls as f64);
 
     // ---- caches ----
-    push_cache(&mut v, "icache", cpu.icache().stats());
-    push_cache(&mut v, "dcache", cpu.dcache().stats());
-    push_cache(&mut v, "l2", cpu.l2().stats());
+    visit_cache(&mut f, "icache", cpu.icache().stats());
+    visit_cache(&mut f, "dcache", cpu.dcache().stats());
+    visit_cache(&mut f, "l2", cpu.l2().stats());
 
     // ---- TLBs ----
-    push_tlb(&mut v, "dtlb", cpu.dtlb().stats());
-    push_tlb(&mut v, "itlb", cpu.itlb().stats());
+    visit_tlb(&mut f, "dtlb", cpu.dtlb().stats());
+    visit_tlb(&mut f, "itlb", cpu.itlb().stats());
 
     // ---- DRAM ----
     let d = cpu.dram().stats();
-    let mut push = |name: &'static str, val: f64| v.push((name, val));
-    push("dram.activations", d.activations as f64);
-    push("dram.rowBufferHits", d.row_buffer_hits as f64);
-    push("dram.rowBufferConflicts", d.row_buffer_conflicts as f64);
-    push("dram.rowBufferEmpty", d.row_buffer_empty as f64);
-    push("dram.precharges", d.precharges as f64);
-    push("dram.refreshes", d.refreshes as f64);
-    push("dram.readReqs", d.read_reqs as f64);
-    push("dram.writeReqs", d.write_reqs as f64);
-    push("dram.bytesRead", d.bytes_read as f64);
-    push("dram.bytesWritten", d.bytes_written as f64);
-    push("dram.bytesReadWrQ", d.bytes_read_wr_q as f64);
-    push("dram.writeBursts", d.write_bursts as f64);
-    push("dram.selfRefreshEnergy", d.energy as f64);
-    push("dram.bitFlips", d.bit_flips as f64);
-    push("dram.rowsNearThreshold", d.rows_near_threshold as f64);
-    push("dram.bytesPerActivate", d.bytes_per_activate());
-    push("dram.rowHitRate", d.row_hit_rate());
+    f("dram.activations", d.activations as f64);
+    f("dram.rowBufferHits", d.row_buffer_hits as f64);
+    f("dram.rowBufferConflicts", d.row_buffer_conflicts as f64);
+    f("dram.rowBufferEmpty", d.row_buffer_empty as f64);
+    f("dram.precharges", d.precharges as f64);
+    f("dram.refreshes", d.refreshes as f64);
+    f("dram.readReqs", d.read_reqs as f64);
+    f("dram.writeReqs", d.write_reqs as f64);
+    f("dram.bytesRead", d.bytes_read as f64);
+    f("dram.bytesWritten", d.bytes_written as f64);
+    f("dram.bytesReadWrQ", d.bytes_read_wr_q as f64);
+    f("dram.writeBursts", d.write_bursts as f64);
+    f("dram.selfRefreshEnergy", d.energy as f64);
+    f("dram.bitFlips", d.bit_flips as f64);
+    f("dram.rowsNearThreshold", d.rows_near_threshold as f64);
+    f("dram.bytesPerActivate", d.bytes_per_activate());
+    f("dram.rowHitRate", d.row_hit_rate());
 
     // ---- derived rates (paper: "rate, average, distribution") ----
     let cyc = (p.cycles as f64).max(1.0);
     let fetched = (p.fetch_insts as f64).max(1.0);
     let cond = (p.bp_cond_predicted as f64).max(1.0);
-    push("derived.ipc", p.committed_insts as f64 / cyc);
-    push(
+    f("derived.ipc", p.committed_insts as f64 / cyc);
+    f(
         "derived.wrongPathFraction",
         p.commit_squashed_insts as f64 / fetched,
     );
-    push(
+    f(
         "derived.condMispredictRate",
         p.bp_cond_incorrect as f64 / cond,
     );
-    push(
+    f(
         "derived.dcacheMissRate",
         cpu.dcache().stats().read_misses as f64
             / ((cpu.dcache().stats().read_hits + cpu.dcache().stats().read_misses) as f64).max(1.0),
     );
-    push(
+    f(
         "derived.specLoadFraction",
         p.spec_loads_executed as f64 / (p.iew_exec_load_insts as f64).max(1.0),
     );
-    push(
+    f(
         "derived.forwLoadRate",
         p.lsq_forw_loads as f64 / (p.iew_exec_load_insts as f64).max(1.0),
     );
-    push(
+    f(
         "derived.execSquashRate",
         p.iew_exec_squashed_insts as f64 / (p.iew_executed_insts as f64).max(1.0),
     );
-    push(
+    f(
         "derived.l2MissRate",
         cpu.l2().stats().read_misses as f64
             / ((cpu.l2().stats().read_hits + cpu.l2().stats().read_misses) as f64).max(1.0),
     );
-
-    debug_assert_eq!(
-        v.len(),
-        HPC_BASE_DIM,
-        "HPC vector drifted from HPC_BASE_DIM"
-    );
-    v
 }
 
-fn push_cache(v: &mut Vec<(&'static str, f64)>, level: &'static str, s: &CacheStats) {
+fn visit_cache(f: &mut impl FnMut(&'static str, f64), level: &'static str, s: &CacheStats) {
     // One static name table per level keeps names 'static without leaking.
     let names: &[&'static str; 12] = match level {
         "icache" => &[
@@ -265,11 +263,11 @@ fn push_cache(v: &mut Vec<(&'static str, f64)>, level: &'static str, s: &CacheSt
         s.prefetch_hits as f64,
     ];
     for (n, val) in names.iter().zip(vals) {
-        v.push((n, val));
+        f(n, val);
     }
 }
 
-fn push_tlb(v: &mut Vec<(&'static str, f64)>, which: &'static str, s: &TlbStats) {
+fn visit_tlb(f: &mut impl FnMut(&'static str, f64), which: &'static str, s: &TlbStats) {
     let names: &[&'static str; 5] = match which {
         "dtlb" => &[
             "dtlb.rdHits",
@@ -294,22 +292,59 @@ fn push_tlb(v: &mut Vec<(&'static str, f64)>, which: &'static str, s: &TlbStats)
         s.evictions as f64,
     ];
     for (n, val) in names.iter().zip(vals) {
-        v.push((n, val));
+        f(n, val);
     }
 }
 
-/// Canonical HPC names, in the same order as [`hpc_vector`].
+/// Dimension of the baseline HPC vector (what [`hpc_vector_into`] expects).
+pub fn hpc_dim() -> usize {
+    HPC_BASE_DIM
+}
+
+/// Fills `out` with the baseline HPC feature vector, allocation-free.
+///
+/// # Panics
+/// Panics if `out.len() != HPC_BASE_DIM`.
+pub fn hpc_vector_into(cpu: &Cpu, out: &mut [f64]) {
+    assert_eq!(out.len(), HPC_BASE_DIM, "HPC output slice has wrong length");
+    let mut i = 0usize;
+    for_each_hpc(cpu, |_, val| {
+        out[i] = val;
+        i += 1;
+    });
+    debug_assert_eq!(i, HPC_BASE_DIM, "HPC vector drifted from HPC_BASE_DIM");
+}
+
+/// `(name, value)` pairs for every baseline HPC, in canonical order.
+/// Convenience wrapper over [`for_each_hpc`] (allocates; tests/reporting).
+pub fn hpc_pairs(cpu: &Cpu) -> Vec<(&'static str, f64)> {
+    let mut v: Vec<(&'static str, f64)> = Vec::with_capacity(HPC_BASE_DIM);
+    for_each_hpc(cpu, |name, val| v.push((name, val)));
+    debug_assert_eq!(
+        v.len(),
+        HPC_BASE_DIM,
+        "HPC vector drifted from HPC_BASE_DIM"
+    );
+    v
+}
+
+/// Canonical HPC names, in the same order as [`hpc_vector`]. Computed once.
 pub fn hpc_names() -> &'static [&'static str] {
     static NAMES: OnceLock<Vec<&'static str>> = OnceLock::new();
     NAMES.get_or_init(|| {
         let cpu = Cpu::new(crate::config::CpuConfig::default());
-        hpc_pairs(&cpu).into_iter().map(|(n, _)| n).collect()
+        let mut names = Vec::with_capacity(HPC_BASE_DIM);
+        for_each_hpc(&cpu, |name, _| names.push(name));
+        names
     })
 }
 
 /// The baseline HPC feature vector (order matches [`hpc_names`]).
+/// Convenience wrapper; the sampling hot path uses [`hpc_vector_into`].
 pub fn hpc_vector(cpu: &Cpu) -> Vec<f64> {
-    hpc_pairs(cpu).into_iter().map(|(_, v)| v).collect()
+    let mut v = vec![0.0f64; HPC_BASE_DIM];
+    hpc_vector_into(cpu, &mut v);
+    v
 }
 
 /// Index of a named HPC in the vector, if present.
@@ -327,6 +362,7 @@ mod tests {
         let cpu = Cpu::new(CpuConfig::default());
         assert_eq!(hpc_vector(&cpu).len(), HPC_BASE_DIM);
         assert_eq!(hpc_names().len(), HPC_BASE_DIM);
+        assert_eq!(hpc_dim(), HPC_BASE_DIM);
     }
 
     #[test]
@@ -336,6 +372,31 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), names.len(), "duplicate HPC names");
+    }
+
+    #[test]
+    fn pairs_vector_and_into_agree() {
+        let cpu = Cpu::new(CpuConfig::default());
+        let pairs = hpc_pairs(&cpu);
+        let vec = hpc_vector(&cpu);
+        let mut filled = vec![f64::NAN; HPC_BASE_DIM];
+        hpc_vector_into(&cpu, &mut filled);
+        assert_eq!(pairs.len(), vec.len());
+        for ((i, (name, val)), (v, fv)) in
+            pairs.iter().enumerate().zip(vec.iter().zip(filled.iter()))
+        {
+            assert_eq!(hpc_names()[i], *name);
+            assert_eq!(val.to_bits(), v.to_bits());
+            assert_eq!(val.to_bits(), fv.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn into_rejects_wrong_length() {
+        let cpu = Cpu::new(CpuConfig::default());
+        let mut short = vec![0.0f64; HPC_BASE_DIM - 1];
+        hpc_vector_into(&cpu, &mut short);
     }
 
     #[test]

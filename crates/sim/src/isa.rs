@@ -286,17 +286,20 @@ impl Op {
         }
     }
 
-    /// Source registers read by this instruction.
-    pub fn sources(&self) -> Vec<Reg> {
+    /// Source registers read by this instruction. No instruction reads more
+    /// than two registers, so this is a fixed array — returning it costs no
+    /// heap allocation on the rename hot path (one call per dispatched
+    /// instruction).
+    pub fn sources(&self) -> [Option<Reg>; 2] {
         match *self {
-            Op::Alu { a, b, .. } => vec![a, b],
-            Op::AluImm { a, .. } => vec![a],
-            Op::Load { base, .. } => vec![base],
-            Op::Store { src, base, .. } => vec![src, base],
-            Op::Flush { base, .. } | Op::Prefetch { base, .. } => vec![base],
-            Op::Branch { a, b, .. } => vec![a, b],
-            Op::JmpInd { base } => vec![base],
-            _ => Vec::new(),
+            Op::Alu { a, b, .. } => [Some(a), Some(b)],
+            Op::AluImm { a, .. } => [Some(a), None],
+            Op::Load { base, .. } => [Some(base), None],
+            Op::Store { src, base, .. } => [Some(src), Some(base)],
+            Op::Flush { base, .. } | Op::Prefetch { base, .. } => [Some(base), None],
+            Op::Branch { a, b, .. } => [Some(a), Some(b)],
+            Op::JmpInd { base } => [Some(base), None],
+            _ => [None, None],
         }
     }
 
@@ -654,7 +657,18 @@ mod tests {
             b: Reg::new(3),
         };
         assert_eq!(op.dst(), Some(Reg::new(1)));
-        assert_eq!(op.sources(), vec![Reg::new(2), Reg::new(3)]);
+        assert_eq!(op.sources(), [Some(Reg::new(2)), Some(Reg::new(3))]);
+        assert_eq!(Op::Nop.sources(), [None, None]);
+        assert_eq!(
+            Op::AluImm {
+                op: AluOp::Add,
+                dst: Reg::new(1),
+                a: Reg::new(4),
+                imm: 1,
+            }
+            .sources(),
+            [Some(Reg::new(4)), None]
+        );
         assert!(Op::Fence.is_serializing());
         assert!(Op::Ret.is_control());
         assert!(Op::Flush {

@@ -57,8 +57,10 @@ pub mod stats;
 pub mod tlb;
 
 pub use cache::Cache;
-pub use config::{CacheConfig, CpuConfig, MitigationMode};
+pub use config::{CacheConfig, CpuConfig, MitigationMode, SchedulerKind};
 pub use cpu::{Cpu, HpcSample, RunResult};
-pub use hpc::{hpc_index, hpc_names, hpc_vector, HPC_BASE_DIM};
+pub use hpc::{
+    for_each_hpc, hpc_dim, hpc_index, hpc_names, hpc_vector, hpc_vector_into, HPC_BASE_DIM,
+};
 pub use isa::{Program, ProgramBuilder};
 pub use stats::PipelineStats;
