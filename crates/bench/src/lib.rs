@@ -29,6 +29,7 @@ pub mod exp_sim;
 pub mod exp_tables;
 pub mod exp_zeroday;
 pub mod harness;
+pub mod stream_bench;
 
 pub use harness::{ExperimentScale, Harness};
 

@@ -5,14 +5,25 @@
 //! every 100,000, 10,000, 1000 and 100 instructions ... Contrary to typical
 //! architectural studies, we generate many more, smaller simpoints of benign
 //! codes, since we need to train to detect short patterns quickly."
+//!
+//! Collection rides the unified streaming featurization pipeline
+//! ([`crate::featurize`]): a **fit** pass streams every run's windows into
+//! per-stream [`StreamStats`] (one window vector + running stats per stream
+//! in memory), and an **emit** pass re-simulates each run — the simulator is
+//! bit-deterministic, so re-running is exact — converting every window
+//! straight into its normalized `f32` sample. No raw window matrix is ever
+//! materialized, so peak memory is bounded by the *output* dataset
+//! regardless of corpus size (the streaming trade: one extra simulation
+//! pass buys O(dim) working memory per stream).
 
 use evax_attacks::benign::Scale;
 use evax_attacks::{build_attack, build_benign, AttackClass, BenignKind, KernelParams};
-use evax_sim::{Cpu, CpuConfig};
+use evax_sim::{CpuConfig, Program};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::dataset::{Dataset, Normalizer, Sample, BENIGN_CLASS};
+use crate::featurize::{CollectingSink, DatasetSink, ProgramSource, StreamStats, WindowSource};
 use crate::par::{self, Parallelism};
 
 /// Collection configuration.
@@ -47,21 +58,13 @@ impl Default for CollectConfig {
 }
 
 /// Collects the raw (unnormalized) HPC windows for one program.
-pub fn raw_windows(
-    program: &evax_sim::Program,
-    cfg: &CollectConfig,
-    cpu_cfg: &CpuConfig,
-) -> Vec<Vec<f64>> {
-    let mut cpu = Cpu::new(cpu_cfg.clone());
-    // Attacks that read kernel memory need a secret planted by "the OS".
-    cpu.memory_mut()
-        .write_u64(evax_attacks::mds::KERNEL_SECRET_ADDR, 5);
-    let mut windows = Vec::new();
-    cpu.run_sampled(program, cfg.max_instrs, cfg.interval, |s| {
-        windows.push(s.values);
-        None
-    });
-    windows
+///
+/// Diagnostic/figure helper over the shared streaming source — the
+/// production collection path never materializes windows like this.
+pub fn raw_windows(program: &Program, cfg: &CollectConfig, cpu_cfg: &CpuConfig) -> Vec<Vec<f64>> {
+    let mut sink = CollectingSink::new();
+    ProgramSource::new(program, cpu_cfg, cfg.interval, cfg.max_instrs).stream(&mut sink);
+    sink.into_windows()
 }
 
 /// One unit of collection work: a single program run with its own
@@ -73,21 +76,35 @@ enum RunSpec {
     Benign { kind: BenignKind },
 }
 
-/// A full labeled collection run: every attack class plus every benign kind,
-/// with per-run parameter jitter so samples are not identical.
-///
-/// Runs fan out across `cfg.parallelism` worker threads; every run's random
-/// stream is a child seed drawn from the master RNG in canonical run order
-/// before the fan-out, and windows are merged back in that same order, so
-/// the result is **bit-identical at any thread count** (see [`crate::par`]).
-///
-/// Returns the dataset (normalized) and the fitted normalizer (needed to
-/// normalize future/evasive samples consistently).
-pub fn collect_dataset(cfg: &CollectConfig, seed: u64) -> (Dataset, Normalizer) {
-    let cpu_cfg = CpuConfig::default();
-    let mut rng = StdRng::seed_from_u64(seed);
+/// Builds the program and label for one run. Construction is a pure
+/// function of `(spec, child_seed)`, so the fit and emit passes rebuild
+/// byte-identical programs.
+fn build_run(spec: &RunSpec, child_seed: u64, cfg: &CollectConfig) -> (Program, usize) {
+    let mut rng = StdRng::seed_from_u64(child_seed);
+    match spec {
+        RunSpec::Attack { class, run } => {
+            // Enough attack rounds to fill the instruction budget, so
+            // every class yields a comparable number of windows
+            // (short kernels like LVI would otherwise contribute
+            // almost no samples).
+            let params = KernelParams {
+                seed: rng.gen(),
+                iterations: 150 + (*run as u32 % 4) * 75,
+                ..Default::default()
+            };
+            (build_attack(*class, &params, &mut rng), class.label())
+        }
+        RunSpec::Benign { kind } => (
+            build_benign(*kind, Scale(cfg.benign_scale), &mut rng),
+            BENIGN_CLASS,
+        ),
+    }
+}
 
-    // Fix the work list and per-run child seeds up front, in canonical order.
+/// The canonical work list: every attack class plus every benign kind, with
+/// per-run child seeds drawn from the master RNG in canonical run order.
+fn run_specs(cfg: &CollectConfig, seed: u64) -> Vec<(RunSpec, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut runs: Vec<(RunSpec, u64)> = Vec::new();
     for class in evax_attacks::ATTACK_CLASSES {
         for run in 0..cfg.runs_per_attack {
@@ -99,60 +116,76 @@ pub fn collect_dataset(cfg: &CollectConfig, seed: u64) -> (Dataset, Normalizer) 
             runs.push((RunSpec::Benign { kind }, rng.gen()));
         }
     }
+    runs
+}
 
-    let per_run: Vec<Vec<(Vec<f64>, usize)>> =
-        par::map(cfg.parallelism, &runs, |(spec, child_seed)| {
-            let mut rng = StdRng::seed_from_u64(*child_seed);
-            let (program, label) = match spec {
-                RunSpec::Attack { class, run } => {
-                    // Enough attack rounds to fill the instruction budget, so
-                    // every class yields a comparable number of windows
-                    // (short kernels like LVI would otherwise contribute
-                    // almost no samples).
-                    let params = KernelParams {
-                        seed: rng.gen(),
-                        iterations: 150 + (*run as u32 % 4) * 75,
-                        ..Default::default()
-                    };
-                    (build_attack(*class, &params, &mut rng), class.label())
-                }
-                RunSpec::Benign { kind } => (
-                    build_benign(*kind, Scale(cfg.benign_scale), &mut rng),
-                    BENIGN_CLASS,
-                ),
-            };
-            raw_windows(&program, cfg, &cpu_cfg)
-                .into_iter()
-                .map(|w| (w, label))
-                .collect()
-        });
-    let labeled_raw: Vec<(Vec<f64>, usize)> = per_run.into_iter().flatten().collect();
+/// A full labeled collection run: every attack class plus every benign kind,
+/// with per-run parameter jitter so samples are not identical.
+///
+/// Runs fan out across `cfg.parallelism` worker threads; every run's random
+/// stream is a child seed drawn from the master RNG in canonical run order
+/// before the fan-out, per-stream statistics and samples are merged back in
+/// that same order, so the result is **bit-identical at any thread count**
+/// (see [`crate::par`]).
+///
+/// Returns the dataset (normalized) and the full streaming statistics
+/// (maxima for the [`Normalizer`], Welford mean/variance) fitted over every
+/// raw window.
+pub fn collect_dataset_stats(cfg: &CollectConfig, seed: u64) -> (Dataset, StreamStats) {
+    let cpu_cfg = CpuConfig::default();
+    let runs = run_specs(cfg, seed);
+    let dim = evax_sim::hpc_dim();
 
-    let dim = labeled_raw.first().map_or(0, |(w, _)| w.len());
-    let mut norm = Normalizer::new(dim);
-    for (w, _) in &labeled_raw {
-        norm.observe(w);
+    // Fit pass: stream every run's windows into per-stream statistics.
+    // Memory per worker: one in-flight window vector plus O(dim) stats.
+    let per_run_stats: Vec<StreamStats> = par::map(cfg.parallelism, &runs, |(spec, child_seed)| {
+        let (program, _) = build_run(spec, *child_seed, cfg);
+        let mut stats = StreamStats::new(dim);
+        ProgramSource::new(&program, &cpu_cfg, cfg.interval, cfg.max_instrs).stream(&mut stats);
+        stats
+    });
+    let mut stats = StreamStats::new(dim);
+    for s in &per_run_stats {
+        stats.merge(s);
     }
+    let norm = stats.normalizer();
+
+    // Emit pass: re-simulate (bit-deterministic) and normalize each window
+    // straight into its f32 sample — raw windows are never retained.
+    let per_run: Vec<Dataset> = par::map(cfg.parallelism, &runs, |(spec, child_seed)| {
+        let (program, label) = build_run(spec, *child_seed, cfg);
+        let mut sink = DatasetSink::new(&norm, label);
+        ProgramSource::new(&program, &cpu_cfg, cfg.interval, cfg.max_instrs).stream(&mut sink);
+        sink.into_dataset()
+    });
     let mut ds = Dataset::new();
-    for (w, class) in &labeled_raw {
-        ds.push(Sample::new(norm.normalize(w), *class));
+    for run_ds in per_run {
+        ds.extend(run_ds);
     }
+    (ds, stats)
+}
+
+/// [`collect_dataset_stats`], returning just the fitted normalizer (the
+/// historical interface; byte-identical output).
+pub fn collect_dataset(cfg: &CollectConfig, seed: u64) -> (Dataset, Normalizer) {
+    let (ds, stats) = collect_dataset_stats(cfg, seed);
+    let norm = stats.normalizer();
     (ds, norm)
 }
 
 /// Collects samples for a single prebuilt program under an existing
-/// normalizer (used for evasive corpora and detector deployment).
+/// normalizer (used for evasive corpora and detector deployment). Streams
+/// each window straight into its normalized sample.
 pub fn collect_program(
-    program: &evax_sim::Program,
+    program: &Program,
     class: usize,
     cfg: &CollectConfig,
     norm: &Normalizer,
 ) -> Vec<Sample> {
     let cpu_cfg = CpuConfig::default();
-    raw_windows(program, cfg, &cpu_cfg)
-        .into_iter()
-        .map(|w| Sample::new(norm.normalize(&w), class))
-        .collect()
+    let mut sink = DatasetSink::new(norm, class);
+    ProgramSource::new(program, &cpu_cfg, cfg.interval, cfg.max_instrs).stream(&mut sink);
+    sink.into_dataset().samples
 }
 
 #[cfg(test)]
@@ -179,6 +212,17 @@ mod tests {
         assert!(ds.n_malicious() > 0 && ds.n_benign() > 0);
         for s in &ds.samples {
             assert!(s.features.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn stats_cover_every_window() {
+        let (ds, stats) = collect_dataset_stats(&tiny(), 7);
+        assert_eq!(stats.count(), ds.len() as u64);
+        assert_eq!(stats.dim(), evax_sim::HPC_BASE_DIM);
+        // Welford means of |x| are bounded by the fitted maxima.
+        for i in 0..stats.dim() {
+            assert!(stats.means()[i].abs() <= stats.normalizer().maxima()[i] + 1e-12);
         }
     }
 
@@ -219,15 +263,18 @@ mod tests {
     #[test]
     fn parallel_collection_matches_serial_bitwise() {
         let serial = tiny();
-        let (a, norm_a) = collect_dataset(&serial, 11);
+        let (a, stats_a) = collect_dataset_stats(&serial, 11);
         for threads in [2, 4, 7] {
             let parallel = CollectConfig {
                 parallelism: Parallelism::Fixed(threads),
                 ..serial.clone()
             };
-            let (b, norm_b) = collect_dataset(&parallel, 11);
+            let (b, stats_b) = collect_dataset_stats(&parallel, 11);
             assert_eq!(a.samples, b.samples, "threads={threads}");
-            assert_eq!(norm_a, norm_b, "threads={threads}");
+            // The full streaming statistics — maxima *and* Welford
+            // mean/variance — are bit-identical, because per-stream stats
+            // merge in canonical stream order regardless of thread count.
+            assert_eq!(stats_a, stats_b, "threads={threads}");
         }
     }
 }

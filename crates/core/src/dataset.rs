@@ -51,6 +51,18 @@ impl Normalizer {
         }
     }
 
+    /// Reconstructs a normalizer from previously fitted maxima (streaming
+    /// fits and exact persistence — see [`crate::featurize::StreamStats`]
+    /// and [`crate::io`]).
+    pub fn from_maxima(max: Vec<f64>) -> Self {
+        Normalizer { max }
+    }
+
+    /// The fitted per-feature maxima.
+    pub fn maxima(&self) -> &[f64] {
+        &self.max
+    }
+
     /// Feature dimension.
     pub fn dim(&self) -> usize {
         self.max.len()

@@ -1,0 +1,579 @@
+//! The unified streaming featurization pipeline — the *one* window→feature
+//! path shared by offline collection, k-fold/fuzz corpora, detector
+//! training and the online adaptive defense loop.
+//!
+//! EVAX's premise (paper §VII–§VIII, Fig. 12–14) is that the *same* HPC
+//! featurization runs offline (dataset collection, AM-GAN vaccination,
+//! detector training) and online (the adaptive controller that flags
+//! attacks mid-run). Implementing that path more than once is exactly the
+//! train/serve skew that breaks deployed HMDs: detector accuracy collapses
+//! when deployment-time feature extraction drifts from training-time
+//! (Stochastic-HMDs, MAD-EN). This module is the single implementation:
+//!
+//! ```text
+//!   WindowSource ──▶ window delta ──▶ normalization ──▶ engineered HPCs
+//!   (simulator,      (inside           (Normalizer /      (fuzzy-AND
+//!    run_sampled)     run_sampled)      StreamStats)       projection)
+//!        │
+//!        └──▶ WindowSink: StreamStats (fit) · DatasetSink (offline)
+//!             · VerdictSink (deployment) · the adaptive controller
+//!             (evax-defense) · CollectingSink (figures/tests)
+//! ```
+//!
+//! * [`WindowSource`] produces raw per-window HPC **delta** vectors. The
+//!   canonical source is [`ProgramSource`]: one program on a fresh core,
+//!   driven by `Cpu::run_sampled`'s zero-alloc `hpc_vector_into` visitor
+//!   with in-place window deltas.
+//! * [`WindowSink`] consumes windows and may steer the source (the adaptive
+//!   controller returns mitigation-mode switches; offline sinks return
+//!   `None`).
+//! * [`StreamStats`] is the streaming fit: exact running maxima (bit-exact
+//!   with a two-pass fit, since `max` is order-independent) plus Welford
+//!   online mean/variance. Parallel collection merges per-stream stats in
+//!   canonical stream order, so results are bit-identical at any thread
+//!   count (see [`crate::par`]).
+//! * [`Featurizer`] is the serializable window→feature transform that
+//!   travels with a trained detector (see [`crate::io`]), so train-time and
+//!   deploy-time transforms can never diverge.
+//!
+//! # Memory bounds
+//!
+//! Streaming collection never materializes raw window matrices: a fit pass
+//! holds one window vector plus running stats per stream, and the emit pass
+//! converts each window straight into its normalized `f32` sample. Peak
+//! memory is the *output* dataset plus O(dim) per worker, independent of
+//! how many raw windows the corpus contains.
+
+use evax_sim::{Cpu, CpuConfig, MitigationMode, Program, RunResult};
+
+use crate::dataset::{Dataset, Normalizer, Sample};
+use crate::detector::Detector;
+use crate::feature_engineering::EngineeredFeature;
+
+/// One raw HPC sampling window, borrowed from the driving source.
+///
+/// `values` are the per-window counter **deltas** (the window-delta stage
+/// runs inside `Cpu::run_sampled`, converting absolute counters in place).
+#[derive(Debug, Clone, Copy)]
+pub struct RawWindow<'a> {
+    /// Raw (unnormalized) HPC deltas for this window.
+    pub values: &'a [f64],
+    /// Committed instructions at the window boundary.
+    pub instructions: u64,
+    /// Cycle count at the window boundary.
+    pub cycle: u64,
+}
+
+impl RawWindow<'_> {
+    /// Instructions-per-cycle of this window (Fig. 14 timelines).
+    pub fn ipc(&self) -> f64 {
+        let cyc_idx = evax_sim::hpc_index("cycles").expect("cycles HPC");
+        let inst_idx = evax_sim::hpc_index("commit.CommittedInsts").expect("insts HPC");
+        let cycles = self.values[cyc_idx].max(1.0);
+        self.values[inst_idx] / cycles
+    }
+}
+
+/// A consumer of raw windows.
+///
+/// Returning `Some(mode)` steers the driving source (the adaptive
+/// controller's lever); offline sinks return `None`.
+pub trait WindowSink {
+    /// Consumes one window; optionally switches the source's mitigation.
+    fn window(&mut self, w: &RawWindow<'_>) -> Option<MitigationMode>;
+}
+
+/// A producer of raw HPC windows that drives a [`WindowSink`].
+pub trait WindowSource {
+    /// Streams every window into `sink`, honoring its mitigation switches.
+    fn stream(&mut self, sink: &mut dyn WindowSink) -> RunResult;
+}
+
+/// The canonical window source: one program run on a fresh simulated core.
+///
+/// This is the single simulator-driving loop behind collection, evasive
+/// corpora, deployment scoring and the adaptive controller. It plants the
+/// kernel secret (attacks that read kernel memory need one) and samples
+/// every `interval` committed instructions.
+#[derive(Debug)]
+pub struct ProgramSource<'a> {
+    program: &'a Program,
+    cpu_cfg: &'a CpuConfig,
+    interval: u64,
+    max_instrs: u64,
+}
+
+impl<'a> ProgramSource<'a> {
+    /// Creates a source sampling `program` every `interval` committed
+    /// instructions for at most `max_instrs` instructions.
+    pub fn new(
+        program: &'a Program,
+        cpu_cfg: &'a CpuConfig,
+        interval: u64,
+        max_instrs: u64,
+    ) -> Self {
+        ProgramSource {
+            program,
+            cpu_cfg,
+            interval,
+            max_instrs,
+        }
+    }
+}
+
+impl WindowSource for ProgramSource<'_> {
+    fn stream(&mut self, sink: &mut dyn WindowSink) -> RunResult {
+        let mut cpu = Cpu::new(self.cpu_cfg.clone());
+        cpu.memory_mut()
+            .write_u64(evax_attacks::mds::KERNEL_SECRET_ADDR, 5);
+        cpu.run_sampled(self.program, self.max_instrs, self.interval, |s| {
+            sink.window(&RawWindow {
+                values: &s.values,
+                instructions: s.instructions,
+                cycle: s.cycle,
+            })
+        })
+    }
+}
+
+/// Per-feature streaming statistics: exact running maxima plus Welford
+/// online mean/variance.
+///
+/// The maxima are bit-exact with a two-pass (materialize-then-fold) fit —
+/// `max` over `|x|` is order-independent — so the [`Normalizer`] produced
+/// by a streaming fit is byte-identical to the historical one. Mean and
+/// variance use Welford's recurrence, with a pairwise merge (Chan et al.)
+/// for parallel streams.
+///
+/// # Determinism
+///
+/// [`merge`](StreamStats::merge) is *not* commutative in floating point;
+/// callers must merge per-stream stats in canonical stream order (as
+/// [`crate::collect::collect_dataset`] does), which makes the result
+/// bit-identical at any thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    count: u64,
+    max: Vec<f64>,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+}
+
+impl StreamStats {
+    /// Creates empty statistics for `dim` features.
+    pub fn new(dim: usize) -> Self {
+        StreamStats {
+            count: 0,
+            max: vec![0.0; dim],
+            mean: vec![0.0; dim],
+            m2: vec![0.0; dim],
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.max.len()
+    }
+
+    /// Number of windows observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one raw window into the statistics.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn observe(&mut self, raw: &[f64]) {
+        assert_eq!(raw.len(), self.max.len(), "feature dim mismatch");
+        self.count += 1;
+        let n = self.count as f64;
+        for (i, &v) in raw.iter().enumerate() {
+            if v.abs() > self.max[i] {
+                self.max[i] = v.abs();
+            }
+            let delta = v - self.mean[i];
+            self.mean[i] += delta / n;
+            self.m2[i] += delta * (v - self.mean[i]);
+        }
+    }
+
+    /// Merges another stream's statistics into this one (Chan et al.'s
+    /// pairwise update). Merge order must be canonical — see the type docs.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn merge(&mut self, other: &StreamStats) {
+        assert_eq!(other.dim(), self.dim(), "feature dim mismatch");
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let na = self.count as f64;
+        let nb = other.count as f64;
+        let n = na + nb;
+        for i in 0..self.max.len() {
+            if other.max[i] > self.max[i] {
+                self.max[i] = other.max[i];
+            }
+            let delta = other.mean[i] - self.mean[i];
+            self.mean[i] += delta * nb / n;
+            self.m2[i] += other.m2[i] + delta * delta * na * nb / n;
+        }
+        self.count += other.count;
+    }
+
+    /// Running mean per feature.
+    pub fn means(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Population variance of feature `i` (0 when fewer than two windows).
+    pub fn variance(&self, i: usize) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2[i] / self.count as f64
+        }
+    }
+
+    /// The fitted running-max [`Normalizer`] (bit-exact with a two-pass fit).
+    pub fn normalizer(&self) -> Normalizer {
+        Normalizer::from_maxima(self.max.clone())
+    }
+}
+
+impl WindowSink for StreamStats {
+    fn window(&mut self, w: &RawWindow<'_>) -> Option<MitigationMode> {
+        self.observe(w.values);
+        None
+    }
+}
+
+/// The serializable window→feature transform deployed alongside a trained
+/// detector: normalization plus the engineered security-HPC projection.
+///
+/// Persisting this with the model (see [`crate::io::write_featurizer`])
+/// guarantees deployment-time featurization is the one the detector was
+/// trained with — there is no ad-hoc reconstruction to drift.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Featurizer {
+    normalizer: Normalizer,
+    engineered: Vec<EngineeredFeature>,
+}
+
+impl Featurizer {
+    /// Creates a featurizer from a fitted normalizer and the mined
+    /// engineered features (empty for baseline detectors).
+    pub fn new(normalizer: Normalizer, engineered: Vec<EngineeredFeature>) -> Self {
+        Featurizer {
+            normalizer,
+            engineered,
+        }
+    }
+
+    /// A featurizer with no engineered stage (baseline HPCs only).
+    pub fn baseline(normalizer: Normalizer) -> Self {
+        Featurizer::new(normalizer, Vec::new())
+    }
+
+    /// The normalization stage.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// The engineered security-HPC projection stage.
+    pub fn engineered(&self) -> &[EngineeredFeature] {
+        &self.engineered
+    }
+
+    /// Baseline (normalized) feature dimension.
+    pub fn base_dim(&self) -> usize {
+        self.normalizer.dim()
+    }
+
+    /// Output feature dimension (base + engineered).
+    pub fn feature_dim(&self) -> usize {
+        self.normalizer.dim() + self.engineered.len()
+    }
+
+    /// Normalizes a raw window into the baseline feature space (what
+    /// [`Detector::classify`] consumes; the detector applies its own
+    /// engineered extension internally).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch (either slice).
+    pub fn normalize_into(&self, raw: &[f64], out: &mut [f32]) {
+        self.normalizer.normalize_into(raw, out);
+    }
+
+    /// Full window→feature transform: normalized baseline prefix plus the
+    /// engineered fuzzy-AND projections (133 → 145 in the paper's
+    /// configuration). `out` must have [`feature_dim`](Self::feature_dim)
+    /// elements.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch (either slice).
+    pub fn featurize_into(&self, raw: &[f64], out: &mut [f32]) {
+        assert_eq!(out.len(), self.feature_dim(), "output dim mismatch");
+        let (base, ext) = out.split_at_mut(self.base_dim());
+        self.normalizer.normalize_into(raw, base);
+        for (o, f) in ext.iter_mut().zip(self.engineered.iter()) {
+            *o = f.eval(base);
+        }
+    }
+
+    /// Allocating convenience over [`featurize_into`](Self::featurize_into).
+    pub fn featurize(&self, raw: &[f64]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.feature_dim()];
+        self.featurize_into(raw, &mut out);
+        out
+    }
+}
+
+/// Offline sink: normalizes every window and appends it to a labeled
+/// [`Dataset`] — the streaming replacement for materialize-then-normalize.
+#[derive(Debug)]
+pub struct DatasetSink<'a> {
+    normalizer: &'a Normalizer,
+    class: usize,
+    dataset: Dataset,
+}
+
+impl<'a> DatasetSink<'a> {
+    /// Creates a sink labeling every window with `class`.
+    pub fn new(normalizer: &'a Normalizer, class: usize) -> Self {
+        DatasetSink {
+            normalizer,
+            class,
+            dataset: Dataset::new(),
+        }
+    }
+
+    /// Relabels subsequent windows (sources that stream several programs).
+    pub fn set_class(&mut self, class: usize) {
+        self.class = class;
+    }
+
+    /// The accumulated dataset.
+    pub fn into_dataset(self) -> Dataset {
+        self.dataset
+    }
+}
+
+impl WindowSink for DatasetSink<'_> {
+    fn window(&mut self, w: &RawWindow<'_>) -> Option<MitigationMode> {
+        self.dataset
+            .push(Sample::new(self.normalizer.normalize(w.values), self.class));
+        None
+    }
+}
+
+/// Deployment sink: featurizes every window and records the detector's
+/// verdicts (no mitigation feedback — the adaptive controller in
+/// `evax-defense` adds the secure-mode state machine on top of the same
+/// stage chain).
+#[derive(Debug)]
+pub struct VerdictSink<'a> {
+    featurizer: &'a Featurizer,
+    detector: &'a Detector,
+    features: Vec<f32>,
+    verdicts: Vec<bool>,
+}
+
+impl<'a> VerdictSink<'a> {
+    /// Creates a sink classifying windows with `detector` under
+    /// `featurizer`'s transform.
+    pub fn new(featurizer: &'a Featurizer, detector: &'a Detector) -> Self {
+        VerdictSink {
+            features: vec![0.0f32; featurizer.base_dim()],
+            featurizer,
+            detector,
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Per-window verdicts (`true` = flagged malicious), in window order.
+    pub fn verdicts(&self) -> &[bool] {
+        &self.verdicts
+    }
+
+    /// Number of flagged windows.
+    pub fn flags(&self) -> u64 {
+        self.verdicts.iter().filter(|&&v| v).count() as u64
+    }
+}
+
+impl WindowSink for VerdictSink<'_> {
+    fn window(&mut self, w: &RawWindow<'_>) -> Option<MitigationMode> {
+        self.featurizer.normalize_into(w.values, &mut self.features);
+        self.verdicts.push(self.detector.classify(&self.features));
+        None
+    }
+}
+
+/// Diagnostic sink that materializes raw windows (figures, golden-test
+/// oracles). **Not** part of the production path — it defeats the streaming
+/// memory bound by design.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    windows: Vec<Vec<f64>>,
+}
+
+impl CollectingSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The materialized raw windows, in window order.
+    pub fn into_windows(self) -> Vec<Vec<f64>> {
+        self.windows
+    }
+}
+
+impl WindowSink for CollectingSink {
+    fn window(&mut self, w: &RawWindow<'_>) -> Option<MitigationMode> {
+        self.windows.push(w.values.to_vec());
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evax_attacks::{build_attack, AttackClass, KernelParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spectre_program(seed: u64) -> Program {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = KernelParams {
+            iterations: 24,
+            ..Default::default()
+        };
+        build_attack(AttackClass::SpectrePht, &params, &mut rng)
+    }
+
+    #[test]
+    fn program_source_streams_windows() {
+        let program = spectre_program(1);
+        let cfg = CpuConfig::default();
+        let mut sink = CollectingSink::new();
+        let result = ProgramSource::new(&program, &cfg, 200, 3_000).stream(&mut sink);
+        assert!(result.committed_instructions > 0);
+        let windows = sink.into_windows();
+        assert!(windows.len() >= 5, "got {} windows", windows.len());
+        assert!(windows.iter().all(|w| w.len() == evax_sim::hpc_dim()));
+    }
+
+    #[test]
+    fn stream_stats_max_matches_two_pass_bitwise() {
+        let program = spectre_program(2);
+        let cfg = CpuConfig::default();
+        let mut stats = StreamStats::new(evax_sim::hpc_dim());
+        ProgramSource::new(&program, &cfg, 200, 3_000).stream(&mut stats);
+        let mut collect = CollectingSink::new();
+        ProgramSource::new(&program, &cfg, 200, 3_000).stream(&mut collect);
+        let mut two_pass = Normalizer::new(evax_sim::hpc_dim());
+        for w in collect.into_windows() {
+            two_pass.observe(&w);
+        }
+        assert_eq!(stats.normalizer(), two_pass);
+    }
+
+    #[test]
+    fn stream_stats_merge_is_exact_for_maxima_and_counts() {
+        let mut a = StreamStats::new(2);
+        a.observe(&[1.0, -4.0]);
+        a.observe(&[2.0, 0.5]);
+        let mut b = StreamStats::new(2);
+        b.observe(&[-3.0, 1.0]);
+        let mut merged = StreamStats::new(2);
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.count(), 3);
+        let norm = merged.normalizer();
+        assert_eq!(norm.maxima(), &[3.0, 4.0]);
+        // Mean is within fp tolerance of the sequential fold.
+        let mut seq = StreamStats::new(2);
+        for w in [[1.0, -4.0], [2.0, 0.5], [-3.0, 1.0]] {
+            seq.observe(&w);
+        }
+        for i in 0..2 {
+            assert!((merged.means()[i] - seq.means()[i]).abs() < 1e-12);
+            assert!((merged.variance(i) - seq.variance(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = StreamStats::new(2);
+        a.observe(&[1.0, 2.0]);
+        let before = a.clone();
+        a.merge(&StreamStats::new(2));
+        assert_eq!(a, before);
+        let mut empty = StreamStats::new(2);
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn featurizer_extends_with_engineered_projection() {
+        let mut norm = Normalizer::new(3);
+        norm.observe(&[10.0, 4.0, 2.0]);
+        let f = Featurizer::new(
+            norm,
+            vec![EngineeredFeature {
+                name: "a_AND_b".into(),
+                components: vec![0, 1],
+            }],
+        );
+        assert_eq!(f.base_dim(), 3);
+        assert_eq!(f.feature_dim(), 4);
+        let out = f.featurize(&[5.0, 4.0, 1.0]);
+        assert_eq!(out.len(), 4);
+        assert!((out[0] - 0.5).abs() < 1e-6);
+        // Fuzzy AND = min of the normalized components.
+        assert!((out[3] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn featurize_matches_extend_features() {
+        let mut norm = Normalizer::new(3);
+        norm.observe(&[8.0, 2.0, 4.0]);
+        let eng = vec![EngineeredFeature {
+            name: "x".into(),
+            components: vec![0, 2],
+        }];
+        let f = Featurizer::new(norm.clone(), eng.clone());
+        let raw = [4.0, 1.0, 3.0];
+        let base = norm.normalize(&raw);
+        let expected = crate::feature_engineering::extend_features(&base, &eng);
+        assert_eq!(f.featurize(&raw), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "output dim mismatch")]
+    fn featurize_into_rejects_wrong_output_length() {
+        let f = Featurizer::baseline(Normalizer::new(2));
+        f.featurize_into(&[1.0, 2.0], &mut [0.0f32; 3]);
+    }
+
+    #[test]
+    fn window_ipc_reads_the_counters() {
+        let dim = evax_sim::hpc_dim();
+        let mut values = vec![0.0f64; dim];
+        values[evax_sim::hpc_index("cycles").unwrap()] = 200.0;
+        values[evax_sim::hpc_index("commit.CommittedInsts").unwrap()] = 100.0;
+        let w = RawWindow {
+            values: &values,
+            instructions: 100,
+            cycle: 200,
+        };
+        assert!((w.ipc() - 0.5).abs() < 1e-12);
+    }
+}

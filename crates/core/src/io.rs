@@ -1,14 +1,24 @@
 //! Dataset and model persistence: CSV for datasets (interoperable with any
-//! external ML tooling) and a compact binary format for normalizers.
+//! external ML tooling), exact text formats for normalizers and
+//! [`Featurizer`]s, and a bundled model format carrying the detector *and*
+//! its featurizer in one artifact.
 //!
 //! The CSV layout is one row per sample: `class,<f0>,<f1>,...` with a header
 //! row naming the HPCs, so a dataset exported here drops straight into
 //! pandas/scikit-learn for anyone who wants to try their own detector on
 //! the simulator's HPC streams.
+//!
+//! Floating-point state (normalizer maxima) is written with Rust's
+//! shortest-round-trip formatting, so a load reproduces the exact `f64`
+//! bits — deployment-time featurization is byte-identical to training-time.
 
 use std::io::{BufRead, BufReader, Read, Write};
 
 use crate::dataset::{Dataset, Normalizer, Sample, N_CLASSES};
+use crate::detector::Detector;
+use crate::feature_engineering::EngineeredFeature;
+use crate::featurize::Featurizer;
+use crate::patch::DetectorPatch;
 
 /// Errors reading persisted datasets.
 #[derive(Debug)]
@@ -139,25 +149,17 @@ pub fn read_csv<R: Read>(r: R) -> Result<Dataset, IoError> {
     Ok(ds)
 }
 
-/// Writes a normalizer's running maxima as one CSV row.
+/// Writes a normalizer's running maxima as one CSV row, with exact
+/// (shortest-round-trip) `f64` formatting.
 ///
 /// # Errors
 /// Propagates writer failures.
 pub fn write_normalizer<W: Write>(norm: &Normalizer, mut w: W) -> Result<(), IoError> {
-    // Round-trip the maxima through a probe vector of ones: normalize(1s)
-    // gives 1/max, guarded for zero maxima.
-    let dim = norm.dim();
-    let probe = vec![1.0f64; dim];
-    let inv = norm.normalize(&probe);
-    for (i, &v) in inv.iter().enumerate() {
+    for (i, &m) in norm.maxima().iter().enumerate() {
         if i > 0 {
             write!(w, ",")?;
         }
-        if v == 0.0 {
-            write!(w, "0")?;
-        } else {
-            write!(w, "{}", 1.0 / v as f64)?;
-        }
+        write!(w, "{m}")?;
     }
     writeln!(w)?;
     Ok(())
@@ -185,6 +187,226 @@ pub fn read_normalizer<R: Read>(r: R) -> Result<Normalizer, IoError> {
     let mut norm = Normalizer::new(maxes.len());
     norm.observe(&maxes);
     Ok(norm)
+}
+
+/// Magic first line of the featurizer text format.
+const FEATURIZER_HEADER: &str = "evax-featurizer v1";
+/// Magic first line of the bundled model format.
+const MODEL_HEADER: &str = "evax-model v1";
+
+/// Writes a [`Featurizer`] — the deployable window→feature transform — as a
+/// small text document: header, dimensions, the normalizer maxima row, and
+/// one `name|i,j,...` line per engineered security HPC.
+///
+/// # Errors
+/// Propagates writer failures, or rejects a featurizer whose engineered
+/// names contain the `|` / newline delimiters.
+pub fn write_featurizer<W: Write>(f: &Featurizer, mut w: W) -> Result<(), IoError> {
+    writeln!(w, "{FEATURIZER_HEADER}")?;
+    writeln!(w, "{},{}", f.base_dim(), f.engineered().len())?;
+    write_normalizer(f.normalizer(), &mut w)?;
+    for e in f.engineered() {
+        if e.name.contains('|') || e.name.contains('\n') {
+            return Err(IoError::Parse {
+                line: 0,
+                reason: format!("engineered name {:?} contains a delimiter", e.name),
+            });
+        }
+        write!(w, "{}|", e.name)?;
+        for (i, c) in e.components.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write!(w, "{c}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Parses the featurizer block from an enumerated line stream (shared by
+/// [`read_featurizer`] and [`read_model`]). Line numbers are 1-based.
+fn parse_featurizer<'a, I>(lines: &mut I) -> Result<Featurizer, IoError>
+where
+    I: Iterator<Item = (usize, &'a str)>,
+{
+    let bad = |line: usize, reason: String| IoError::Parse { line, reason };
+    let mut next = |what: &str| {
+        lines
+            .next()
+            .ok_or_else(|| bad(0, format!("truncated featurizer: missing {what}")))
+    };
+
+    let (ln, header) = next("header")?;
+    if header.trim() != FEATURIZER_HEADER {
+        return Err(bad(ln, format!("expected '{FEATURIZER_HEADER}' header")));
+    }
+    let (ln, dims) = next("dimension row")?;
+    let (base_dim, n_eng) = dims
+        .trim()
+        .split_once(',')
+        .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+        .ok_or_else(|| bad(ln, format!("bad dimension row '{}'", dims.trim())))?;
+
+    let (ln, maxima_row) = next("normalizer maxima")?;
+    let maxima: Vec<f64> = maxima_row
+        .trim()
+        .split(',')
+        .map(|f| {
+            f.parse::<f64>()
+                .map_err(|e| bad(ln, format!("bad max '{f}': {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if maxima.len() != base_dim {
+        return Err(bad(
+            ln,
+            format!("{} maxima, header promised {base_dim}", maxima.len()),
+        ));
+    }
+
+    let mut engineered = Vec::with_capacity(n_eng);
+    for _ in 0..n_eng {
+        let (ln, row) = next("engineered feature")?;
+        let (name, comps) = row
+            .trim_end()
+            .split_once('|')
+            .ok_or_else(|| bad(ln, format!("bad engineered row '{}'", row.trim_end())))?;
+        let components: Vec<usize> = if comps.is_empty() {
+            Vec::new()
+        } else {
+            comps
+                .split(',')
+                .map(|c| {
+                    c.parse::<usize>()
+                        .map_err(|e| bad(ln, format!("bad component '{c}': {e}")))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        if let Some(&c) = components.iter().find(|&&c| c >= base_dim) {
+            return Err(bad(
+                ln,
+                format!("component {c} out of range (< {base_dim})"),
+            ));
+        }
+        engineered.push(EngineeredFeature {
+            name: name.to_string(),
+            components,
+        });
+    }
+    Ok(Featurizer::new(Normalizer::from_maxima(maxima), engineered))
+}
+
+/// Reads a featurizer written by [`write_featurizer`]. The round trip is
+/// exact: maxima are restored bit-for-bit, so deployment-time featurization
+/// matches training-time byte-for-byte.
+///
+/// # Errors
+/// Returns [`IoError::Parse`] on malformed content.
+pub fn read_featurizer<R: Read>(mut r: R) -> Result<Featurizer, IoError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    parse_featurizer(&mut lines)
+}
+
+/// Writes a complete deployable model: the featurizer followed by the
+/// vendor-patch encoding of the detector ([`DetectorPatch`], hex-armored).
+/// One artifact carries the detector *and* the exact transform it was
+/// trained on, so the two can never be deployed out of sync.
+///
+/// # Errors
+/// Propagates writer failures.
+pub fn write_model<W: Write>(
+    detector: &Detector,
+    featurizer: &Featurizer,
+    revision: u32,
+    mut w: W,
+) -> Result<(), IoError> {
+    writeln!(w, "{MODEL_HEADER}")?;
+    write_featurizer(featurizer, &mut w)?;
+    let blob = DetectorPatch::from_detector(detector, featurizer.base_dim(), revision).to_bytes();
+    write!(w, "patch ")?;
+    for b in blob {
+        write!(w, "{b:02x}")?;
+    }
+    writeln!(w)?;
+    Ok(())
+}
+
+/// A model loaded by [`read_model`]: detector, featurizer, and the patch
+/// revision it shipped at.
+#[derive(Debug, Clone)]
+pub struct ModelBundle {
+    /// The deployed detector, reconstructed from its patch encoding.
+    pub detector: Detector,
+    /// The window→feature transform the detector was trained on.
+    pub featurizer: Featurizer,
+    /// Patch revision of the bundled detector.
+    pub revision: u32,
+}
+
+/// Reads a model written by [`write_model`], verifying the embedded patch
+/// checksum and that the detector's base dimension matches the featurizer.
+///
+/// # Errors
+/// Returns [`IoError::Parse`] on malformed content, checksum mismatch, or a
+/// detector/featurizer dimension disagreement.
+pub fn read_model<R: Read>(mut r: R) -> Result<ModelBundle, IoError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (ln, header) = lines.next().ok_or_else(|| IoError::Parse {
+        line: 1,
+        reason: "empty model file".into(),
+    })?;
+    if header.trim() != MODEL_HEADER {
+        return Err(IoError::Parse {
+            line: ln,
+            reason: format!("expected '{MODEL_HEADER}' header"),
+        });
+    }
+    let featurizer = parse_featurizer(&mut lines)?;
+    let (ln, patch_row) = lines.next().ok_or_else(|| IoError::Parse {
+        line: 0,
+        reason: "truncated model: missing patch row".into(),
+    })?;
+    let hex = patch_row
+        .strip_prefix("patch ")
+        .ok_or_else(|| IoError::Parse {
+            line: ln,
+            reason: "expected 'patch <hex>' row".into(),
+        })?
+        .trim();
+    if hex.len() % 2 != 0 {
+        return Err(IoError::Parse {
+            line: ln,
+            reason: "odd-length hex payload".into(),
+        });
+    }
+    let blob: Vec<u8> = (0..hex.len() / 2)
+        .map(|i| {
+            u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).map_err(|e| IoError::Parse {
+                line: ln,
+                reason: format!("bad hex byte: {e}"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let patch = DetectorPatch::from_bytes(&blob).map_err(|e| IoError::Parse {
+        line: ln,
+        reason: format!("patch decode failed: {e}"),
+    })?;
+    let revision = patch.revision;
+    let detector = patch
+        .instantiate(featurizer.base_dim())
+        .map_err(|e| IoError::Parse {
+            line: ln,
+            reason: format!("patch does not fit featurizer: {e}"),
+        })?;
+    Ok(ModelBundle {
+        detector,
+        featurizer,
+        revision,
+    })
 }
 
 #[cfg(test)]
@@ -241,17 +463,114 @@ mod tests {
     }
 
     #[test]
-    fn normalizer_round_trip() {
+    fn normalizer_round_trip_is_exact() {
         let mut norm = Normalizer::new(3);
-        norm.observe(&[10.0, 0.0, 2.5]);
+        // Deliberately awkward values: shortest-round-trip formatting must
+        // restore the exact bits, not a close approximation.
+        norm.observe(&[10.0 / 3.0, 0.0, 0.1 + 0.2]);
         let mut buf = Vec::new();
         write_normalizer(&norm, &mut buf).unwrap();
         let back = read_normalizer(buf.as_slice()).unwrap();
         assert_eq!(back.dim(), 3);
+        let bits = |n: &Normalizer| n.maxima().iter().map(|m| m.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&norm), bits(&back));
         let v = back.normalize(&[5.0, 1.0, 2.5]);
-        assert!((v[0] - 0.5).abs() < 1e-5);
         assert_eq!(v[1], 0.0); // zero max stays degenerate
-        assert!((v[2] - 1.0).abs() < 1e-5);
+    }
+
+    fn sample_featurizer() -> Featurizer {
+        let mut norm = Normalizer::new(4);
+        norm.observe(&[1.0 / 7.0, 3.0e-17, 0.0, 42.5]);
+        Featurizer::new(
+            norm,
+            vec![
+                EngineeredFeature {
+                    name: "a_AND_b".into(),
+                    components: vec![0, 1],
+                },
+                EngineeredFeature {
+                    name: "c_AND_d_AND_a".into(),
+                    components: vec![2, 3, 0],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn featurizer_round_trip_is_exact() {
+        let f = sample_featurizer();
+        let mut buf = Vec::new();
+        write_featurizer(&f, &mut buf).unwrap();
+        let back = read_featurizer(buf.as_slice()).unwrap();
+        assert_eq!(back, f);
+        // Featurization through the restored transform is bit-identical.
+        let raw = [0.05, 1.0e-18, 3.0, 40.0];
+        assert_eq!(
+            f.featurize(&raw)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            back.featurize(&raw)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn featurizer_rejects_corruption() {
+        let f = sample_featurizer();
+        let mut buf = Vec::new();
+        write_featurizer(&f, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Missing header.
+        assert!(read_featurizer(&text.as_bytes()["evax-".len()..]).is_err());
+        // Truncated engineered block.
+        let cut = text.trim_end().rfind('\n').unwrap();
+        assert!(read_featurizer(&text.as_bytes()[..cut]).is_err());
+        // Out-of-range component index.
+        let poked = text.replace("|2,3,0", "|2,9,0");
+        assert!(read_featurizer(poked.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn model_bundle_round_trip() {
+        use crate::dataset::Sample;
+        use crate::detector::{Detector, DetectorKind, TrainConfig};
+        use rand::SeedableRng;
+
+        let featurizer = sample_featurizer();
+        let mut ds = Dataset::new();
+        for i in 0..12 {
+            let x = i as f32 / 12.0;
+            ds.push(Sample::new(vec![x, 1.0 - x, x * x, 0.5], (i % 2) * 3));
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let detector = Detector::train(
+            DetectorKind::Evax,
+            &ds,
+            featurizer.engineered().to_vec(),
+            &TrainConfig::default(),
+            &mut rng,
+        );
+
+        let mut buf = Vec::new();
+        write_model(&detector, &featurizer, 3, &mut buf).unwrap();
+        let bundle = read_model(buf.as_slice()).unwrap();
+        assert_eq!(bundle.revision, 3);
+        assert_eq!(bundle.featurizer, featurizer);
+        // The detector survives exactly: same patch encoding, same verdicts.
+        assert_eq!(
+            DetectorPatch::from_detector(&bundle.detector, featurizer.base_dim(), 3),
+            DetectorPatch::from_detector(&detector, featurizer.base_dim(), 3),
+        );
+
+        // A flipped byte in the hex payload is caught by the patch checksum.
+        let text = String::from_utf8(buf).unwrap();
+        let patch_at = text.find("patch ").unwrap() + "patch xxxxxxxx".len();
+        let mut bad = text.clone().into_bytes();
+        bad[patch_at] = if bad[patch_at] == b'0' { b'1' } else { b'0' };
+        assert!(read_model(bad.as_slice()).is_err());
     }
 
     #[test]

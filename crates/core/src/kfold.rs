@@ -13,11 +13,11 @@ use rand::SeedableRng;
 use crate::collect::CollectConfig;
 use crate::dataset::{Dataset, Normalizer};
 use crate::detector::{Detector, DetectorKind, TrainConfig};
-use crate::feature_engineering::{engineer_features, EngineeredFeature, N_ENGINEERED};
 use crate::fuzz::{collect_corpus, FuzzTool};
-use crate::gan::{AmGan, AmGanConfig};
+use crate::gan::AmGanConfig;
 use crate::metrics::Confusion;
 use crate::par::{self, Parallelism};
+use crate::pipeline::{vaccinate, StageTimings};
 
 /// K-fold experiment configuration.
 #[derive(Debug, Clone)]
@@ -170,19 +170,18 @@ fn run_fold(
         );
         pfuzzer.tune_above_benign(&fuzz_train, 0.9995, 0.05);
 
-        // --- EVAX: AM-GAN on the fold's training data, engineered features,
-        //     vaccination ---
-        let gan = AmGan::train(&train, &cfg.gan, &mut rng);
-        let engineered = fold_features(&gan, &train);
-        let augmented = gan.augment(&train, cfg.augment_per_class, cfg.augment_benign, &mut rng);
-        let mut evax = Detector::train(
-            DetectorKind::Evax,
-            &augmented,
-            engineered,
+        // --- EVAX: the shared vaccination sequence (AM-GAN → engineer →
+        //     augment → train → tune) on the fold's training data ---
+        let evax = vaccinate(
+            &train,
+            &cfg.gan,
             &cfg.detector,
+            cfg.augment_per_class,
+            cfg.augment_benign,
             &mut rng,
-        );
-        evax.tune_above_benign(&train, 0.9995, 0.05);
+            &mut StageTimings::default(),
+        )
+        .detector;
 
         let triple = |det: &Detector| {
             let mut attack_only = Dataset::new();
@@ -210,19 +209,6 @@ fn run_fold(
             },
         }
     }
-}
-
-/// Engineered features for a fold ("we use a set of fixed features ... we
-/// retrain the weights at each fold" — the mining arity/count is fixed).
-fn fold_features(gan: &AmGan, train: &Dataset) -> Vec<EngineeredFeature> {
-    let names = evax_sim::hpc_names();
-    let dim = train.feature_dim();
-    engineer_features(
-        gan.generator(),
-        N_ENGINEERED,
-        2,
-        &names[..names.len().min(dim)],
-    )
 }
 
 /// Mean generalization error over folds, per detector (Fig. 19's summary).

@@ -16,6 +16,11 @@
 //! * [`detector`] — the deployed hardware detector (quantized perceptron)
 //!   and the PerSpectron baseline; *vaccination* = retraining on the
 //!   AM-GAN-augmented dataset (§V-C).
+//! * [`featurize`] — the unified streaming featurization pipeline: one
+//!   window→feature path ([`featurize::WindowSource`] → delta → normalize →
+//!   engineered projection → pluggable sinks) shared by collection,
+//!   training corpora and the online adaptive defense, with a serializable
+//!   [`featurize::Featurizer`] so train and deploy transforms never drift.
 //! * [`fuzz`] — analogs of Transynther / TRRespass / Osiris plus manual
 //!   evasive transforms, generating the evasive corpora of Fig. 17.
 //! * [`aml`] — adversarial-ML evasion bounded by the transient window /
@@ -58,6 +63,7 @@ pub mod dataset;
 pub mod deep_eval;
 pub mod detector;
 pub mod feature_engineering;
+pub mod featurize;
 pub mod fuzz;
 pub mod gan;
 pub mod gram;
@@ -71,5 +77,6 @@ pub mod replicated;
 
 pub use dataset::{Dataset, Normalizer, Sample, BENIGN_CLASS, N_CLASSES};
 pub use detector::{Detector, DetectorKind};
+pub use featurize::{Featurizer, ProgramSource, RawWindow, StreamStats, WindowSink, WindowSource};
 pub use gram::{gram_matrix, style_loss, style_loss_normalized};
 pub use par::Parallelism;

@@ -1,13 +1,18 @@
 //! The end-to-end EVAX pipeline: collect → train AM-GAN → engineer
 //! security HPCs → vaccinate the detector (paper Fig. 12's offline flow).
+//!
+//! The `AM-GAN → engineer → augment → train → tune` sequence is factored
+//! into [`vaccinate`], the single implementation shared with every k-fold
+//! retrain (see [`crate::kfold`]).
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::collect::{collect_dataset, CollectConfig};
 use crate::dataset::{Dataset, Normalizer};
 use crate::detector::{Detector, DetectorKind, TrainConfig};
 use crate::feature_engineering::{engineer_features, EngineeredFeature, N_ENGINEERED};
+use crate::featurize::Featurizer;
 use crate::gan::{AmGan, AmGanConfig};
 use crate::metrics::Confusion;
 
@@ -95,6 +100,77 @@ impl StageTimings {
     }
 }
 
+/// Artifacts of one vaccination: the trained AM-GAN, the engineered
+/// security HPCs mined from its Generator, and the vaccinated detector.
+#[derive(Debug, Clone)]
+pub struct Vaccination {
+    /// The trained AM-GAN.
+    pub gan: AmGan,
+    /// The mined engineered security HPCs (Table I).
+    pub engineered: Vec<EngineeredFeature>,
+    /// The vaccinated EVAX detector, sensitivity-tuned on the real data.
+    pub detector: Detector,
+}
+
+/// Trains a vaccinated EVAX detector for one training split — the single
+/// `AM-GAN → engineer → augment → train → tune` sequence shared by the
+/// offline pipeline and every leave-one-out fold.
+///
+/// Stage wall-clock is accumulated into `timings` (`gan_secs`,
+/// `engineer_secs`, `vaccinate_secs`); callers that do not report timings
+/// pass a throwaway [`StageTimings`].
+pub fn vaccinate<R: Rng>(
+    train: &Dataset,
+    gan_cfg: &AmGanConfig,
+    det_cfg: &TrainConfig,
+    augment_per_class: usize,
+    augment_benign: usize,
+    rng: &mut R,
+    timings: &mut StageTimings,
+) -> Vaccination {
+    // 1. Train the AM-GAN on seen data.
+    let stage_start = std::time::Instant::now();
+    let gan = AmGan::train(train, gan_cfg, rng);
+    timings.gan_secs += stage_start.elapsed().as_secs_f64();
+
+    // 2. Mine the Generator for engineered security HPCs ("we use a set of
+    //    fixed features ... we retrain the weights at each fold" — the
+    //    mining arity/count is fixed).
+    let stage_start = std::time::Instant::now();
+    let names = evax_sim::hpc_names();
+    let dim = train.feature_dim();
+    let engineered = engineer_features(
+        gan.generator(),
+        N_ENGINEERED,
+        2,
+        &names[..names.len().min(dim.max(1))],
+    );
+    timings.engineer_secs += stage_start.elapsed().as_secs_f64();
+
+    // 3. Vaccinate: augment with generated samples, train the detector on
+    //    the extended (base + engineered) feature space.
+    let stage_start = std::time::Instant::now();
+    let augmented = gan.augment(train, augment_per_class, augment_benign, rng);
+    let mut detector = Detector::train(
+        DetectorKind::Evax,
+        &augmented,
+        engineered.clone(),
+        det_cfg,
+        rng,
+    );
+    // Sensitivity is tuned on *real* attack samples — the requirement
+    // "detect before leakage" applies to actual attacks, not to the
+    // Generator's hard synthetic points.
+    detector.tune_above_benign(train, 0.9995, 0.05);
+    timings.vaccinate_secs += stage_start.elapsed().as_secs_f64();
+
+    Vaccination {
+        gan,
+        engineered,
+        detector,
+    }
+}
+
 /// Evaluation summary on the holdout set.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HoldoutReport {
@@ -143,33 +219,21 @@ impl EvaxPipeline {
         let (train, holdout) = dataset.split(cfg.holdout, &mut rng);
         timings.collect_secs = stage_start.elapsed().as_secs_f64();
 
-        // 1. Train the AM-GAN on seen data.
-        let stage_start = std::time::Instant::now();
-        let gan = AmGan::train(&train, &cfg.gan, &mut rng);
-        timings.gan_secs = stage_start.elapsed().as_secs_f64();
-
-        // 2. Mine the Generator for engineered security HPCs.
-        let stage_start = std::time::Instant::now();
-        let names = evax_sim::hpc_names();
-        let engineered = engineer_features(gan.generator(), N_ENGINEERED, 2, names);
-        timings.engineer_secs = stage_start.elapsed().as_secs_f64();
-
-        // 3. Vaccinate: augment with generated samples, train the detector
-        //    on 133 + 12 features.
-        let stage_start = std::time::Instant::now();
-        let augmented = gan.augment(&train, cfg.augment_per_class, cfg.augment_benign, &mut rng);
-        let mut evax = Detector::train(
-            DetectorKind::Evax,
-            &augmented,
-            engineered.clone(),
+        // 1.–3. The shared vaccination sequence: AM-GAN → engineered
+        //        security HPCs → augment → train → sensitivity tune.
+        let Vaccination {
+            gan,
+            engineered,
+            detector: evax,
+        } = vaccinate(
+            &train,
+            &cfg.gan,
             &cfg.detector,
+            cfg.augment_per_class,
+            cfg.augment_benign,
             &mut rng,
+            &mut timings,
         );
-        // Sensitivity is tuned on *real* attack samples — the requirement
-        // "detect before leakage" applies to actual attacks, not to the
-        // Generator's hard synthetic points.
-        evax.tune_above_benign(&train, 0.9995, 0.05);
-        timings.vaccinate_secs = stage_start.elapsed().as_secs_f64();
 
         // 4. Train the PerSpectron baseline: seen data only, no engineered
         //    features, no vaccination.
@@ -196,6 +260,14 @@ impl EvaxPipeline {
             sample_interval: cfg.collect.interval,
             timings,
         }
+    }
+
+    /// The deployable window→feature transform for the EVAX detector:
+    /// collection-time normalization plus the mined engineered projection.
+    /// Persist it alongside the detector (see [`crate::io`]) so train-time
+    /// and deploy-time featurization can never diverge.
+    pub fn featurizer(&self) -> Featurizer {
+        Featurizer::new(self.normalizer.clone(), self.engineered.clone())
     }
 
     /// Evaluates both detectors on the holdout split.

@@ -3,10 +3,16 @@
 //! Paper §VIII-A: "we turn on mitigation at every true flag by our detector
 //! and we execute 1M instructions in secure mode to deactivate possible
 //! attacks" (the window is scaled by configuration here).
+//!
+//! The controller is a [`WindowSink`] on the unified streaming featurization
+//! pipeline ([`evax_core::featurize`]): it consumes exactly the same
+//! window→feature stage chain that produced the detector's training data —
+//! there is no deployment-side copy of the featurization to drift.
 
 use evax_core::dataset::Normalizer;
 use evax_core::detector::Detector;
-use evax_sim::{Cpu, CpuConfig, MitigationMode, Program, RunResult};
+use evax_core::featurize::{ProgramSource, RawWindow, WindowSink, WindowSource};
+use evax_sim::{CpuConfig, MitigationMode, Program, RunResult};
 
 /// Which mitigation secure mode applies (paper Fig. 16 naming).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,11 +85,96 @@ pub struct AdaptiveRun {
     pub ipc_series: Vec<(u64, f64)>,
 }
 
-fn window_ipc(values: &[f64]) -> f64 {
-    let cyc_idx = evax_sim::hpc_index("cycles").expect("cycles HPC");
-    let inst_idx = evax_sim::hpc_index("commit.CommittedInsts").expect("insts HPC");
-    let cycles = values[cyc_idx].max(1.0);
-    values[inst_idx] / cycles
+/// The adaptive controller as a [`WindowSink`]: performance mode until the
+/// detector flags, then `secure_window` instructions of the policy's
+/// mitigation. Compose it with any [`WindowSource`]; [`run_adaptive`] wires
+/// it to the canonical per-program source.
+#[derive(Debug)]
+pub struct AdaptiveController<'a> {
+    detector: &'a Detector,
+    normalizer: &'a Normalizer,
+    cfg: &'a AdaptiveConfig,
+    /// One features buffer reused across every sampling window.
+    features: Vec<f32>,
+    flags: u64,
+    secure_instructions: u64,
+    secure_remaining: u64,
+    ipc_series: Vec<(u64, f64)>,
+}
+
+impl<'a> AdaptiveController<'a> {
+    /// Creates a controller. The detector consumes *normalized* features,
+    /// so the collection-time [`Normalizer`] must be supplied (persist it
+    /// with the model — see `evax_core::io::write_featurizer`).
+    pub fn new(
+        detector: &'a Detector,
+        normalizer: &'a Normalizer,
+        cfg: &'a AdaptiveConfig,
+    ) -> Self {
+        AdaptiveController {
+            detector,
+            normalizer,
+            cfg,
+            features: vec![0.0f32; normalizer.dim()],
+            flags: 0,
+            secure_instructions: 0,
+            secure_remaining: 0,
+            ipc_series: Vec::new(),
+        }
+    }
+
+    /// Detector flags raised so far.
+    pub fn flags(&self) -> u64 {
+        self.flags
+    }
+
+    /// Consumes the controller, pairing its tallies with the run result.
+    pub fn finish(self, result: RunResult) -> AdaptiveRun {
+        AdaptiveRun {
+            result,
+            flags: self.flags,
+            secure_instructions: self.secure_instructions,
+            ipc_series: self.ipc_series,
+        }
+    }
+}
+
+impl WindowSink for AdaptiveController<'_> {
+    fn window(&mut self, w: &RawWindow<'_>) -> Option<MitigationMode> {
+        self.ipc_series.push((w.instructions, w.ipc()));
+        self.normalizer.normalize_into(w.values, &mut self.features);
+        let malicious = self.detector.classify(&self.features);
+        if malicious {
+            self.flags += 1;
+            self.secure_remaining = self.cfg.secure_window;
+            self.secure_instructions += self.cfg.sample_interval;
+            return Some(self.cfg.policy.mode());
+        }
+        if self.secure_remaining > 0 {
+            self.secure_remaining = self
+                .secure_remaining
+                .saturating_sub(self.cfg.sample_interval);
+            self.secure_instructions += self.cfg.sample_interval;
+            if self.secure_remaining == 0 {
+                // Window expired: back to performance mode.
+                return Some(MitigationMode::None);
+            }
+        }
+        None
+    }
+}
+
+/// Passive sink recording the per-window IPC timeline (fixed-mode baselines).
+#[derive(Debug, Default)]
+struct IpcTrace {
+    series: Vec<(u64, f64)>,
+}
+
+impl WindowSink for IpcTrace {
+    fn window(&mut self, w: &RawWindow<'_>) -> Option<MitigationMode> {
+        self.series.push((w.instructions, w.ipc()));
+        None
+    }
 }
 
 /// Runs `program` under the adaptive architecture: performance mode until
@@ -100,41 +191,10 @@ pub fn run_adaptive(
     cfg: &AdaptiveConfig,
     max_instrs: u64,
 ) -> AdaptiveRun {
-    let mut cpu = Cpu::new(cpu_cfg.clone());
-    cpu.memory_mut()
-        .write_u64(evax_attacks::mds::KERNEL_SECRET_ADDR, 5);
-    let mut flags = 0u64;
-    let mut secure_instructions = 0u64;
-    let mut secure_remaining = 0u64;
-    let mut ipc_series = Vec::new();
-    // One features buffer reused across every sampling window.
-    let mut features = vec![0.0f32; normalizer.dim()];
-    let result = cpu.run_sampled(program, max_instrs, cfg.sample_interval, |sample| {
-        ipc_series.push((sample.instructions, window_ipc(&sample.values)));
-        normalizer.normalize_into(&sample.values, &mut features);
-        let malicious = detector.classify(&features);
-        if malicious {
-            flags += 1;
-            secure_remaining = cfg.secure_window;
-            secure_instructions += cfg.sample_interval;
-            return Some(cfg.policy.mode());
-        }
-        if secure_remaining > 0 {
-            secure_remaining = secure_remaining.saturating_sub(cfg.sample_interval);
-            secure_instructions += cfg.sample_interval;
-            if secure_remaining == 0 {
-                // Window expired: back to performance mode.
-                return Some(MitigationMode::None);
-            }
-        }
-        None
-    });
-    AdaptiveRun {
-        result,
-        flags,
-        secure_instructions,
-        ipc_series,
-    }
+    let mut controller = AdaptiveController::new(detector, normalizer, cfg);
+    let result = ProgramSource::new(program, cpu_cfg, cfg.sample_interval, max_instrs)
+        .stream(&mut controller);
+    controller.finish(result)
 }
 
 /// Runs `program` with a fixed mitigation mode (the always-on baselines and
@@ -148,14 +208,8 @@ pub fn run_fixed(
 ) -> AdaptiveRun {
     let mut cfg = cpu_cfg.clone();
     cfg.mitigation = mode;
-    let mut cpu = Cpu::new(cfg);
-    cpu.memory_mut()
-        .write_u64(evax_attacks::mds::KERNEL_SECRET_ADDR, 5);
-    let mut ipc_series = Vec::new();
-    let result = cpu.run_sampled(program, max_instrs, sample_interval, |sample| {
-        ipc_series.push((sample.instructions, window_ipc(&sample.values)));
-        None
-    });
+    let mut trace = IpcTrace::default();
+    let result = ProgramSource::new(program, &cfg, sample_interval, max_instrs).stream(&mut trace);
     let secure = if mode == MitigationMode::None {
         0
     } else {
@@ -165,7 +219,7 @@ pub fn run_fixed(
         flags: 0,
         secure_instructions: secure,
         result,
-        ipc_series,
+        ipc_series: trace.series,
     }
 }
 

@@ -8,7 +8,10 @@
 //! for detected attacks.
 //!
 //! * [`adaptive`] — the detector-gated controller driving
-//!   [`evax_sim::Cpu::set_mitigation`] from HPC samples.
+//!   [`evax_sim::Cpu::set_mitigation`] from HPC samples. It is a
+//!   [`evax_core::featurize::WindowSink`] on the unified streaming
+//!   featurization pipeline — the deployment loop consumes the exact
+//!   window→feature stage chain the detector was trained on.
 //! * [`overhead`] — end-to-end overhead measurement: always-on vs. adaptive
 //!   across the benign workload suite (Fig. 16's bars), plus IPC timelines
 //!   (Fig. 14's series).
@@ -34,5 +37,7 @@
 pub mod adaptive;
 pub mod overhead;
 
-pub use adaptive::{run_adaptive, run_fixed, AdaptiveConfig, AdaptiveRun, Policy};
+pub use adaptive::{
+    run_adaptive, run_fixed, AdaptiveConfig, AdaptiveController, AdaptiveRun, Policy,
+};
 pub use overhead::{measure_workload, measure_workload_with, overhead_suite, OverheadRow};

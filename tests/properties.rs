@@ -4,6 +4,7 @@
 //! program builder.
 
 use evax::core::dataset::Normalizer;
+use evax::core::featurize::StreamStats;
 use evax::core::metrics::{auc, roc_curve};
 use evax::dram::{Dram, DramConfig};
 use evax::nn::{HwPerceptron, Matrix, QuantizedWeights};
@@ -141,6 +142,67 @@ proptest! {
         norm.observe(&maxes[..dim]);
         let out = norm.normalize(&vals[..dim]);
         prop_assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    // ---- streaming statistics (the featurization fit stage) ----
+
+    /// Welford + pairwise-merge streaming stats vs. the naive two-pass
+    /// oracle: maxima must match **bit for bit** (max over |x| is
+    /// order-independent — this is what makes the streaming normalizer
+    /// byte-identical to the historical fit), and mean/variance must agree
+    /// to tight relative tolerance however the windows are chunked into
+    /// streams.
+    #[test]
+    fn stream_stats_match_two_pass_oracle(
+        windows in proptest::collection::vec(
+            proptest::collection::vec(-1e6f64..1e6, 3),
+            2..40,
+        ),
+        split_a in 0usize..40,
+        split_b in 0usize..40,
+    ) {
+        let n = windows.len();
+        // Arbitrary 3-way chunking of the window stream (degenerate — empty
+        // — chunks included), merged back in canonical order.
+        let (a, b) = (split_a.min(n), split_b.min(n));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut merged = StreamStats::new(3);
+        for chunk in [&windows[..lo], &windows[lo..hi], &windows[hi..]] {
+            let mut s = StreamStats::new(3);
+            for w in chunk {
+                s.observe(w);
+            }
+            merged.merge(&s);
+        }
+        prop_assert_eq!(merged.count(), n as u64);
+
+        // Single-stream observation of the same windows.
+        let mut single = StreamStats::new(3);
+        for w in &windows {
+            single.observe(w);
+        }
+
+        for i in 0..3 {
+            // Two-pass oracle.
+            let max = windows.iter().map(|w| w[i].abs()).fold(0.0f64, f64::max);
+            let mean = windows.iter().map(|w| w[i]).sum::<f64>() / n as f64;
+            let var = windows.iter().map(|w| (w[i] - mean).powi(2)).sum::<f64>() / n as f64;
+
+            // Maxima: exactly the two-pass fold, bit for bit, under any
+            // chunking.
+            prop_assert_eq!(merged.normalizer().maxima()[i].to_bits(), max.to_bits());
+            prop_assert_eq!(single.normalizer().maxima()[i].to_bits(), max.to_bits());
+
+            // Welford mean/variance: numerically tight against two-pass.
+            let tol = 1e-9 * (1.0 + max * max);
+            prop_assert!((merged.means()[i] - mean).abs() <= tol,
+                "mean[{}]: welford={} two-pass={}", i, merged.means()[i], mean);
+            prop_assert!((merged.variance(i) - var).abs() <= tol,
+                "var[{}]: welford={} two-pass={}", i, merged.variance(i), var);
+            // Chunked merge agrees with single-stream observation.
+            prop_assert!((merged.means()[i] - single.means()[i]).abs() <= tol);
+            prop_assert!((merged.variance(i) - single.variance(i)).abs() <= tol);
+        }
     }
 
     // ---- ROC metrics ----

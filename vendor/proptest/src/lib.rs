@@ -214,7 +214,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// A length range for [`vec`].
+    /// A length range for [`vec()`](vec()).
     #[derive(Debug, Clone)]
     pub struct SizeRange(Range<usize>);
 
