@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! experiments <id>... [--seed N] [--scale small|full] [--threads N] [--json]
+//!             [--metrics-out PATH]
 //! experiments all [--seed N] [--scale small|full]
 //! experiments list
 //! ```
@@ -12,7 +13,11 @@
 //! shared seed alone, so reports are identical at any thread count and are
 //! printed in id order regardless of completion order. `--json` replaces the
 //! text reports with a machine-readable timing summary: wall-clock per
-//! experiment plus the trained pipeline's per-stage breakdown.
+//! experiment plus the trained pipeline's per-stage breakdown, and a
+//! `metrics` block from a metered defense pass (see
+//! `evax_bench::obs_pass`) whose simulated quantities are byte-identical at
+//! any thread count. `--metrics-out` additionally writes that registry —
+//! wall-clock timers included — as JSONL.
 
 use std::process::ExitCode;
 
@@ -26,6 +31,7 @@ fn main() -> ExitCode {
     let mut scale = ExperimentScale::Small;
     let mut parallelism = Parallelism::Auto;
     let mut json = false;
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -60,13 +66,24 @@ fn main() -> ExitCode {
                 };
             }
             "--json" => json = true,
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = match args.get(i) {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("--metrics-out requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             other => ids.push(other.to_string()),
         }
         i += 1;
     }
     if ids.is_empty() || ids.iter().any(|i| i == "help" || i == "--help") {
         eprintln!(
-            "usage: experiments <id>... [--seed N] [--scale small|full] [--threads N] [--json]"
+            "usage: experiments <id>... [--seed N] [--scale small|full] [--threads N] [--json] \
+             [--metrics-out PATH]"
         );
         eprintln!("ids: {} | all | list", EXPERIMENT_IDS.join(" "));
         return ExitCode::FAILURE;
@@ -92,9 +109,25 @@ fn main() -> ExitCode {
     });
     let total_secs = total_start.elapsed().as_secs_f64();
 
+    // The metered defense pass behind the `metrics` block / `--metrics-out`.
+    // Records only simulated quantities in the deterministic export, so the
+    // block is byte-identical at any thread count.
+    let obs = (json || metrics_out.is_some()).then(|| {
+        evax_bench::obs_pass::obs_pass(seed, parallelism, &evax_bench::obs_pass::default_programs())
+    });
+    if let (Some(path), Some(reg)) = (&metrics_out, &obs) {
+        if let Err(e) = std::fs::write(path, reg.to_jsonl()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     let mut failed = false;
     if json {
-        println!("{}", json_summary(&harness, &ids, &results, total_secs));
+        println!(
+            "{}",
+            json_summary(&harness, &ids, &results, total_secs, obs.as_deref())
+        );
         failed = results.iter().any(|(r, _)| r.is_err());
         for (id, (result, _)) in ids.iter().zip(&results) {
             if let Err(e) = result {
@@ -130,6 +163,7 @@ fn json_summary(
     ids: &[String],
     results: &[(Result<String, String>, f64)],
     total_secs: f64,
+    obs: Option<&evax_obs::Registry>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"seed\": {},\n", harness.seed));
@@ -170,6 +204,13 @@ fn json_summary(
             t.collect_secs, t.gan_secs, t.engineer_secs, t.vaccinate_secs, t.baseline_secs
         )),
         None => out.push_str("  \"pipeline_stages\": null,\n"),
+    }
+    // Deterministic metrics from the metered defense pass: sorted keys,
+    // integer values, wall-clock timers excluded — byte-identical at any
+    // thread count (`registry.to_json()` is already a valid JSON object).
+    match obs {
+        Some(reg) => out.push_str(&format!("  \"metrics\": {},\n", reg.to_json())),
+        None => out.push_str("  \"metrics\": null,\n"),
     }
     out.push_str(&format!("  \"total_secs\": {total_secs:.3}\n"));
     out.push('}');

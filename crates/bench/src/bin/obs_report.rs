@@ -1,0 +1,82 @@
+//! Observability summarizer: runs the metered defense pass and renders the
+//! Fig. 14/16-style tables plus the deterministic metrics JSON.
+//!
+//! ```text
+//! obs_report [--seed N] [--threads N] [--smoke] [--jsonl PATH]
+//! ```
+//!
+//! `--smoke` restricts the pass to the 2-program CI slice. `--jsonl` also
+//! writes every metric (including wall-clock timers) as one JSON object per
+//! line, ready for offline analysis.
+
+use std::process::ExitCode;
+
+use evax_bench::obs_pass::{default_programs, smoke_programs};
+use evax_bench::obs_report::obs_report;
+use evax_core::prelude::Parallelism;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    let mut parallelism = Parallelism::Auto;
+    let mut smoke = false;
+    let mut jsonl: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--seed requires an integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--threads" => {
+                i += 1;
+                parallelism = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => Parallelism::Fixed(n),
+                    _ => {
+                        eprintln!("--threads requires a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--smoke" => smoke = true,
+            "--jsonl" => {
+                i += 1;
+                jsonl = match args.get(i) {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("--jsonl requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: obs_report [--seed N] [--threads N] [--smoke] [--jsonl PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let programs = if smoke {
+        smoke_programs()
+    } else {
+        default_programs()
+    };
+    let (registry, report) = obs_report(seed, parallelism, &programs);
+    print!("{report}");
+    if let Some(path) = jsonl {
+        if let Err(e) = std::fs::write(&path, registry.to_jsonl()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote metrics JSONL to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -3,9 +3,8 @@
 
 use evax_attacks::benign::Scale;
 use evax_attacks::{build_benign, BenignKind};
-use evax_core::collect::CollectConfig;
 use evax_core::metrics::Confusion;
-use evax_core::pipeline::{EvaxConfig, EvaxPipeline};
+use evax_core::prelude::{CollectConfig, EvaxConfig, EvaxPipeline};
 use evax_defense::adaptive::{run_adaptive, run_fixed, AdaptiveConfig, Policy};
 use evax_defense::overhead::{measure_workload_with, summarize, OverheadRow};
 use evax_sim::{CpuConfig, MitigationMode};

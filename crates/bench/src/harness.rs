@@ -3,9 +3,8 @@
 
 use std::sync::OnceLock;
 
-use evax_core::collect::CollectConfig;
 use evax_core::gan::AmGanConfig;
-use evax_core::pipeline::{EvaxConfig, EvaxPipeline};
+use evax_core::prelude::{CollectConfig, EvaxConfig, EvaxPipeline};
 
 /// How much compute an experiment run spends. The paper's corpus sizes
 /// (1.2M evasive samples, 30 simpoints/benchmark) are scaled down so the

@@ -29,6 +29,8 @@ pub mod exp_sim;
 pub mod exp_tables;
 pub mod exp_zeroday;
 pub mod harness;
+pub mod obs_pass;
+pub mod obs_report;
 pub mod stream_bench;
 
 pub use harness::{ExperimentScale, Harness};

@@ -1,0 +1,175 @@
+//! Renders the observability tables from a metered-pass registry: the
+//! Fig. 16-shaped mitigation-overhead comparison and the Fig. 14-shaped
+//! detection/duty-cycle summary, straight from [`crate::obs_pass`]'s
+//! metric names.
+//!
+//! The renderer is read-only over [`Registry`]: anything that parses its
+//! own JSONL can produce the same tables offline.
+
+use std::sync::Arc;
+
+use evax_core::prelude::{Parallelism, Registry};
+
+use crate::obs_pass::{obs_pass, ObsProgram};
+
+/// One program's rendered row, extracted from the registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsRow {
+    /// Metric-name label of the program.
+    pub label: String,
+    /// Whether the program is an attack kernel.
+    pub is_attack: bool,
+    /// Unmitigated cycles.
+    pub baseline_cycles: u64,
+    /// Always-on mitigation cycles.
+    pub always_on_cycles: u64,
+    /// Detector-gated adaptive cycles.
+    pub adaptive_cycles: u64,
+    /// Windows the detector scored.
+    pub windows: u64,
+    /// Detector flags raised.
+    pub flags: u64,
+    /// Cycle of the first flag (attacks; `None` = missed or benign).
+    pub detection_latency: Option<u64>,
+    /// Secure-mode duty cycle in parts-per-million of committed
+    /// instructions.
+    pub secure_duty_ppm: u64,
+}
+
+impl ObsRow {
+    fn overhead(cycles: u64, base: u64) -> f64 {
+        cycles as f64 / base.max(1) as f64 - 1.0
+    }
+
+    /// Always-on overhead fraction over baseline.
+    pub fn always_on_overhead(&self) -> f64 {
+        Self::overhead(self.always_on_cycles, self.baseline_cycles)
+    }
+
+    /// Adaptive overhead fraction over baseline.
+    pub fn adaptive_overhead(&self) -> f64 {
+        Self::overhead(self.adaptive_cycles, self.baseline_cycles)
+    }
+}
+
+/// Extracts the per-program rows for `programs` from a registry produced by
+/// [`obs_pass`] (absent metrics read as zero, so a partial registry renders
+/// rather than panicking).
+pub fn extract_rows(reg: &Registry, programs: &[ObsProgram]) -> Vec<ObsRow> {
+    programs
+        .iter()
+        .map(|p| {
+            let label = p.label();
+            let get = |name: String| reg.get(&name).unwrap_or(0);
+            let fixed = |mode: &str, m: &str| get(format!("fixed.{label}.{mode}.{m}"));
+            let adaptive = |m: &str| get(format!("adaptive.{label}.{m}"));
+            let detection_latency =
+                (p.is_attack() && adaptive("missed_detections") == 0 && adaptive("flags") > 0)
+                    .then(|| adaptive("detection_latency_cycles"));
+            let (baseline_cycles, always_on_cycles) =
+                (fixed("baseline", "cycles"), fixed("always_on", "cycles"));
+            let (adaptive_cycles, windows, flags, secure_duty_ppm) = (
+                adaptive("cycles"),
+                adaptive("windows"),
+                adaptive("flags"),
+                adaptive("secure_duty_ppm"),
+            );
+            ObsRow {
+                label,
+                is_attack: p.is_attack(),
+                baseline_cycles,
+                always_on_cycles,
+                adaptive_cycles,
+                windows,
+                flags,
+                detection_latency,
+                secure_duty_ppm,
+            }
+        })
+        .collect()
+}
+
+/// Renders the two tables from extracted rows.
+pub fn render_rows(rows: &[ObsRow]) -> String {
+    let mut out = String::new();
+    out.push_str("== Mitigation overhead (Fig. 16 shape) ==\n");
+    out.push_str(&format!(
+        "{:<22} {:>6} {:>10} {:>10} {:>10} {:>10} {:>9}\n",
+        "program", "kind", "base cyc", "always cyc", "adapt cyc", "always %", "adapt %"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:>6} {:>10} {:>10} {:>10} {:>9.1}% {:>8.1}%\n",
+            r.label,
+            if r.is_attack { "attack" } else { "benign" },
+            r.baseline_cycles,
+            r.always_on_cycles,
+            r.adaptive_cycles,
+            r.always_on_overhead() * 100.0,
+            r.adaptive_overhead() * 100.0,
+        ));
+    }
+    out.push_str("\n== Detection & duty cycle (Fig. 14 shape) ==\n");
+    out.push_str(&format!(
+        "{:<22} {:>8} {:>6} {:>14} {:>12}\n",
+        "program", "windows", "flags", "latency (cyc)", "secure duty"
+    ));
+    for r in rows {
+        let latency = match (r.is_attack, r.detection_latency) {
+            (false, _) => "-".to_string(),
+            (true, Some(c)) => c.to_string(),
+            (true, None) => "missed".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<22} {:>8} {:>6} {:>14} {:>11.2}%\n",
+            r.label,
+            r.windows,
+            r.flags,
+            latency,
+            r.secure_duty_ppm as f64 / 10_000.0,
+        ));
+    }
+    out
+}
+
+/// Runs the metered pass and renders the full report: both tables plus the
+/// registry's deterministic JSON (the byte-identical-at-any-thread-count
+/// block `experiments --json` embeds).
+pub fn obs_report(
+    seed: u64,
+    parallelism: Parallelism,
+    programs: &[ObsProgram],
+) -> (Arc<Registry>, String) {
+    let reg = obs_pass(seed, parallelism, programs);
+    let rows = extract_rows(&reg, programs);
+    let mut out = render_rows(&rows);
+    out.push_str("\n== Deterministic metrics ==\n");
+    out.push_str(&reg.to_json());
+    out.push('\n');
+    (reg, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs_pass::smoke_programs;
+
+    #[test]
+    fn report_renders_rows_for_every_program() {
+        let programs = smoke_programs();
+        let (reg, report) = obs_report(5, Parallelism::Fixed(1), &programs);
+        for p in &programs {
+            assert!(
+                report.contains(&p.label()),
+                "missing {} in:\n{report}",
+                p.label()
+            );
+        }
+        let rows = extract_rows(&reg, &programs);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.baseline_cycles > 0));
+        assert!(rows.iter().all(|r| r.windows > 0));
+        // Always-on fencing must cost cycles over baseline.
+        assert!(rows.iter().all(|r| r.always_on_cycles > r.baseline_cycles));
+    }
+}

@@ -15,9 +15,12 @@
 
 use evax_attacks::benign::Scale;
 use evax_attacks::{build_attack, build_benign, KernelParams};
-use evax_core::dataset::{Dataset, Normalizer, Sample, BENIGN_CLASS};
-use evax_core::featurize::{DatasetSink, ProgramSource, StreamStats, WindowSource};
-use evax_core::par::{self, Parallelism};
+use evax_core::featurize::DatasetSink;
+use evax_core::par;
+use evax_core::prelude::{
+    Dataset, Normalizer, Parallelism, ProgramSource, Sample, StreamStats, WindowSource,
+    BENIGN_CLASS,
+};
 use evax_sim::{CpuConfig, Program};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

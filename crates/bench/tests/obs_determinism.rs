@@ -1,0 +1,60 @@
+//! The `metrics` block contract behind `experiments --json`: the metered
+//! defense pass records only simulated quantities in its deterministic
+//! export, so the JSON is byte-identical at 1, 4 and 16 worker threads —
+//! and it carries the paper-facing detection-latency and secure-duty-cycle
+//! metrics for the attack programs.
+
+use evax_bench::obs_pass::{default_programs, obs_pass, smoke_programs};
+use evax_bench::obs_report::{extract_rows, render_rows};
+use evax_core::prelude::Parallelism;
+
+#[test]
+fn metrics_block_is_byte_identical_across_thread_counts() {
+    let programs = default_programs();
+    let json_at = |n: usize| obs_pass(42, Parallelism::Fixed(n), &programs).to_json();
+    let one = json_at(1);
+    assert_eq!(one, json_at(4), "1-thread vs 4-thread metrics diverged");
+    assert_eq!(one, json_at(16), "1-thread vs 16-thread metrics diverged");
+
+    // The paper-facing adaptive metrics are present for an attack program.
+    assert!(
+        one.contains("\"adaptive.spectre_pht.detection_latency_cycles\"")
+            || one.contains("\"adaptive.spectre_pht.missed_detections\""),
+        "no detection outcome for the attack program in {one}"
+    );
+    assert!(
+        one.contains("\"adaptive.spectre_pht.secure_duty_ppm\""),
+        "no duty-cycle metric for the attack program in {one}"
+    );
+}
+
+#[test]
+fn jsonl_and_tables_agree_with_the_registry() {
+    let programs = smoke_programs();
+    let reg = obs_pass(9, Parallelism::Fixed(2), &programs);
+    // Every deterministic metric appears as a JSONL line.
+    let jsonl = reg.to_jsonl();
+    for (name, _) in reg.snapshot() {
+        assert!(
+            jsonl.contains(&format!("\"name\": \"{name}\"")),
+            "metric {name} missing from JSONL"
+        );
+    }
+    // Table rows reflect the registry's raw values.
+    let rows = extract_rows(&reg, &programs);
+    for row in &rows {
+        assert_eq!(
+            reg.get(&format!("adaptive.{}.cycles", row.label)),
+            Some(row.adaptive_cycles)
+        );
+    }
+    let rendered = render_rows(&rows);
+    assert!(
+        rendered.contains("Fig. 16"),
+        "missing overhead table header"
+    );
+    assert!(
+        rendered.contains("Fig. 14"),
+        "missing detection table header"
+    );
+}

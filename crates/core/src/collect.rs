@@ -18,6 +18,7 @@
 
 use evax_attacks::benign::Scale;
 use evax_attacks::{build_attack, build_benign, AttackClass, BenignKind, KernelParams};
+use evax_obs::MetricsSink;
 use evax_sim::{CpuConfig, Program};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -132,36 +133,62 @@ fn run_specs(cfg: &CollectConfig, seed: u64) -> Vec<(RunSpec, u64)> {
 /// (maxima for the [`Normalizer`], Welford mean/variance) fitted over every
 /// raw window.
 pub fn collect_dataset_stats(cfg: &CollectConfig, seed: u64) -> (Dataset, StreamStats) {
+    collect_dataset_stats_with(cfg, seed, &MetricsSink::default())
+}
+
+/// [`collect_dataset_stats`] with observability: each worker records into a
+/// private [`MetricsSink::fork`] (the thread-local-recorder discipline),
+/// and forks are absorbed back in canonical run order alongside the
+/// `StreamStats` merge — so `metrics`' deterministic export is
+/// byte-identical at any thread count. With the default no-op sink this is
+/// exactly [`collect_dataset_stats`].
+pub fn collect_dataset_stats_with(
+    cfg: &CollectConfig,
+    seed: u64,
+    metrics: &MetricsSink,
+) -> (Dataset, StreamStats) {
     let cpu_cfg = CpuConfig::default();
     let runs = run_specs(cfg, seed);
     let dim = evax_sim::hpc_dim();
 
     // Fit pass: stream every run's windows into per-stream statistics.
     // Memory per worker: one in-flight window vector plus O(dim) stats.
-    let per_run_stats: Vec<StreamStats> = par::map(cfg.parallelism, &runs, |(spec, child_seed)| {
-        let (program, _) = build_run(spec, *child_seed, cfg);
-        let mut stats = StreamStats::new(dim);
-        ProgramSource::new(&program, &cpu_cfg, cfg.interval, cfg.max_instrs).stream(&mut stats);
-        stats
-    });
+    let per_run_stats: Vec<(StreamStats, MetricsSink)> =
+        par::map(cfg.parallelism, &runs, |(spec, child_seed)| {
+            let (program, _) = build_run(spec, *child_seed, cfg);
+            let mut stats = StreamStats::new(dim);
+            let local = metrics.fork();
+            ProgramSource::new(&program, &cpu_cfg, cfg.interval, cfg.max_instrs)
+                .with_metrics(local.clone())
+                .stream(&mut stats);
+            (stats, local)
+        });
     let mut stats = StreamStats::new(dim);
-    for s in &per_run_stats {
+    for (s, local) in &per_run_stats {
         stats.merge(s);
+        metrics.absorb(local);
     }
     let norm = stats.normalizer();
 
     // Emit pass: re-simulate (bit-deterministic) and normalize each window
     // straight into its f32 sample — raw windows are never retained.
-    let per_run: Vec<Dataset> = par::map(cfg.parallelism, &runs, |(spec, child_seed)| {
-        let (program, label) = build_run(spec, *child_seed, cfg);
-        let mut sink = DatasetSink::new(&norm, label);
-        ProgramSource::new(&program, &cpu_cfg, cfg.interval, cfg.max_instrs).stream(&mut sink);
-        sink.into_dataset()
-    });
+    let per_run: Vec<(Dataset, MetricsSink)> =
+        par::map(cfg.parallelism, &runs, |(spec, child_seed)| {
+            let (program, label) = build_run(spec, *child_seed, cfg);
+            let mut sink = DatasetSink::new(&norm, label);
+            let local = metrics.fork();
+            ProgramSource::new(&program, &cpu_cfg, cfg.interval, cfg.max_instrs)
+                .with_metrics(local.clone())
+                .stream(&mut sink);
+            (sink.into_dataset(), local)
+        });
     let mut ds = Dataset::new();
-    for run_ds in per_run {
+    for (run_ds, local) in per_run {
         ds.extend(run_ds);
+        metrics.absorb(&local);
     }
+    metrics.add("collect.runs", runs.len() as u64);
+    metrics.add("collect.samples", ds.len() as u64);
     (ds, stats)
 }
 

@@ -44,6 +44,7 @@
 //! memory is the *output* dataset plus O(dim) per worker, independent of
 //! how many raw windows the corpus contains.
 
+use evax_obs::MetricsSink;
 use evax_sim::{Cpu, CpuConfig, MitigationMode, Program, RunResult};
 
 use crate::dataset::{Dataset, Normalizer, Sample};
@@ -101,6 +102,7 @@ pub struct ProgramSource<'a> {
     cpu_cfg: &'a CpuConfig,
     interval: u64,
     max_instrs: u64,
+    metrics: MetricsSink,
 }
 
 impl<'a> ProgramSource<'a> {
@@ -117,7 +119,19 @@ impl<'a> ProgramSource<'a> {
             cpu_cfg,
             interval,
             max_instrs,
+            metrics: MetricsSink::default(),
         }
+    }
+
+    /// Attaches a metrics sink (builder style). With the default no-op sink
+    /// the stream is instrumentation-free; with a recording sink each
+    /// [`stream`](WindowSource::stream) call emits `featurize.*` window
+    /// tallies and `sim.*` core/DRAM counters. Recording never feeds back
+    /// into simulation, so streamed windows are bitwise-identical either
+    /// way.
+    pub fn with_metrics(mut self, metrics: MetricsSink) -> Self {
+        self.metrics = metrics;
+        self
     }
 }
 
@@ -126,13 +140,53 @@ impl WindowSource for ProgramSource<'_> {
         let mut cpu = Cpu::new(self.cpu_cfg.clone());
         cpu.memory_mut()
             .write_u64(evax_attacks::mds::KERNEL_SECRET_ADDR, 5);
-        cpu.run_sampled(self.program, self.max_instrs, self.interval, |s| {
-            sink.window(&RawWindow {
-                values: &s.values,
-                instructions: s.instructions,
-                cycle: s.cycle,
+        let result = if self.metrics.enabled() {
+            let windows = self.metrics.counter("featurize.windows");
+            let switches = self.metrics.counter("featurize.mode_switches");
+            let switch_cycle = self.metrics.histogram("featurize.switch_cycle");
+            let span = self.metrics.span("sim.run_wall_ns");
+            let result = cpu.run_sampled(self.program, self.max_instrs, self.interval, |s| {
+                windows.inc();
+                let verdict = sink.window(&RawWindow {
+                    values: &s.values,
+                    instructions: s.instructions,
+                    cycle: s.cycle,
+                });
+                if verdict.is_some() {
+                    switches.inc();
+                    switch_cycle.observe(s.cycle);
+                }
+                verdict
+            });
+            drop(span);
+            result
+        } else {
+            cpu.run_sampled(self.program, self.max_instrs, self.interval, |s| {
+                sink.window(&RawWindow {
+                    values: &s.values,
+                    instructions: s.instructions,
+                    cycle: s.cycle,
+                })
             })
-        })
+        };
+        if self.metrics.enabled() {
+            self.metrics.add("featurize.runs", 1);
+            self.metrics
+                .add("sim.committed_instrs", result.committed_instructions);
+            self.metrics.add("sim.cycles", result.cycles);
+            let sc = cpu.sched_counters();
+            self.metrics
+                .add("sim.sched.events_scheduled", sc.events_scheduled);
+            self.metrics.add("sim.sched.ready_pushes", sc.ready_pushes);
+            self.metrics
+                .record_max("sim.sched.event_heap_peak", sc.event_heap_peak);
+            self.metrics
+                .record_max("sim.sched.ready_heap_peak", sc.ready_heap_peak);
+            let d = cpu.dram().stats();
+            self.metrics.add("sim.dram.activations", d.activations);
+            self.metrics.add("sim.dram.bit_flips", d.bit_flips);
+        }
+        result
     }
 }
 

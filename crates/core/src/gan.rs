@@ -7,6 +7,7 @@
 //! (`L_GM ≈ 0.1`, §V-D).
 
 use evax_nn::{Activation, Adam, CondGan, GanConfig, Matrix, Network};
+use evax_obs::MetricsSink;
 use rand::Rng;
 
 use crate::dataset::{Dataset, Sample, N_CLASSES};
@@ -60,6 +61,12 @@ impl AmGanConfig {
     }
 }
 
+/// Loss in integer milli-units for deterministic histogram export (the NN
+/// substrate is bit-exact, so the quantized value is too).
+fn loss_milli(loss: f32) -> u64 {
+    (loss.max(0.0) * 1000.0) as u64
+}
+
 /// Canonical security-relevant feature subset used for the style loss
 /// (the "low-level microarchitectural states required for successful
 /// construction of a channel", §V-D).
@@ -106,6 +113,24 @@ impl AmGan {
     /// # Panics
     /// Panics if the dataset is empty.
     pub fn train<R: Rng>(dataset: &Dataset, cfg: &AmGanConfig, rng: &mut R) -> AmGan {
+        AmGan::train_with_metrics(dataset, cfg, rng, &MetricsSink::default())
+    }
+
+    /// [`train`](Self::train) with observability: records `gan.epochs` /
+    /// `gan.steps` counters, milli-unit loss histograms (`gan.d_loss_milli`,
+    /// `gan.g_loss_milli`, `gan.style_loss_milli` — deterministic, since the
+    /// NN substrate is bit-exact) and a `gan.epoch_wall_ns` round timer.
+    /// Recording never touches `rng`, so the trained GAN is bit-identical
+    /// to [`train`](Self::train)'s.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn train_with_metrics<R: Rng>(
+        dataset: &Dataset,
+        cfg: &AmGanConfig,
+        rng: &mut R,
+        metrics: &MetricsSink,
+    ) -> AmGan {
         assert!(!dataset.is_empty(), "cannot train on an empty dataset");
         let feature_dim = dataset.feature_dim();
         let gan_cfg = GanConfig {
@@ -153,7 +178,13 @@ impl AmGan {
         // best checkpoint rather than the final state.
         let mut best = gan.clone();
         let mut best_style = f32::INFINITY;
+        let epoch_counter = metrics.counter("gan.epochs");
+        let step_counter = metrics.counter("gan.steps");
+        let d_hist = metrics.histogram("gan.d_loss_milli");
+        let g_hist = metrics.histogram("gan.g_loss_milli");
+        let style_hist = metrics.histogram("gan.style_loss_milli");
         for epoch in 0..cfg.epochs {
+            let round = metrics.span("gan.epoch_wall_ns");
             let mut d_sum = 0.0;
             let mut g_sum = 0.0;
             for _ in 0..steps {
@@ -167,6 +198,7 @@ impl AmGan {
                 let stats = gan.train_step(&x, &labels, rng, &mut g_opt, &mut d_opt);
                 d_sum += stats.d_loss;
                 g_sum += stats.g_loss;
+                step_counter.inc();
             }
             let am = AmGan {
                 gan: gan.clone(),
@@ -178,6 +210,13 @@ impl AmGan {
                 best_style = style;
                 best = gan.clone();
             }
+            epoch_counter.inc();
+            d_hist.observe(loss_milli(d_sum / steps as f32));
+            g_hist.observe(loss_milli(g_sum / steps as f32));
+            if style.is_finite() {
+                style_hist.observe(loss_milli(style));
+            }
+            drop(round);
             history.push(EpochStats {
                 epoch,
                 d_loss: d_sum / steps as f32,

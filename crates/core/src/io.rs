@@ -11,45 +11,33 @@
 //! Floating-point state (normalizer maxima) is written with Rust's
 //! shortest-round-trip formatting, so a load reproduces the exact `f64`
 //! bits — deployment-time featurization is byte-identical to training-time.
+//!
+//! Every fallible function returns the crate-wide typed
+//! [`EvaxError`]: [`EvaxError::Parse`] with a
+//! 1-based line number for malformed fields, [`EvaxError::Corrupt`] with
+//! expected/got context for bad magic headers, checksum failures and
+//! dimension disagreements, and [`EvaxError::Io`] for the OS layer. The
+//! `*_file` wrappers attach the path so "which file?" is always answerable.
+
+// Lock in the error-API migration: this module must never panic on bad
+// input (tests are exempt — unwrapping known-good fixtures is fine there).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
 
 use crate::dataset::{Dataset, Normalizer, Sample, N_CLASSES};
 use crate::detector::Detector;
+use crate::error::{EvaxError, Result};
 use crate::feature_engineering::EngineeredFeature;
 use crate::featurize::Featurizer;
 use crate::patch::DetectorPatch;
 
-/// Errors reading persisted datasets.
-#[derive(Debug)]
-pub enum IoError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// The content failed to parse.
-    Parse {
-        /// 1-based line number.
-        line: usize,
-        /// What went wrong.
-        reason: String,
-    },
-}
-
-impl std::fmt::Display for IoError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            IoError::Io(e) => write!(f, "i/o error: {e}"),
-            IoError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
-        }
-    }
-}
-
-impl std::error::Error for IoError {}
-
-impl From<std::io::Error> for IoError {
-    fn from(e: std::io::Error) -> Self {
-        IoError::Io(e)
-    }
-}
+/// Former name of this module's error type, now the crate-wide
+/// [`EvaxError`]. The variant shapes existing code matched on
+/// (`Parse { line, .. }`, `Io { .. }`) are preserved.
+#[deprecated(since = "0.1.0", note = "use `evax_core::error::EvaxError` instead")]
+pub type IoError = EvaxError;
 
 /// Writes a dataset as CSV with a header naming each feature.
 ///
@@ -58,7 +46,7 @@ impl From<std::io::Error> for IoError {
 ///
 /// # Errors
 /// Propagates writer failures.
-pub fn write_csv<W: Write>(ds: &Dataset, feature_names: &[&str], mut w: W) -> Result<(), IoError> {
+pub fn write_csv<W: Write>(ds: &Dataset, feature_names: &[&str], mut w: W) -> Result<()> {
     let dim = ds.feature_dim();
     write!(w, "class")?;
     for i in 0..dim {
@@ -82,18 +70,20 @@ pub fn write_csv<W: Write>(ds: &Dataset, feature_names: &[&str], mut w: W) -> Re
 /// required and skipped).
 ///
 /// # Errors
-/// Returns [`IoError::Parse`] with the offending line on malformed content.
-pub fn read_csv<R: Read>(r: R) -> Result<Dataset, IoError> {
+/// Returns [`EvaxError::Corrupt`] on a missing header and
+/// [`EvaxError::Parse`] with the offending line on malformed content.
+pub fn read_csv<R: Read>(r: R) -> Result<Dataset> {
     let reader = BufReader::new(r);
     let mut ds = Dataset::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         if idx == 0 {
             if !line.starts_with("class") {
-                return Err(IoError::Parse {
-                    line: 1,
-                    reason: "missing 'class,...' header".into(),
-                });
+                return Err(EvaxError::corrupt(
+                    "csv header",
+                    "a 'class,...' header row",
+                    format!("'{}'", line.trim_end()),
+                ));
             }
             continue;
         }
@@ -103,46 +93,36 @@ pub fn read_csv<R: Read>(r: R) -> Result<Dataset, IoError> {
         let mut fields = line.split(',');
         let class: usize = fields
             .next()
-            .ok_or_else(|| IoError::Parse {
-                line: idx + 1,
-                reason: "empty row".into(),
-            })?
+            .ok_or_else(|| EvaxError::parse(idx + 1, "empty row"))?
             .trim()
             .parse()
-            .map_err(|e| IoError::Parse {
-                line: idx + 1,
-                reason: format!("bad class: {e}"),
-            })?;
+            .map_err(|e| EvaxError::parse(idx + 1, format!("bad class: {e}")))?;
         if class >= N_CLASSES {
-            return Err(IoError::Parse {
-                line: idx + 1,
-                reason: format!("class {class} out of range (< {N_CLASSES})"),
-            });
+            return Err(EvaxError::parse(
+                idx + 1,
+                format!("class {class} out of range (< {N_CLASSES})"),
+            ));
         }
-        let features: Result<Vec<f32>, IoError> = fields
+        let features: Result<Vec<f32>> = fields
             .map(|f| {
-                f.trim().parse::<f32>().map_err(|e| IoError::Parse {
-                    line: idx + 1,
-                    reason: format!("bad feature '{f}': {e}"),
-                })
+                f.trim()
+                    .parse::<f32>()
+                    .map_err(|e| EvaxError::parse(idx + 1, format!("bad feature '{f}': {e}")))
             })
             .collect();
         let features = features?;
         if features.is_empty() {
-            return Err(IoError::Parse {
-                line: idx + 1,
-                reason: "row has no features".into(),
-            });
+            return Err(EvaxError::parse(idx + 1, "row has no features"));
         }
         if ds.feature_dim() != 0 && features.len() != ds.feature_dim() {
-            return Err(IoError::Parse {
-                line: idx + 1,
-                reason: format!(
+            return Err(EvaxError::parse(
+                idx + 1,
+                format!(
                     "row has {} features, expected {}",
                     features.len(),
                     ds.feature_dim()
                 ),
-            });
+            ));
         }
         ds.push(Sample::new(features, class));
     }
@@ -154,7 +134,7 @@ pub fn read_csv<R: Read>(r: R) -> Result<Dataset, IoError> {
 ///
 /// # Errors
 /// Propagates writer failures.
-pub fn write_normalizer<W: Write>(norm: &Normalizer, mut w: W) -> Result<(), IoError> {
+pub fn write_normalizer<W: Write>(norm: &Normalizer, mut w: W) -> Result<()> {
     for (i, &m) in norm.maxima().iter().enumerate() {
         if i > 0 {
             write!(w, ",")?;
@@ -168,19 +148,17 @@ pub fn write_normalizer<W: Write>(norm: &Normalizer, mut w: W) -> Result<(), IoE
 /// Reads a normalizer written by [`write_normalizer`].
 ///
 /// # Errors
-/// Returns [`IoError::Parse`] on malformed content.
-pub fn read_normalizer<R: Read>(r: R) -> Result<Normalizer, IoError> {
+/// Returns [`EvaxError::Parse`] on malformed content.
+pub fn read_normalizer<R: Read>(r: R) -> Result<Normalizer> {
     let mut reader = BufReader::new(r);
     let mut line = String::new();
     reader.read_line(&mut line)?;
-    let maxes: Result<Vec<f64>, IoError> = line
+    let maxes: Result<Vec<f64>> = line
         .trim()
         .split(',')
         .map(|f| {
-            f.parse::<f64>().map_err(|e| IoError::Parse {
-                line: 1,
-                reason: format!("bad max '{f}': {e}"),
-            })
+            f.parse::<f64>()
+                .map_err(|e| EvaxError::parse(1, format!("bad max '{f}': {e}")))
         })
         .collect();
     let maxes = maxes?;
@@ -201,16 +179,16 @@ const MODEL_HEADER: &str = "evax-model v1";
 /// # Errors
 /// Propagates writer failures, or rejects a featurizer whose engineered
 /// names contain the `|` / newline delimiters.
-pub fn write_featurizer<W: Write>(f: &Featurizer, mut w: W) -> Result<(), IoError> {
+pub fn write_featurizer<W: Write>(f: &Featurizer, mut w: W) -> Result<()> {
     writeln!(w, "{FEATURIZER_HEADER}")?;
     writeln!(w, "{},{}", f.base_dim(), f.engineered().len())?;
     write_normalizer(f.normalizer(), &mut w)?;
     for e in f.engineered() {
         if e.name.contains('|') || e.name.contains('\n') {
-            return Err(IoError::Parse {
-                line: 0,
-                reason: format!("engineered name {:?} contains a delimiter", e.name),
-            });
+            return Err(EvaxError::parse(
+                0,
+                format!("engineered name {:?} contains a delimiter", e.name),
+            ));
         }
         write!(w, "{}|", e.name)?;
         for (i, c) in e.components.iter().enumerate() {
@@ -226,27 +204,30 @@ pub fn write_featurizer<W: Write>(f: &Featurizer, mut w: W) -> Result<(), IoErro
 
 /// Parses the featurizer block from an enumerated line stream (shared by
 /// [`read_featurizer`] and [`read_model`]). Line numbers are 1-based.
-fn parse_featurizer<'a, I>(lines: &mut I) -> Result<Featurizer, IoError>
+fn parse_featurizer<'a, I>(lines: &mut I) -> Result<Featurizer>
 where
     I: Iterator<Item = (usize, &'a str)>,
 {
-    let bad = |line: usize, reason: String| IoError::Parse { line, reason };
     let mut next = |what: &str| {
         lines
             .next()
-            .ok_or_else(|| bad(0, format!("truncated featurizer: missing {what}")))
+            .ok_or_else(|| EvaxError::parse(0, format!("truncated featurizer: missing {what}")))
     };
 
-    let (ln, header) = next("header")?;
+    let (_, header) = next("header")?;
     if header.trim() != FEATURIZER_HEADER {
-        return Err(bad(ln, format!("expected '{FEATURIZER_HEADER}' header")));
+        return Err(EvaxError::corrupt(
+            "featurizer header",
+            format!("'{FEATURIZER_HEADER}'"),
+            format!("'{}'", header.trim()),
+        ));
     }
     let (ln, dims) = next("dimension row")?;
     let (base_dim, n_eng) = dims
         .trim()
         .split_once(',')
         .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
-        .ok_or_else(|| bad(ln, format!("bad dimension row '{}'", dims.trim())))?;
+        .ok_or_else(|| EvaxError::parse(ln, format!("bad dimension row '{}'", dims.trim())))?;
 
     let (ln, maxima_row) = next("normalizer maxima")?;
     let maxima: Vec<f64> = maxima_row
@@ -254,23 +235,23 @@ where
         .split(',')
         .map(|f| {
             f.parse::<f64>()
-                .map_err(|e| bad(ln, format!("bad max '{f}': {e}")))
+                .map_err(|e| EvaxError::parse(ln, format!("bad max '{f}': {e}")))
         })
-        .collect::<Result<_, _>>()?;
+        .collect::<Result<_>>()?;
     if maxima.len() != base_dim {
-        return Err(bad(
-            ln,
-            format!("{} maxima, header promised {base_dim}", maxima.len()),
+        return Err(EvaxError::corrupt(
+            "featurizer maxima row",
+            format!("{base_dim} maxima (per the dimension row)"),
+            format!("{}", maxima.len()),
         ));
     }
 
     let mut engineered = Vec::with_capacity(n_eng);
     for _ in 0..n_eng {
         let (ln, row) = next("engineered feature")?;
-        let (name, comps) = row
-            .trim_end()
-            .split_once('|')
-            .ok_or_else(|| bad(ln, format!("bad engineered row '{}'", row.trim_end())))?;
+        let (name, comps) = row.trim_end().split_once('|').ok_or_else(|| {
+            EvaxError::parse(ln, format!("bad engineered row '{}'", row.trim_end()))
+        })?;
         let components: Vec<usize> = if comps.is_empty() {
             Vec::new()
         } else {
@@ -278,14 +259,15 @@ where
                 .split(',')
                 .map(|c| {
                     c.parse::<usize>()
-                        .map_err(|e| bad(ln, format!("bad component '{c}': {e}")))
+                        .map_err(|e| EvaxError::parse(ln, format!("bad component '{c}': {e}")))
                 })
-                .collect::<Result<_, _>>()?
+                .collect::<Result<_>>()?
         };
         if let Some(&c) = components.iter().find(|&&c| c >= base_dim) {
-            return Err(bad(
-                ln,
-                format!("component {c} out of range (< {base_dim})"),
+            return Err(EvaxError::corrupt(
+                "engineered feature component",
+                format!("an index below the base dimension {base_dim}"),
+                format!("{c}"),
             ));
         }
         engineered.push(EngineeredFeature {
@@ -301,12 +283,34 @@ where
 /// matches training-time byte-for-byte.
 ///
 /// # Errors
-/// Returns [`IoError::Parse`] on malformed content.
-pub fn read_featurizer<R: Read>(mut r: R) -> Result<Featurizer, IoError> {
+/// Returns [`EvaxError::Parse`] / [`EvaxError::Corrupt`] on malformed
+/// content.
+pub fn read_featurizer<R: Read>(mut r: R) -> Result<Featurizer> {
     let mut text = String::new();
     r.read_to_string(&mut text)?;
     let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
     parse_featurizer(&mut lines)
+}
+
+/// [`read_featurizer`] from a path, with the path attached to any error.
+///
+/// # Errors
+/// As [`read_featurizer`], plus [`EvaxError::Io`] when the file cannot be
+/// opened; every error carries the path.
+pub fn read_featurizer_file<P: AsRef<Path>>(path: P) -> Result<Featurizer> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| EvaxError::from(e).with_path(path))?;
+    read_featurizer(BufReader::new(file)).map_err(|e| e.with_path(path))
+}
+
+/// [`write_featurizer`] to a path, with the path attached to any error.
+///
+/// # Errors
+/// As [`write_featurizer`]; every error carries the path.
+pub fn write_featurizer_file<P: AsRef<Path>>(f: &Featurizer, path: P) -> Result<()> {
+    let path = path.as_ref();
+    let file = std::fs::File::create(path).map_err(|e| EvaxError::from(e).with_path(path))?;
+    write_featurizer(f, std::io::BufWriter::new(file)).map_err(|e| e.with_path(path))
 }
 
 /// Writes a complete deployable model: the featurizer followed by the
@@ -321,7 +325,7 @@ pub fn write_model<W: Write>(
     featurizer: &Featurizer,
     revision: u32,
     mut w: W,
-) -> Result<(), IoError> {
+) -> Result<()> {
     writeln!(w, "{MODEL_HEADER}")?;
     write_featurizer(featurizer, &mut w)?;
     let blob = DetectorPatch::from_detector(detector, featurizer.base_dim(), revision).to_bytes();
@@ -349,64 +353,88 @@ pub struct ModelBundle {
 /// checksum and that the detector's base dimension matches the featurizer.
 ///
 /// # Errors
-/// Returns [`IoError::Parse`] on malformed content, checksum mismatch, or a
+/// Returns [`EvaxError::Parse`] on malformed content and
+/// [`EvaxError::Corrupt`] on a bad header, checksum mismatch, or a
 /// detector/featurizer dimension disagreement.
-pub fn read_model<R: Read>(mut r: R) -> Result<ModelBundle, IoError> {
+pub fn read_model<R: Read>(mut r: R) -> Result<ModelBundle> {
     let mut text = String::new();
     r.read_to_string(&mut text)?;
     let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
-    let (ln, header) = lines.next().ok_or_else(|| IoError::Parse {
-        line: 1,
-        reason: "empty model file".into(),
-    })?;
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| EvaxError::parse(1, "empty model file"))?;
     if header.trim() != MODEL_HEADER {
-        return Err(IoError::Parse {
-            line: ln,
-            reason: format!("expected '{MODEL_HEADER}' header"),
-        });
+        return Err(EvaxError::corrupt(
+            "model header",
+            format!("'{MODEL_HEADER}'"),
+            format!("'{}'", header.trim()),
+        ));
     }
     let featurizer = parse_featurizer(&mut lines)?;
-    let (ln, patch_row) = lines.next().ok_or_else(|| IoError::Parse {
-        line: 0,
-        reason: "truncated model: missing patch row".into(),
-    })?;
+    let (ln, patch_row) = lines
+        .next()
+        .ok_or_else(|| EvaxError::parse(0, "truncated model: missing patch row"))?;
     let hex = patch_row
         .strip_prefix("patch ")
-        .ok_or_else(|| IoError::Parse {
-            line: ln,
-            reason: "expected 'patch <hex>' row".into(),
-        })?
+        .ok_or_else(|| EvaxError::parse(ln, "expected 'patch <hex>' row"))?
         .trim();
     if hex.len() % 2 != 0 {
-        return Err(IoError::Parse {
-            line: ln,
-            reason: "odd-length hex payload".into(),
-        });
+        return Err(EvaxError::parse(ln, "odd-length hex payload"));
     }
     let blob: Vec<u8> = (0..hex.len() / 2)
         .map(|i| {
-            u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).map_err(|e| IoError::Parse {
-                line: ln,
-                reason: format!("bad hex byte: {e}"),
-            })
+            u8::from_str_radix(&hex[2 * i..2 * i + 2], 16)
+                .map_err(|e| EvaxError::parse(ln, format!("bad hex byte: {e}")))
         })
-        .collect::<Result<_, _>>()?;
-    let patch = DetectorPatch::from_bytes(&blob).map_err(|e| IoError::Parse {
-        line: ln,
-        reason: format!("patch decode failed: {e}"),
+        .collect::<Result<_>>()?;
+    let patch = DetectorPatch::from_bytes(&blob).map_err(|e| {
+        EvaxError::corrupt("detector patch", "a checksummed patch blob", e.to_string())
     })?;
     let revision = patch.revision;
-    let detector = patch
-        .instantiate(featurizer.base_dim())
-        .map_err(|e| IoError::Parse {
-            line: ln,
-            reason: format!("patch does not fit featurizer: {e}"),
-        })?;
+    let detector = patch.instantiate(featurizer.base_dim()).map_err(|e| {
+        EvaxError::corrupt(
+            "model bundle",
+            format!("a patch fitting base dimension {}", featurizer.base_dim()),
+            e.to_string(),
+        )
+    })?;
     Ok(ModelBundle {
         detector,
         featurizer,
         revision,
     })
+}
+
+/// [`read_model`] from a path, with the path attached to any error.
+///
+/// # Errors
+/// As [`read_model`], plus [`EvaxError::Io`] when the file cannot be
+/// opened; every error carries the path.
+pub fn read_model_file<P: AsRef<Path>>(path: P) -> Result<ModelBundle> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| EvaxError::from(e).with_path(path))?;
+    read_model(BufReader::new(file)).map_err(|e| e.with_path(path))
+}
+
+/// [`write_model`] to a path, with the path attached to any error.
+///
+/// # Errors
+/// As [`write_model`]; every error carries the path.
+pub fn write_model_file<P: AsRef<Path>>(
+    detector: &Detector,
+    featurizer: &Featurizer,
+    revision: u32,
+    path: P,
+) -> Result<()> {
+    let path = path.as_ref();
+    let file = std::fs::File::create(path).map_err(|e| EvaxError::from(e).with_path(path))?;
+    write_model(
+        detector,
+        featurizer,
+        revision,
+        std::io::BufWriter::new(file),
+    )
+    .map_err(|e| e.with_path(path))
 }
 
 #[cfg(test)]
@@ -437,14 +465,15 @@ mod tests {
     #[test]
     fn missing_header_rejected() {
         let err = read_csv("1,0.5,0.5\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+        assert!(matches!(err, EvaxError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("class"), "{err}");
     }
 
     #[test]
     fn ragged_rows_rejected() {
         let csv = "class,a,b\n0,0.1,0.2\n1,0.3\n";
         let err = read_csv(csv.as_bytes()).unwrap_err();
-        assert!(matches!(err, IoError::Parse { line: 3, .. }), "{err}");
+        assert!(matches!(err, EvaxError::Parse { line: 3, .. }), "{err}");
     }
 
     #[test]
@@ -457,9 +486,24 @@ mod tests {
     fn bad_feature_reports_line() {
         let csv = "class,a\n0,0.1\n0,oops\n";
         match read_csv(csv.as_bytes()) {
-            Err(IoError::Parse { line, .. }) => assert_eq!(line, 3),
+            Err(EvaxError::Parse { line, .. }) => assert_eq!(line, 3),
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deprecated_alias_still_matches() {
+        // The historical name keeps working (and keeps its variant shape)
+        // for downstream code that has not migrated yet.
+        #[allow(deprecated)]
+        fn classify(e: IoError) -> usize {
+            match e {
+                EvaxError::Parse { line, .. } => line,
+                _ => 0,
+            }
+        }
+        let err = read_csv("class,a\n0,oops\n".as_bytes()).unwrap_err();
+        assert_eq!(classify(err), 2);
     }
 
     #[test]
@@ -523,18 +567,26 @@ mod tests {
         let mut buf = Vec::new();
         write_featurizer(&f, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        // Missing header.
-        assert!(read_featurizer(&text.as_bytes()["evax-".len()..]).is_err());
-        // Truncated engineered block.
+        // Missing header → Corrupt with expected/got context.
+        let err = read_featurizer(&text.as_bytes()["evax-".len()..]).unwrap_err();
+        assert!(matches!(err, EvaxError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains(FEATURIZER_HEADER), "{err}");
+        // Truncated engineered block → Parse naming the missing piece.
         let cut = text.trim_end().rfind('\n').unwrap();
-        assert!(read_featurizer(&text.as_bytes()[..cut]).is_err());
-        // Out-of-range component index.
+        let err = read_featurizer(&text.as_bytes()[..cut]).unwrap_err();
+        assert!(matches!(err, EvaxError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // Out-of-range component index → Corrupt (pieces disagree).
         let poked = text.replace("|2,3,0", "|2,9,0");
-        assert!(read_featurizer(poked.as_bytes()).is_err());
+        let err = read_featurizer(poked.as_bytes()).unwrap_err();
+        assert!(matches!(err, EvaxError::Corrupt { .. }), "{err}");
+        // Maxima row shorter than the dimension row promises.
+        let shorter = text.replacen("4,2", "5,2", 1);
+        let err = read_featurizer(shorter.as_bytes()).unwrap_err();
+        assert!(matches!(err, EvaxError::Corrupt { .. }), "{err}");
     }
 
-    #[test]
-    fn model_bundle_round_trip() {
+    fn sample_model_text() -> (Detector, Featurizer, String) {
         use crate::dataset::Sample;
         use crate::detector::{Detector, DetectorKind, TrainConfig};
         use rand::SeedableRng;
@@ -553,10 +605,16 @@ mod tests {
             &TrainConfig::default(),
             &mut rng,
         );
-
         let mut buf = Vec::new();
         write_model(&detector, &featurizer, 3, &mut buf).unwrap();
-        let bundle = read_model(buf.as_slice()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        (detector, featurizer, text)
+    }
+
+    #[test]
+    fn model_bundle_round_trip() {
+        let (detector, featurizer, text) = sample_model_text();
+        let bundle = read_model(text.as_bytes()).unwrap();
         assert_eq!(bundle.revision, 3);
         assert_eq!(bundle.featurizer, featurizer);
         // The detector survives exactly: same patch encoding, same verdicts.
@@ -564,13 +622,70 @@ mod tests {
             DetectorPatch::from_detector(&bundle.detector, featurizer.base_dim(), 3),
             DetectorPatch::from_detector(&detector, featurizer.base_dim(), 3),
         );
+    }
 
+    #[test]
+    fn corrupt_model_payload_is_a_checksum_corruption() {
+        let (_, _, text) = sample_model_text();
         // A flipped byte in the hex payload is caught by the patch checksum.
-        let text = String::from_utf8(buf).unwrap();
         let patch_at = text.find("patch ").unwrap() + "patch xxxxxxxx".len();
         let mut bad = text.clone().into_bytes();
         bad[patch_at] = if bad[patch_at] == b'0' { b'1' } else { b'0' };
-        assert!(read_model(bad.as_slice()).is_err());
+        let err = read_model(bad.as_slice()).unwrap_err();
+        assert!(matches!(err, EvaxError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_model_is_a_parse_error() {
+        let (_, _, text) = sample_model_text();
+        // Cut the file before the patch row.
+        let cut = text.find("patch ").unwrap();
+        let err = read_model(&text.as_bytes()[..cut]).unwrap_err();
+        assert!(matches!(err, EvaxError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("missing patch row"), "{err}");
+        // Empty input names line 1.
+        let err = read_model("".as_bytes()).unwrap_err();
+        assert!(matches!(err, EvaxError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_model_header_reports_expected_and_got() {
+        let (_, _, text) = sample_model_text();
+        let bad = text.replacen(MODEL_HEADER, "evax-model v9", 1);
+        match read_model(bad.as_bytes()) {
+            Err(EvaxError::Corrupt { expected, got, .. }) => {
+                assert!(expected.contains(MODEL_HEADER));
+                assert!(got.contains("evax-model v9"));
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_wrappers_attach_the_path() {
+        let missing = Path::new("/nonexistent/evax-test/model.txt");
+        let err = read_model_file(missing).unwrap_err();
+        match &err {
+            EvaxError::Io { path, .. } => {
+                assert_eq!(path.as_deref(), Some(missing));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        assert!(err.to_string().contains("/nonexistent"), "{err}");
+
+        let dir = std::env::temp_dir().join("evax-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        let (detector, featurizer, _) = sample_model_text();
+        write_model_file(&detector, &featurizer, 5, &path).unwrap();
+        let bundle = read_model_file(&path).unwrap();
+        assert_eq!(bundle.revision, 5);
+        // Truncate the file on disk: the parse error names the file.
+        std::fs::write(&path, "evax-model v1\n").unwrap();
+        let err = read_model_file(&path).unwrap_err();
+        assert!(matches!(err, EvaxError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("model.txt"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -27,7 +27,11 @@
 //!   ROB budget (Figs. 2 and 18): perturbations large enough to evade a
 //!   hardened detector disable the attack.
 //! * [`io`] — CSV dataset export/import (drop the HPC streams into any
-//!   external ML tooling) and normalizer persistence.
+//!   external ML tooling), normalizer/featurizer persistence, and the
+//!   bundled model format.
+//! * [`error`] — the crate-wide typed error ([`error::EvaxError`]) every
+//!   fallible API returns, with path/line/expected-got context.
+//! * [`prelude`] — one-import access to the stable API surface.
 //! * [`metrics`] — accuracy, FP/FN rates per instruction window, ROC/AUC.
 //! * [`patch`] — vendor-distributed detector updates (§VI-B), a
 //!   microcode-style monotone-revision update slot with integrity checks.
@@ -53,6 +57,18 @@
 //! let report = pipeline.evaluate_holdout();
 //! println!("detector accuracy: {:.3}", report.accuracy);
 //! ```
+//!
+//! ## Stable vs. internal surface
+//!
+//! The *stable* surface is what [`prelude`] re-exports: the dataset types,
+//! the detector, the streaming featurization entry points, persistence, the
+//! error model, the parallelism switch and the pipeline configs with their
+//! builders. Items reachable only through module paths (layer internals,
+//! loss plumbing, the GAN's training internals) are *internal*: public for
+//! reproduction scripts and tests, but free to change between minor
+//! versions. New code should import from the prelude; if something you need
+//! is missing there, treat that as an API request, not an invitation to
+//! reach into internals.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,6 +78,7 @@ pub mod collect;
 pub mod dataset;
 pub mod deep_eval;
 pub mod detector;
+pub mod error;
 pub mod feature_engineering;
 pub mod featurize;
 pub mod fuzz;
@@ -73,10 +90,12 @@ pub mod metrics;
 pub mod par;
 pub mod patch;
 pub mod pipeline;
+pub mod prelude;
 pub mod replicated;
 
 pub use dataset::{Dataset, Normalizer, Sample, BENIGN_CLASS, N_CLASSES};
 pub use detector::{Detector, DetectorKind};
+pub use error::{EvaxError, Result};
 pub use featurize::{Featurizer, ProgramSource, RawWindow, StreamStats, WindowSink, WindowSource};
 pub use gram::{gram_matrix, style_loss, style_loss_normalized};
 pub use par::Parallelism;

@@ -5,10 +5,11 @@
 //! into [`vaccinate`], the single implementation shared with every k-fold
 //! retrain (see [`crate::kfold`]).
 
+use evax_obs::MetricsSink;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::collect::{collect_dataset, CollectConfig};
+use crate::collect::{collect_dataset_stats_with, CollectConfig};
 use crate::dataset::{Dataset, Normalizer};
 use crate::detector::{Detector, DetectorKind, TrainConfig};
 use crate::feature_engineering::{engineer_features, EngineeredFeature, N_ENGINEERED};
@@ -17,7 +18,7 @@ use crate::gan::{AmGan, AmGanConfig};
 use crate::metrics::Confusion;
 
 /// Full pipeline configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvaxConfig {
     /// Sample collection.
     pub collect: CollectConfig,
@@ -54,6 +55,14 @@ impl Default for EvaxConfig {
 }
 
 impl EvaxConfig {
+    /// A validating builder starting from [`EvaxConfig::default`].
+    /// `builder().build()` is bit-compatible with `Default::default()`.
+    pub fn builder() -> EvaxConfigBuilder {
+        EvaxConfigBuilder {
+            cfg: EvaxConfig::default(),
+        }
+    }
+
     /// A laptop-scale configuration: smaller corpora, fewer epochs.
     pub fn small() -> Self {
         EvaxConfig {
@@ -70,6 +79,156 @@ impl EvaxConfig {
             augment_benign: 200,
             ..Default::default()
         }
+    }
+}
+
+/// Validating builder for [`EvaxConfig`], obtained from
+/// [`EvaxConfig::builder`]. Setters overwrite the defaults; [`build`] checks
+/// the result and returns [`EvaxError::Config`] naming the offending field
+/// instead of letting a degenerate configuration (zero-instruction windows,
+/// an empty program registry, a holdout that leaves no training data) fail
+/// deep inside a run.
+///
+/// [`build`]: EvaxConfigBuilder::build
+/// [`EvaxError::Config`]: crate::error::EvaxError::Config
+#[derive(Debug, Clone)]
+pub struct EvaxConfigBuilder {
+    cfg: EvaxConfig,
+}
+
+impl EvaxConfigBuilder {
+    /// Replaces the collection configuration wholesale.
+    pub fn collect(mut self, collect: CollectConfig) -> Self {
+        self.cfg.collect = collect;
+        self
+    }
+
+    /// Replaces the AM-GAN training configuration wholesale.
+    pub fn gan(mut self, gan: AmGanConfig) -> Self {
+        self.cfg.gan = gan;
+        self
+    }
+
+    /// Replaces the detector training configuration wholesale.
+    pub fn detector(mut self, detector: TrainConfig) -> Self {
+        self.cfg.detector = detector;
+        self
+    }
+
+    /// HPC sampling interval in committed instructions.
+    pub fn interval(mut self, interval: u64) -> Self {
+        self.cfg.collect.interval = interval;
+        self
+    }
+
+    /// Program runs per attack class.
+    pub fn runs_per_attack(mut self, runs: usize) -> Self {
+        self.cfg.collect.runs_per_attack = runs;
+        self
+    }
+
+    /// Program runs per benign kind.
+    pub fn runs_per_benign(mut self, runs: usize) -> Self {
+        self.cfg.collect.runs_per_benign = runs;
+        self
+    }
+
+    /// Instruction budget per collection run.
+    pub fn max_instrs(mut self, max_instrs: u64) -> Self {
+        self.cfg.collect.max_instrs = max_instrs;
+        self
+    }
+
+    /// Worker threads for the collection fan-out (bit-deterministic at any
+    /// setting).
+    pub fn parallelism(mut self, parallelism: crate::par::Parallelism) -> Self {
+        self.cfg.collect.parallelism = parallelism;
+        self
+    }
+
+    /// Generated attack samples per class for vaccination.
+    pub fn augment_per_class(mut self, n: usize) -> Self {
+        self.cfg.augment_per_class = n;
+        self
+    }
+
+    /// Generated benign samples for vaccination.
+    pub fn augment_benign(mut self, n: usize) -> Self {
+        self.cfg.augment_benign = n;
+        self
+    }
+
+    /// Holdout fraction for evaluation, in `(0, 1)`.
+    pub fn holdout(mut self, holdout: f64) -> Self {
+        self.cfg.holdout = holdout;
+        self
+    }
+
+    /// Sensitivity target for threshold tuning, in `(0, 1]`.
+    pub fn tpr_target(mut self, tpr_target: f64) -> Self {
+        self.cfg.tpr_target = tpr_target;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    /// [`EvaxError::Config`](crate::error::EvaxError::Config) when a field
+    /// is degenerate: a zero sampling interval or instruction budget (no
+    /// windows would ever be produced), an interval beyond the instruction
+    /// budget (every run would yield an empty stream), zero runs of both
+    /// attack and benign programs (an empty registry/dataset), a holdout
+    /// outside `(0, 1)`, or a sensitivity target outside `(0, 1]`.
+    pub fn build(self) -> crate::error::Result<EvaxConfig> {
+        use crate::error::EvaxError;
+        let c = &self.cfg.collect;
+        if c.interval == 0 {
+            return Err(EvaxError::config(
+                "collect.interval",
+                "sampling interval must be positive",
+            ));
+        }
+        if c.max_instrs == 0 {
+            return Err(EvaxError::config(
+                "collect.max_instrs",
+                "instruction budget must be positive",
+            ));
+        }
+        if c.interval > c.max_instrs {
+            return Err(EvaxError::config(
+                "collect.interval",
+                format!(
+                    "interval {} exceeds the {}-instruction budget: every run would \
+                     produce zero windows",
+                    c.interval, c.max_instrs
+                ),
+            ));
+        }
+        if c.benign_scale == 0 {
+            return Err(EvaxError::config(
+                "collect.benign_scale",
+                "benign workload scale must be positive",
+            ));
+        }
+        if c.runs_per_attack == 0 && c.runs_per_benign == 0 {
+            return Err(EvaxError::config(
+                "collect.runs_per_attack/runs_per_benign",
+                "at least one program run is required (the registry would be empty)",
+            ));
+        }
+        if !(self.cfg.holdout > 0.0 && self.cfg.holdout < 1.0) {
+            return Err(EvaxError::config(
+                "holdout",
+                format!("must be in (0, 1), got {}", self.cfg.holdout),
+            ));
+        }
+        if !(self.cfg.tpr_target > 0.0 && self.cfg.tpr_target <= 1.0) {
+            return Err(EvaxError::config(
+                "tpr_target",
+                format!("must be in (0, 1], got {}", self.cfg.tpr_target),
+            ));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -128,9 +287,39 @@ pub fn vaccinate<R: Rng>(
     rng: &mut R,
     timings: &mut StageTimings,
 ) -> Vaccination {
+    vaccinate_with_metrics(
+        train,
+        gan_cfg,
+        det_cfg,
+        augment_per_class,
+        augment_benign,
+        rng,
+        timings,
+        &MetricsSink::default(),
+    )
+}
+
+/// [`vaccinate`] with observability: GAN round telemetry (via
+/// [`AmGan::train_with_metrics`]), stage span timers and sample/parameter
+/// tallies. Recording never touches `rng`, so artifacts are bit-identical
+/// to [`vaccinate`]'s.
+#[allow(clippy::too_many_arguments)]
+pub fn vaccinate_with_metrics<R: Rng>(
+    train: &Dataset,
+    gan_cfg: &AmGanConfig,
+    det_cfg: &TrainConfig,
+    augment_per_class: usize,
+    augment_benign: usize,
+    rng: &mut R,
+    timings: &mut StageTimings,
+    metrics: &MetricsSink,
+) -> Vaccination {
     // 1. Train the AM-GAN on seen data.
     let stage_start = std::time::Instant::now();
-    let gan = AmGan::train(train, gan_cfg, rng);
+    let span = metrics.span("pipeline.gan_wall_ns");
+    let gan = AmGan::train_with_metrics(train, gan_cfg, rng, metrics);
+    drop(span);
+    metrics.record_max("nn.generator_params", gan.generator().param_count() as u64);
     timings.gan_secs += stage_start.elapsed().as_secs_f64();
 
     // 2. Mine the Generator for engineered security HPCs ("we use a set of
@@ -150,7 +339,11 @@ pub fn vaccinate<R: Rng>(
     // 3. Vaccinate: augment with generated samples, train the detector on
     //    the extended (base + engineered) feature space.
     let stage_start = std::time::Instant::now();
+    let span = metrics.span("pipeline.vaccinate_wall_ns");
     let augmented = gan.augment(train, augment_per_class, augment_benign, rng);
+    metrics.add("pipeline.train_samples", train.len() as u64);
+    metrics.add("pipeline.augmented_samples", augmented.len() as u64);
+    metrics.add("pipeline.engineered_features", engineered.len() as u64);
     let mut detector = Detector::train(
         DetectorKind::Evax,
         &augmented,
@@ -162,6 +355,7 @@ pub fn vaccinate<R: Rng>(
     // "detect before leakage" applies to actual attacks, not to the
     // Generator's hard synthetic points.
     detector.tune_above_benign(train, 0.9995, 0.05);
+    drop(span);
     timings.vaccinate_secs += stage_start.elapsed().as_secs_f64();
 
     Vaccination {
@@ -212,10 +406,22 @@ pub struct EvaxPipeline {
 impl EvaxPipeline {
     /// Runs the full offline pipeline.
     pub fn run(cfg: &EvaxConfig, seed: u64) -> EvaxPipeline {
+        EvaxPipeline::run_with_metrics(cfg, seed, &MetricsSink::default())
+    }
+
+    /// [`run`](Self::run) with observability: per-stage span timers, sample
+    /// tallies, simulator/GAN telemetry from the instrumented stages. With
+    /// the default no-op sink this is exactly [`run`](Self::run); with a
+    /// recording sink the trained artifacts are still bit-identical
+    /// (recording never feeds back into collection or training).
+    pub fn run_with_metrics(cfg: &EvaxConfig, seed: u64, metrics: &MetricsSink) -> EvaxPipeline {
         let mut timings = StageTimings::default();
         let mut rng = StdRng::seed_from_u64(seed);
         let stage_start = std::time::Instant::now();
-        let (dataset, normalizer) = collect_dataset(&cfg.collect, seed);
+        let span = metrics.span("pipeline.collect_wall_ns");
+        let (dataset, stats) = collect_dataset_stats_with(&cfg.collect, seed, metrics);
+        let normalizer = stats.normalizer();
+        drop(span);
         let (train, holdout) = dataset.split(cfg.holdout, &mut rng);
         timings.collect_secs = stage_start.elapsed().as_secs_f64();
 
@@ -225,7 +431,7 @@ impl EvaxPipeline {
             gan,
             engineered,
             detector: evax,
-        } = vaccinate(
+        } = vaccinate_with_metrics(
             &train,
             &cfg.gan,
             &cfg.detector,
@@ -233,11 +439,13 @@ impl EvaxPipeline {
             cfg.augment_benign,
             &mut rng,
             &mut timings,
+            metrics,
         );
 
         // 4. Train the PerSpectron baseline: seen data only, no engineered
         //    features, no vaccination.
         let stage_start = std::time::Instant::now();
+        let span = metrics.span("pipeline.baseline_wall_ns");
         let mut perspectron = Detector::train(
             DetectorKind::PerSpectron,
             &train,
@@ -246,6 +454,7 @@ impl EvaxPipeline {
             &mut rng,
         );
         perspectron.tune_above_benign(&train, 0.9995, 0.05);
+        drop(span);
         timings.baseline_secs = stage_start.elapsed().as_secs_f64();
 
         EvaxPipeline {
@@ -310,5 +519,61 @@ mod tests {
             report.accuracy,
             report.perspectron_accuracy
         );
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = EvaxConfig::builder().build().unwrap();
+        assert_eq!(built, EvaxConfig::default());
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let cfg = EvaxConfig::builder()
+            .interval(200)
+            .runs_per_attack(1)
+            .runs_per_benign(2)
+            .max_instrs(3_000)
+            .parallelism(crate::par::Parallelism::Fixed(2))
+            .augment_per_class(10)
+            .augment_benign(20)
+            .holdout(0.5)
+            .tpr_target(0.9)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.collect.interval, 200);
+        assert_eq!(cfg.collect.parallelism, crate::par::Parallelism::Fixed(2));
+        assert_eq!(cfg.augment_per_class, 10);
+        assert_eq!(cfg.holdout, 0.5);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        use crate::error::EvaxError;
+        let cases: Vec<(EvaxConfigBuilder, &str)> = vec![
+            (EvaxConfig::builder().interval(0), "collect.interval"),
+            (EvaxConfig::builder().max_instrs(0), "collect.max_instrs"),
+            (
+                // Interval beyond the budget: zero windows per run.
+                EvaxConfig::builder().interval(50_000).max_instrs(1_000),
+                "collect.interval",
+            ),
+            (
+                EvaxConfig::builder().runs_per_attack(0).runs_per_benign(0),
+                "collect.runs_per_attack/runs_per_benign",
+            ),
+            (EvaxConfig::builder().holdout(0.0), "holdout"),
+            (EvaxConfig::builder().holdout(1.0), "holdout"),
+            (EvaxConfig::builder().tpr_target(0.0), "tpr_target"),
+            (EvaxConfig::builder().tpr_target(1.5), "tpr_target"),
+        ];
+        for (builder, field) in cases {
+            match builder.build() {
+                Err(EvaxError::Config { what, .. }) => {
+                    assert_eq!(what, field, "wrong field blamed");
+                }
+                other => panic!("expected Config error for {field}, got {other:?}"),
+            }
+        }
     }
 }

@@ -1,0 +1,28 @@
+//! One-import access to the stable API surface.
+//!
+//! ```
+//! use evax_core::prelude::*;
+//!
+//! let cfg = EvaxConfig::builder().build().expect("defaults validate");
+//! assert_eq!(cfg, EvaxConfig::default());
+//! ```
+//!
+//! Everything here is the *stable* surface described in the crate docs:
+//! examples, benches and downstream crates should import from this module.
+//! Items not re-exported here are internal — public for reproduction
+//! scripts, but free to change.
+
+pub use crate::collect::CollectConfig;
+pub use crate::dataset::{Dataset, Normalizer, Sample, BENIGN_CLASS, N_CLASSES};
+pub use crate::detector::{Detector, DetectorKind, TrainConfig};
+pub use crate::error::{EvaxError, Result};
+pub use crate::featurize::{
+    Featurizer, ProgramSource, RawWindow, StreamStats, WindowSink, WindowSource,
+};
+pub use crate::io::{
+    read_csv, read_featurizer, read_featurizer_file, read_model, read_model_file, write_csv,
+    write_featurizer, write_featurizer_file, write_model, write_model_file, ModelBundle,
+};
+pub use crate::par::Parallelism;
+pub use crate::pipeline::{EvaxConfig, EvaxPipeline, HoldoutReport};
+pub use evax_obs::{MetricsSink, Registry};

@@ -9,9 +9,10 @@
 //! window→feature stage chain that produced the detector's training data —
 //! there is no deployment-side copy of the featurization to drift.
 
-use evax_core::dataset::Normalizer;
-use evax_core::detector::Detector;
-use evax_core::featurize::{ProgramSource, RawWindow, WindowSink, WindowSource};
+use evax_core::prelude::{
+    Detector, Normalizer, ProgramSource, RawWindow, WindowSink, WindowSource,
+};
+use evax_obs::MetricsSink;
 use evax_sim::{CpuConfig, MitigationMode, Program, RunResult};
 
 /// Which mitigation secure mode applies (paper Fig. 16 naming).
@@ -72,6 +73,79 @@ impl Default for AdaptiveConfig {
     }
 }
 
+impl AdaptiveConfig {
+    /// A validating builder starting from [`AdaptiveConfig::default`].
+    /// `builder().build()` is bit-compatible with `Default::default()`.
+    pub fn builder() -> AdaptiveConfigBuilder {
+        AdaptiveConfigBuilder {
+            cfg: AdaptiveConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for [`AdaptiveConfig`], obtained from
+/// [`AdaptiveConfig::builder`]. [`build`](AdaptiveConfigBuilder::build)
+/// rejects degenerate controllers — a zero sampling interval (the detector
+/// never sees a window) or a secure window shorter than one sampling
+/// interval (secure mode would expire before the next verdict, making the
+/// mitigation a no-op).
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfigBuilder {
+    cfg: AdaptiveConfig,
+}
+
+impl AdaptiveConfigBuilder {
+    /// HPC sampling interval in committed instructions.
+    pub fn sample_interval(mut self, interval: u64) -> Self {
+        self.cfg.sample_interval = interval;
+        self
+    }
+
+    /// Instructions to stay in secure mode after a flag.
+    pub fn secure_window(mut self, window: u64) -> Self {
+        self.cfg.secure_window = window;
+        self
+    }
+
+    /// The mitigation secure mode engages.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    /// [`EvaxError::Config`](evax_core::error::EvaxError::Config) when the
+    /// sampling interval is zero, the secure window is zero, or the secure
+    /// window is shorter than the sampling interval.
+    pub fn build(self) -> evax_core::error::Result<AdaptiveConfig> {
+        use evax_core::error::EvaxError;
+        if self.cfg.sample_interval == 0 {
+            return Err(EvaxError::config(
+                "sample_interval",
+                "sampling interval must be positive",
+            ));
+        }
+        if self.cfg.secure_window == 0 {
+            return Err(EvaxError::config(
+                "secure_window",
+                "secure window must be positive",
+            ));
+        }
+        if self.cfg.secure_window < self.cfg.sample_interval {
+            return Err(EvaxError::config(
+                "secure_window",
+                format!(
+                    "secure window ({}) must cover at least one sampling interval ({})",
+                    self.cfg.secure_window, self.cfg.sample_interval
+                ),
+            ));
+        }
+        Ok(self.cfg)
+    }
+}
+
 /// Outcome of an adaptive (or fixed-mode) run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveRun {
@@ -81,8 +155,25 @@ pub struct AdaptiveRun {
     pub flags: u64,
     /// Instructions executed while secure mode was active.
     pub secure_instructions: u64,
+    /// Cycle of the first detector flag (`None` when nothing was flagged) —
+    /// the paper's detection latency, measured from the start of the run
+    /// (programs start at cycle 0 on a fresh core).
+    pub first_flag_cycle: Option<u64>,
     /// `(instructions_committed, window_ipc)` series for Fig. 14 timelines.
     pub ipc_series: Vec<(u64, f64)>,
+}
+
+impl AdaptiveRun {
+    /// Secure-window duty cycle in parts-per-million of committed
+    /// instructions — an exact integer, so it is safe to export through the
+    /// deterministic metrics block.
+    pub fn secure_duty_ppm(&self) -> u64 {
+        self.secure_instructions
+            .min(self.result.committed_instructions)
+            .saturating_mul(1_000_000)
+            .checked_div(self.result.committed_instructions)
+            .unwrap_or(0)
+    }
 }
 
 /// The adaptive controller as a [`WindowSink`]: performance mode until the
@@ -99,6 +190,7 @@ pub struct AdaptiveController<'a> {
     flags: u64,
     secure_instructions: u64,
     secure_remaining: u64,
+    first_flag_cycle: Option<u64>,
     ipc_series: Vec<(u64, f64)>,
 }
 
@@ -119,6 +211,7 @@ impl<'a> AdaptiveController<'a> {
             flags: 0,
             secure_instructions: 0,
             secure_remaining: 0,
+            first_flag_cycle: None,
             ipc_series: Vec::new(),
         }
     }
@@ -134,6 +227,7 @@ impl<'a> AdaptiveController<'a> {
             result,
             flags: self.flags,
             secure_instructions: self.secure_instructions,
+            first_flag_cycle: self.first_flag_cycle,
             ipc_series: self.ipc_series,
         }
     }
@@ -146,6 +240,9 @@ impl WindowSink for AdaptiveController<'_> {
         let malicious = self.detector.classify(&self.features);
         if malicious {
             self.flags += 1;
+            if self.first_flag_cycle.is_none() {
+                self.first_flag_cycle = Some(w.cycle);
+            }
             self.secure_remaining = self.cfg.secure_window;
             self.secure_instructions += self.cfg.sample_interval;
             return Some(self.cfg.policy.mode());
@@ -218,9 +315,88 @@ pub fn run_fixed(
     AdaptiveRun {
         flags: 0,
         secure_instructions: secure,
+        first_flag_cycle: None,
         result,
         ipc_series: trace.series,
     }
+}
+
+/// [`run_adaptive`] with observability: the underlying [`ProgramSource`]
+/// records `featurize.*`/`sim.*` metrics, and the controller's verdicts are
+/// exported under `adaptive.<label>.*` — per-run detection latency in
+/// cycles (`detection_latency_cycles`, attacks start at cycle 0 on the
+/// fresh core), secure-window duty cycle in ppm of committed instructions
+/// (`secure_duty_ppm`), flag/window tallies, and — when `is_attack` is
+/// `false` — the false-flag tally (`false_flags`) behind the paper's
+/// false-switch overhead argument. All exported values are integers derived
+/// from simulated quantities, so they are bit-identical across runs and
+/// thread counts. Recording never feeds back into the run: the returned
+/// [`AdaptiveRun`] equals [`run_adaptive`]'s.
+#[allow(clippy::too_many_arguments)]
+pub fn run_adaptive_with_metrics(
+    cpu_cfg: &CpuConfig,
+    program: &Program,
+    detector: &Detector,
+    normalizer: &Normalizer,
+    cfg: &AdaptiveConfig,
+    max_instrs: u64,
+    metrics: &MetricsSink,
+    label: &str,
+    is_attack: bool,
+) -> AdaptiveRun {
+    let mut controller = AdaptiveController::new(detector, normalizer, cfg);
+    let result = ProgramSource::new(program, cpu_cfg, cfg.sample_interval, max_instrs)
+        .with_metrics(metrics.clone())
+        .stream(&mut controller);
+    let run = controller.finish(result);
+    if metrics.enabled() {
+        let p = |m: &str| format!("adaptive.{label}.{m}");
+        metrics.add(&p("runs"), 1);
+        metrics.add(&p("windows"), run.ipc_series.len() as u64);
+        metrics.add(&p("flags"), run.flags);
+        metrics.add(&p("secure_instructions"), run.secure_instructions);
+        metrics.add(
+            &p("committed_instructions"),
+            run.result.committed_instructions,
+        );
+        metrics.add(&p("cycles"), run.result.cycles);
+        metrics.observe(&p("secure_duty_ppm"), run.secure_duty_ppm());
+        if is_attack {
+            match run.first_flag_cycle {
+                Some(cycle) => metrics.observe(&p("detection_latency_cycles"), cycle),
+                None => metrics.add(&p("missed_detections"), 1),
+            }
+        } else {
+            metrics.add(&p("false_flags"), run.flags);
+        }
+    }
+    run
+}
+
+/// [`run_fixed`] with observability: records the baseline/always-on
+/// cycle and instruction tallies under `fixed.<label>.*` (the denominators
+/// of the Fig. 16 overhead table `obs_report` renders).
+pub fn run_fixed_with_metrics(
+    cpu_cfg: &CpuConfig,
+    program: &Program,
+    mode: MitigationMode,
+    sample_interval: u64,
+    max_instrs: u64,
+    metrics: &MetricsSink,
+    label: &str,
+) -> AdaptiveRun {
+    let run = run_fixed(cpu_cfg, program, mode, sample_interval, max_instrs);
+    if metrics.enabled() {
+        let p = |m: &str| format!("fixed.{label}.{m}");
+        metrics.add(&p("runs"), 1);
+        metrics.add(&p("cycles"), run.result.cycles);
+        metrics.add(
+            &p("committed_instructions"),
+            run.result.committed_instructions,
+        );
+        metrics.add(&p("secure_instructions"), run.secure_instructions);
+    }
+    run
 }
 
 #[cfg(test)]
@@ -286,6 +462,53 @@ mod tests {
     }
 
     #[test]
+    fn metered_runs_match_unmetered_bit_for_bit() {
+        use evax_core::prelude::{MetricsSink, Registry};
+        let (det, norm) = trained_detector(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let attack = evax_attacks::build_attack(
+            evax_attacks::AttackClass::SpectrePht,
+            &evax_attacks::KernelParams::default(),
+            &mut rng,
+        );
+        let cfg = AdaptiveConfig {
+            sample_interval: 200,
+            secure_window: 2_000,
+            ..Default::default()
+        };
+        let cpu = CpuConfig::default();
+        let registry = Registry::shared();
+        let sink = MetricsSink::recording(&registry);
+
+        let plain = run_adaptive(&cpu, &attack, &det, &norm, &cfg, 20_000);
+        let metered =
+            run_adaptive_with_metrics(&cpu, &attack, &det, &norm, &cfg, 20_000, &sink, "atk", true);
+        assert_eq!(plain, metered, "recording must not perturb the run");
+        assert_eq!(registry.get("adaptive.atk.flags"), Some(plain.flags));
+        assert_eq!(
+            registry.get("adaptive.atk.detection_latency_cycles"),
+            plain.first_flag_cycle,
+            "latency histogram sum must equal the first flag cycle"
+        );
+
+        let fixed_plain = run_fixed(&cpu, &attack, MitigationMode::FenceSpectre, 200, 20_000);
+        let fixed_metered = run_fixed_with_metrics(
+            &cpu,
+            &attack,
+            MitigationMode::FenceSpectre,
+            200,
+            20_000,
+            &sink,
+            "atk_fence",
+        );
+        assert_eq!(fixed_plain, fixed_metered);
+        assert_eq!(
+            registry.get("fixed.atk_fence.cycles"),
+            Some(fixed_plain.result.cycles)
+        );
+    }
+
+    #[test]
     fn adaptive_on_benign_is_cheaper_than_always_on() {
         let (det, norm) = trained_detector(4);
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
@@ -342,5 +565,43 @@ mod tests {
         );
         assert!(run.ipc_series.len() >= 5);
         assert!(run.ipc_series.iter().all(|&(_, ipc)| ipc > 0.0));
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = AdaptiveConfig::builder().build().unwrap();
+        assert_eq!(built, AdaptiveConfig::default());
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        use evax_core::error::EvaxError;
+        for (builder, field) in [
+            (
+                AdaptiveConfig::builder().sample_interval(0),
+                "sample_interval",
+            ),
+            (AdaptiveConfig::builder().secure_window(0), "secure_window"),
+            (
+                // Secure mode would expire before the next verdict.
+                AdaptiveConfig::builder()
+                    .sample_interval(500)
+                    .secure_window(100),
+                "secure_window",
+            ),
+        ] {
+            match builder.build() {
+                Err(EvaxError::Config { what, .. }) => assert_eq!(what, field),
+                other => panic!("expected Config error for {field}, got {other:?}"),
+            }
+        }
+        let cfg = AdaptiveConfig::builder()
+            .sample_interval(250)
+            .secure_window(5_000)
+            .policy(Policy::InvisiSpecFuturistic)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.sample_interval, 250);
+        assert_eq!(cfg.policy, Policy::InvisiSpecFuturistic);
     }
 }

@@ -38,6 +38,7 @@ pub mod adaptive;
 pub mod overhead;
 
 pub use adaptive::{
-    run_adaptive, run_fixed, AdaptiveConfig, AdaptiveController, AdaptiveRun, Policy,
+    run_adaptive, run_adaptive_with_metrics, run_fixed, run_fixed_with_metrics, AdaptiveConfig,
+    AdaptiveController, AdaptiveRun, Policy,
 };
 pub use overhead::{measure_workload, measure_workload_with, overhead_suite, OverheadRow};

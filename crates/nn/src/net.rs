@@ -80,6 +80,15 @@ impl Network {
         self.layers[self.layers.len() - 1].fan_out()
     }
 
+    /// Total trainable parameters (weights + biases) across all layers —
+    /// the model-size figure observability reports alongside timings.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.fan_in() * l.fan_out() + l.fan_out())
+            .sum()
+    }
+
     /// Borrow the layer stack (EVAX mines hidden-layer weights from here).
     pub fn layers(&self) -> &[Dense] {
         &self.layers

@@ -132,6 +132,26 @@ pub struct HpcSample {
     pub values: Vec<f64>,
 }
 
+/// Scheduler-core activity counters, maintained by the event-driven
+/// scheduling core (all zero in [`SchedulerKind::Scan`] mode, whose
+/// reference loop bypasses the heaps).
+///
+/// These are pure observability: they never feed back into scheduling
+/// decisions, so enabling or reading them cannot perturb simulated
+/// behavior. `evax_obs` exports them as `sim.sched.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Timed completion/replay events pushed onto the event heap.
+    pub events_scheduled: u64,
+    /// Peak event-heap occupancy observed after a push.
+    pub event_heap_peak: u64,
+    /// Issue candidates pushed onto the ready heap (including re-pushes of
+    /// gate-skipped candidates).
+    pub ready_pushes: u64,
+    /// Peak ready-heap occupancy observed after a push.
+    pub ready_heap_peak: u64,
+}
+
 /// The simulated core.
 pub struct Cpu {
     cfg: CpuConfig,
@@ -218,6 +238,8 @@ pub struct Cpu {
     /// memory ops instead of the whole ROB.
     store_seqs: VecDeque<u64>,
     load_seqs: VecDeque<u64>,
+    /// Event/ready-heap activity tallies (observability only).
+    sched_counters: SchedCounters,
 }
 
 impl std::fmt::Debug for Cpu {
@@ -289,6 +311,7 @@ impl Cpu {
             producers_in_flight: 0,
             store_seqs: VecDeque::with_capacity(cfg.sq_entries),
             load_seqs: VecDeque::with_capacity(cfg.lq_entries),
+            sched_counters: SchedCounters::default(),
             cfg,
         }
     }
@@ -346,6 +369,12 @@ impl Cpu {
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Scheduler activity tallies (event-heap/ready-heap pushes and peak
+    /// depths). All zero under [`SchedulerKind::Scan`].
+    pub fn sched_counters(&self) -> SchedCounters {
+        self.sched_counters
     }
 
     /// Current mitigation mode.
@@ -843,6 +872,11 @@ impl Cpu {
     fn push_ready(&mut self, seq: u64) {
         if self.sched == SchedulerKind::EventDriven {
             self.ready.push(Reverse(seq));
+            self.sched_counters.ready_pushes += 1;
+            let depth = self.ready.len() as u64;
+            if depth > self.sched_counters.ready_heap_peak {
+                self.sched_counters.ready_heap_peak = depth;
+            }
         }
     }
 
@@ -850,6 +884,11 @@ impl Cpu {
     fn schedule_event(&mut self, at: u64, seq: u64, kind: u8) {
         if self.sched == SchedulerKind::EventDriven {
             self.events.push(Reverse((at, seq, kind)));
+            self.sched_counters.events_scheduled += 1;
+            let depth = self.events.len() as u64;
+            if depth > self.sched_counters.event_heap_peak {
+                self.sched_counters.event_heap_peak = depth;
+            }
         }
     }
 
@@ -1225,7 +1264,7 @@ impl Cpu {
         // loop kept them: an executing entry's squash keeps seqs <= its
         // own, and every skipped seq popped before (hence below) it.
         while let Some(s) = self.ready_skipped.pop() {
-            self.ready.push(Reverse(s));
+            self.push_ready(s);
         }
         if had_waiting && issued == 0 {
             self.stats.iq_operand_stall_cycles += 1;

@@ -7,7 +7,7 @@
 //! ```
 
 use evax::attacks::{build_attack, AttackClass, KernelParams};
-use evax::core::pipeline::{EvaxConfig, EvaxPipeline};
+use evax::core::prelude::{EvaxConfig, EvaxPipeline};
 use evax::defense::adaptive::{run_adaptive, AdaptiveConfig, Policy};
 use evax::defense::overhead::measure_workload;
 use evax::sim::CpuConfig;

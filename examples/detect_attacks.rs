@@ -8,7 +8,7 @@
 use evax::attacks::benign::Scale;
 use evax::attacks::{build_attack, build_benign, AttackClass, BenignKind, KernelParams};
 use evax::core::collect::collect_program;
-use evax::core::pipeline::{EvaxConfig, EvaxPipeline};
+use evax::core::prelude::{EvaxConfig, EvaxPipeline};
 use rand::SeedableRng;
 
 fn main() {

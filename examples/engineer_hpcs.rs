@@ -9,7 +9,7 @@
 use evax::attacks::AttackClass;
 use evax::core::feature_engineering::render_table;
 use evax::core::gram::{gram_matrix, render_gram, series_of};
-use evax::core::pipeline::{EvaxConfig, EvaxPipeline};
+use evax::core::prelude::{EvaxConfig, EvaxPipeline};
 
 fn main() {
     println!("training EVAX pipeline (collect + AM-GAN)...");

@@ -8,7 +8,7 @@
 //! ```
 
 use evax::core::patch::{DetectorPatch, PatchableDetector};
-use evax::core::pipeline::{EvaxConfig, EvaxPipeline};
+use evax::core::prelude::{EvaxConfig, EvaxPipeline};
 use evax::sim::HPC_BASE_DIM;
 
 fn main() {

@@ -13,6 +13,8 @@
 //! - [`core`] — the EVAX framework: AM-GAN training, Gram-matrix style loss,
 //!   automatic security-HPC engineering, detectors, fuzzing/AML evaluation.
 //! - [`defense`] — InvisiSpec/fencing models and the adaptive controller.
+//! - [`obs`] — deterministic metrics/tracing layer (`MetricsSink`, pow-2
+//!   histograms, bit-exact merge, stable JSON export).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
 //! the per-experiment index.
@@ -38,4 +40,5 @@ pub use evax_core as core;
 pub use evax_defense as defense;
 pub use evax_dram as dram;
 pub use evax_nn as nn;
+pub use evax_obs as obs;
 pub use evax_sim as sim;
