@@ -1,0 +1,121 @@
+//! The chaos-harness contract: the fault matrix is bit-reproducible at any
+//! thread count, records zero panics and zero fail-open cells, and its
+//! injection hooks are bitwise invisible when disabled.
+
+use evax_bench::fault_matrix::{run_fault_matrix, Subsystem};
+use evax_core::featurize::CollectingSink;
+use evax_core::prelude::{
+    FaultInjector, FaultKind, FaultingSink, Parallelism, ProgramSource, SliceSource, WindowSource,
+};
+use evax_sim::CpuConfig;
+
+#[test]
+fn matrix_is_byte_identical_across_thread_counts() {
+    let render_at = |n: usize| run_fault_matrix(7, 2, Parallelism::Fixed(n)).render();
+    let one = render_at(1);
+    assert_eq!(one, render_at(4), "1-thread vs 4-thread matrix diverged");
+    assert_eq!(one, render_at(16), "1-thread vs 16-thread matrix diverged");
+}
+
+#[test]
+fn matrix_records_no_violations() {
+    let matrix = run_fault_matrix(11, 3, Parallelism::Auto);
+    assert!(
+        matrix.violations().is_empty(),
+        "chaos run violated fail-secure:\n{}",
+        matrix.render()
+    );
+    for cell in &matrix.cells {
+        assert_eq!(cell.panics, 0, "panic in {}", matrix.render());
+        // Storage faults surface as typed errors or bounded-retry
+        // recoveries; none may reach the fail-secure or fail-open buckets.
+        if cell.kind.is_storage() {
+            assert_eq!(
+                cell.clean_error + cell.degraded_ok,
+                cell.iters,
+                "storage outcome leak:\n{}",
+                matrix.render()
+            );
+        }
+        // Non-finite inference verdicts always hold mitigations ON.
+        if cell.subsystem == Subsystem::Controller && cell.kind.is_inference() {
+            assert_eq!(
+                cell.fail_secure,
+                cell.iters,
+                "inference fault failed open:\n{}",
+                matrix.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn disabled_injection_is_bitwise_invisible() {
+    // The same golden-equivalence argument as the no-op MetricsSink: a
+    // disabled FaultingSink between source and sink must not change one bit
+    // of what the sink observes — including across a real simulated run.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let program = evax_attacks::build_attack(
+        evax_attacks::AttackClass::SpectrePht,
+        &evax_attacks::KernelParams::default(),
+        &mut rng,
+    );
+    let cpu = CpuConfig::default();
+
+    let mut plain = CollectingSink::new();
+    let plain_result = ProgramSource::new(&program, &cpu, 200, 6_000).stream(&mut plain);
+
+    let mut hooked = CollectingSink::new();
+    let hooked_result = {
+        let mut sink = FaultingSink::new(&mut hooked, FaultInjector::disabled());
+        ProgramSource::new(&program, &cpu, 200, 6_000).stream(&mut sink)
+    };
+
+    assert_eq!(plain_result, hooked_result, "run results diverged");
+    assert_eq!(
+        plain.into_windows(),
+        hooked.into_windows(),
+        "window stream diverged under a disabled injector"
+    );
+}
+
+#[test]
+fn zero_length_program_streams_cleanly() {
+    // A real zero-instruction program through the real source: no windows,
+    // no panic, an honest (empty) run result.
+    let program = evax_sim::Program::from_instructions("empty", Vec::new());
+    let mut sink = CollectingSink::new();
+    let result = ProgramSource::new(&program, &CpuConfig::default(), 200, 6_000).stream(&mut sink);
+    assert_eq!(result.committed_instructions, 0);
+    assert!(sink.into_windows().is_empty());
+
+    // And the same shape through the replay source used by the matrix.
+    let empty: Vec<Vec<f64>> = Vec::new();
+    let mut sink = CollectingSink::new();
+    let result = SliceSource::new(&empty, 200).stream(&mut sink);
+    assert_eq!(result.committed_instructions, 0);
+    assert!(sink.into_windows().is_empty());
+}
+
+#[test]
+fn full_matrix_slow() {
+    if std::env::var("EVAX_SLOW_TESTS").is_err() {
+        eprintln!("skipping full_matrix_slow; set EVAX_SLOW_TESTS=1 to run");
+        return;
+    }
+    let matrix = run_fault_matrix(42, 16, Parallelism::Auto);
+    assert!(
+        matrix.violations().is_empty(),
+        "full chaos run violated fail-secure:\n{}",
+        matrix.render()
+    );
+    let rendered = matrix.render();
+    assert!(rendered.contains("all 22 cells survived"), "{rendered}");
+    // Exercise every FaultKind at least once across the grid.
+    for kind in FaultKind::ALL {
+        assert!(
+            matrix.cells.iter().any(|c| c.kind == *kind),
+            "fault kind {kind:?} missing from the grid"
+        );
+    }
+}

@@ -69,21 +69,51 @@ impl Normalizer {
     }
 
     /// Folds a raw (unnormalized) vector into the running maxima.
+    /// Non-finite components are ignored — a single Inf would otherwise
+    /// poison the fitted maximum and zero out every later feature (use
+    /// [`try_observe`](Self::try_observe) to surface corruption as a typed
+    /// error instead).
     ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn observe(&mut self, raw: &[f64]) {
         assert_eq!(raw.len(), self.max.len(), "feature dim mismatch");
         for (m, &v) in self.max.iter_mut().zip(raw.iter()) {
-            if v.abs() > *m {
+            if v.is_finite() && v.abs() > *m {
                 *m = v.abs();
             }
         }
     }
 
+    /// [`observe`](Self::observe) that rejects corruption: any non-finite
+    /// component leaves the maxima untouched.
+    ///
+    /// # Errors
+    /// [`EvaxError::Corrupt`](crate::error::EvaxError) naming the first
+    /// non-finite component.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn try_observe(&mut self, raw: &[f64]) -> crate::error::Result<()> {
+        assert_eq!(raw.len(), self.max.len(), "feature dim mismatch");
+        if let Some((i, &v)) = raw.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(crate::error::EvaxError::corrupt(
+                format!("normalizer input component {i}"),
+                "a finite value",
+                format!("{v}"),
+            ));
+        }
+        self.observe(raw);
+        Ok(())
+    }
+
     /// Normalizes a raw vector by the running maxima into `[0, 1]`, writing
     /// into a caller-provided buffer — the allocation-free fast path for
     /// per-window deployment loops.
+    ///
+    /// Non-finite raw components **saturate to 1.0** (fail-secure: a
+    /// corrupted counter reads as maximally anomalous, never as a silent
+    /// NaN that would poison the detector's dot product downstream).
     ///
     /// # Panics
     /// Panics on dimension mismatch (either slice).
@@ -91,7 +121,9 @@ impl Normalizer {
         assert_eq!(raw.len(), self.max.len(), "feature dim mismatch");
         assert_eq!(out.len(), self.max.len(), "output dim mismatch");
         for ((o, &v), &m) in out.iter_mut().zip(raw.iter()).zip(self.max.iter()) {
-            *o = if m <= 0.0 {
+            *o = if !v.is_finite() {
+                1.0
+            } else if m <= 0.0 {
                 0.0
             } else {
                 (v.abs() / m).min(1.0) as f32
@@ -272,6 +304,33 @@ mod tests {
         assert!((v[1] - 1.0).abs() < 1e-6);
         // Values beyond the seen max clamp to 1.
         assert_eq!(n.normalize(&[100.0, 0.0])[0], 1.0);
+    }
+
+    #[test]
+    fn normalizer_ignores_non_finite_observations() {
+        let mut n = Normalizer::new(2);
+        n.observe(&[10.0, 4.0]);
+        n.observe(&[f64::INFINITY, f64::NAN]);
+        assert_eq!(n.maxima(), &[10.0, 4.0], "Inf/NaN must not poison maxima");
+        let err = n.try_observe(&[1.0, f64::NAN]).unwrap_err();
+        assert!(
+            matches!(err, crate::error::EvaxError::Corrupt { .. }),
+            "{err}"
+        );
+        assert_eq!(n.maxima(), &[10.0, 4.0]);
+        n.try_observe(&[20.0, 1.0]).unwrap();
+        assert_eq!(n.maxima(), &[20.0, 4.0]);
+    }
+
+    #[test]
+    fn normalize_saturates_non_finite_input() {
+        let mut n = Normalizer::new(3);
+        n.observe(&[10.0, 4.0, 0.0]);
+        let v = n.normalize(&[f64::NAN, f64::NEG_INFINITY, f64::INFINITY]);
+        // Fail-secure: corrupted counters read as maximally anomalous,
+        // even where the fitted max is degenerate (index 2).
+        assert_eq!(v, vec![1.0, 1.0, 1.0]);
+        assert!(n.normalize(&[5.0, 2.0, 1.0]).iter().all(|f| f.is_finite()));
     }
 
     #[test]

@@ -205,9 +205,24 @@ impl WindowSource for ProgramSource<'_> {
 /// callers must merge per-stream stats in canonical stream order (as
 /// [`crate::collect::collect_dataset`] does), which makes the result
 /// bit-identical at any thread count.
+///
+/// # Non-finite inputs
+///
+/// NaN/Inf counters are corruption, not data: folding them in would poison
+/// the running maxima (and through the fitted [`Normalizer`], every
+/// downstream feature vector). [`try_observe`](StreamStats::try_observe)
+/// and [`try_merge`](StreamStats::try_merge) reject them with a typed
+/// [`EvaxError::Corrupt`](crate::error::EvaxError); the infallible
+/// [`observe`](StreamStats::observe) / [`merge`](StreamStats::merge) used
+/// on streaming sinks *drop* the offending window (or incoming stats)
+/// whole and count it in [`rejected`](StreamStats::rejected), leaving the
+/// fitted state untouched. Finite inputs behave bit-identically to the
+/// pre-guard implementation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamStats {
     count: u64,
+    /// Windows dropped because they contained non-finite counters.
+    rejected: u64,
     max: Vec<f64>,
     mean: Vec<f64>,
     m2: Vec<f64>,
@@ -218,6 +233,7 @@ impl StreamStats {
     pub fn new(dim: usize) -> Self {
         StreamStats {
             count: 0,
+            rejected: 0,
             max: vec![0.0; dim],
             mean: vec![0.0; dim],
             m2: vec![0.0; dim],
@@ -234,12 +250,30 @@ impl StreamStats {
         self.count
     }
 
-    /// Folds one raw window into the statistics.
+    /// Windows dropped by the infallible [`observe`](Self::observe) /
+    /// [`merge`](Self::merge) because they carried non-finite counters.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Folds one raw window into the statistics, rejecting corruption: a
+    /// window with any non-finite counter leaves the state untouched.
+    ///
+    /// # Errors
+    /// [`EvaxError::Corrupt`](crate::error::EvaxError) naming the first
+    /// non-finite component.
     ///
     /// # Panics
     /// Panics on dimension mismatch.
-    pub fn observe(&mut self, raw: &[f64]) {
+    pub fn try_observe(&mut self, raw: &[f64]) -> crate::error::Result<()> {
         assert_eq!(raw.len(), self.max.len(), "feature dim mismatch");
+        if let Some((i, &v)) = raw.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(crate::error::EvaxError::corrupt(
+                format!("hpc window counter {i}"),
+                "a finite value",
+                format!("{v}"),
+            ));
+        }
         self.count += 1;
         let n = self.count as f64;
         for (i, &v) in raw.iter().enumerate() {
@@ -250,21 +284,57 @@ impl StreamStats {
             self.mean[i] += delta / n;
             self.m2[i] += delta * (v - self.mean[i]);
         }
+        Ok(())
     }
 
-    /// Merges another stream's statistics into this one (Chan et al.'s
-    /// pairwise update). Merge order must be canonical — see the type docs.
+    /// Folds one raw window into the statistics. Windows carrying
+    /// non-finite counters are dropped whole and tallied in
+    /// [`rejected`](Self::rejected) (use [`try_observe`](Self::try_observe)
+    /// to surface them as typed errors instead).
     ///
     /// # Panics
     /// Panics on dimension mismatch.
-    pub fn merge(&mut self, other: &StreamStats) {
+    pub fn observe(&mut self, raw: &[f64]) {
+        if self.try_observe(raw).is_err() {
+            self.rejected += 1;
+        }
+    }
+
+    /// Merges another stream's statistics into this one (Chan et al.'s
+    /// pairwise update), rejecting corruption: stats carrying non-finite
+    /// maxima/means/variances leave this state untouched. Merge order must
+    /// be canonical — see the type docs.
+    ///
+    /// # Errors
+    /// [`EvaxError::Corrupt`](crate::error::EvaxError) when `other`
+    /// contains a non-finite accumulator.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn try_merge(&mut self, other: &StreamStats) -> crate::error::Result<()> {
         assert_eq!(other.dim(), self.dim(), "feature dim mismatch");
+        let poisoned = other
+            .max
+            .iter()
+            .chain(other.mean.iter())
+            .chain(other.m2.iter())
+            .find(|v| !v.is_finite());
+        if let Some(&v) = poisoned {
+            return Err(crate::error::EvaxError::corrupt(
+                "stream statistics",
+                "finite accumulators",
+                format!("{v}"),
+            ));
+        }
         if other.count == 0 {
-            return;
+            self.rejected += other.rejected;
+            return Ok(());
         }
         if self.count == 0 {
+            let rejected = self.rejected + other.rejected;
             *self = other.clone();
-            return;
+            self.rejected = rejected;
+            return Ok(());
         }
         let na = self.count as f64;
         let nb = other.count as f64;
@@ -278,6 +348,21 @@ impl StreamStats {
             self.m2[i] += other.m2[i] + delta * delta * na * nb / n;
         }
         self.count += other.count;
+        self.rejected += other.rejected;
+        Ok(())
+    }
+
+    /// Merges another stream's statistics into this one. Corrupt incoming
+    /// stats (non-finite accumulators) are dropped whole and tallied in
+    /// [`rejected`](Self::rejected) (use [`try_merge`](Self::try_merge) to
+    /// surface them as typed errors instead).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn merge(&mut self, other: &StreamStats) {
+        if self.try_merge(other).is_err() {
+            self.rejected += 1;
+        }
     }
 
     /// Running mean per feature.
@@ -561,6 +646,52 @@ mod tests {
             assert!((merged.means()[i] - seq.means()[i]).abs() < 1e-12);
             assert!((merged.variance(i) - seq.variance(i)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn stream_stats_reject_non_finite_windows() {
+        let mut stats = StreamStats::new(2);
+        stats.observe(&[1.0, 2.0]);
+        let before = stats.clone();
+        // try_observe: typed error, state untouched.
+        let err = stats.try_observe(&[f64::NAN, 1.0]).unwrap_err();
+        assert!(
+            matches!(err, crate::error::EvaxError::Corrupt { .. }),
+            "{err}"
+        );
+        assert_eq!(stats, before);
+        // observe: the poisoned window is dropped whole and counted.
+        stats.observe(&[1.0, f64::INFINITY]);
+        stats.observe(&[f64::NEG_INFINITY, 0.0]);
+        assert_eq!(stats.rejected(), 2);
+        assert_eq!(stats.count(), 1);
+        assert!(stats.normalizer().maxima().iter().all(|m| m.is_finite()));
+        assert!(stats.means().iter().all(|m| m.is_finite()));
+        // A clean window still folds normally afterwards.
+        stats.observe(&[3.0, 4.0]);
+        assert_eq!(stats.count(), 2);
+        assert_eq!(stats.normalizer().maxima(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn stream_stats_reject_poisoned_merges() {
+        let mut clean = StreamStats::new(1);
+        clean.observe(&[2.0]);
+        let mut poisoned = StreamStats::new(1);
+        poisoned.observe(&[1.0]);
+        // Forge corruption the way a hostile deserializer would: merge is
+        // the trust boundary for stats arriving from outside this process.
+        poisoned.max[0] = f64::NAN;
+        let before = clean.clone();
+        let err = clean.try_merge(&poisoned).unwrap_err();
+        assert!(
+            matches!(err, crate::error::EvaxError::Corrupt { .. }),
+            "{err}"
+        );
+        assert_eq!(clean, before);
+        clean.merge(&poisoned);
+        assert_eq!(clean.rejected(), 1);
+        assert_eq!(clean.count(), 1);
     }
 
     #[test]

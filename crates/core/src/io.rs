@@ -105,9 +105,20 @@ pub fn read_csv<R: Read>(r: R) -> Result<Dataset> {
         }
         let features: Result<Vec<f32>> = fields
             .map(|f| {
-                f.trim()
+                let v = f
+                    .trim()
                     .parse::<f32>()
-                    .map_err(|e| EvaxError::parse(idx + 1, format!("bad feature '{f}': {e}")))
+                    .map_err(|e| EvaxError::parse(idx + 1, format!("bad feature '{f}': {e}")))?;
+                // "NaN"/"inf" parse successfully but would poison training
+                // and scoring downstream; a corrupted dataset must surface
+                // here, at the trust boundary.
+                if !v.is_finite() {
+                    return Err(EvaxError::parse(
+                        idx + 1,
+                        format!("non-finite feature '{}'", f.trim()),
+                    ));
+                }
+                Ok(v)
             })
             .collect();
         let features = features?;
@@ -157,8 +168,17 @@ pub fn read_normalizer<R: Read>(r: R) -> Result<Normalizer> {
         .trim()
         .split(',')
         .map(|f| {
-            f.parse::<f64>()
-                .map_err(|e| EvaxError::parse(1, format!("bad max '{f}': {e}")))
+            let v = f
+                .parse::<f64>()
+                .map_err(|e| EvaxError::parse(1, format!("bad max '{f}': {e}")))?;
+            if !v.is_finite() {
+                return Err(EvaxError::corrupt(
+                    "normalizer maxima",
+                    "finite values",
+                    format!("'{f}'"),
+                ));
+            }
+            Ok(v)
         })
         .collect();
     let maxes = maxes?;
@@ -234,8 +254,19 @@ where
         .trim()
         .split(',')
         .map(|f| {
-            f.parse::<f64>()
-                .map_err(|e| EvaxError::parse(ln, format!("bad max '{f}': {e}")))
+            let v = f
+                .parse::<f64>()
+                .map_err(|e| EvaxError::parse(ln, format!("bad max '{f}': {e}")))?;
+            // A NaN/Inf maximum parses fine but silently zeroes (or NaNs)
+            // every deployment-time feature: reject it as corruption.
+            if !v.is_finite() {
+                return Err(EvaxError::corrupt(
+                    "featurizer maxima",
+                    "finite values",
+                    format!("'{f}'"),
+                ));
+            }
+            Ok(v)
         })
         .collect::<Result<_>>()?;
     if maxima.len() != base_dim {
@@ -686,6 +717,38 @@ mod tests {
         assert!(matches!(err, EvaxError::Parse { .. }), "{err}");
         assert!(err.to_string().contains("model.txt"), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_finite_csv_features_rejected() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let csv = format!("class,a,b\n0,0.5,{bad}\n");
+            match read_csv(csv.as_bytes()) {
+                Err(EvaxError::Parse { line, reason, .. }) => {
+                    assert_eq!(line, 2);
+                    assert!(reason.contains("non-finite"), "{reason}");
+                }
+                other => panic!("expected parse error for {bad}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_maxima_rejected_as_corruption() {
+        let err = read_normalizer("1.5,NaN,2.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, EvaxError::Corrupt { .. }), "{err}");
+
+        let f = sample_featurizer();
+        let mut buf = Vec::new();
+        write_featurizer(&f, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Poison one maximum in the serialized featurizer: the reload must
+        // fail typed instead of deploying a NaN transform.
+        let poked = text.replacen("42.5", "inf", 1);
+        assert_ne!(poked, text, "fixture must contain the poisoned field");
+        let err = read_featurizer(poked.as_bytes()).unwrap_err();
+        assert!(matches!(err, EvaxError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("finite"), "{err}");
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //!   bundled model format.
 //! * [`error`] — the crate-wide typed error ([`error::EvaxError`]) every
 //!   fallible API returns, with path/line/expected-got context.
+//! * [`faults`] — deterministic fault injection (storage / data /
+//!   inference injectors, bounded retry) behind no-op-default hooks; the
+//!   robustness layer the `evax-bench` `fault_matrix` chaos harness
+//!   drives to prove the pipeline fails secure.
 //! * [`prelude`] — one-import access to the stable API surface.
 //! * [`metrics`] — accuracy, FP/FN rates per instruction window, ROC/AUC.
 //! * [`patch`] — vendor-distributed detector updates (§VI-B), a
@@ -79,6 +83,7 @@ pub mod dataset;
 pub mod deep_eval;
 pub mod detector;
 pub mod error;
+pub mod faults;
 pub mod feature_engineering;
 pub mod featurize;
 pub mod fuzz;

@@ -88,14 +88,24 @@ impl Confusion {
         }
     }
 
-    /// False-negative rate.
+    /// False-negative rate (0.0 when there are no malicious samples —
+    /// `1.0 - tpr()` would claim a 100% miss rate on zero samples).
     pub fn fnr(&self) -> f64 {
-        1.0 - self.tpr()
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            1.0 - self.tpr()
+        }
     }
 
-    /// Generalization (classification) error.
+    /// Generalization (classification) error (0.0 on an empty matrix —
+    /// `1.0 - accuracy()` would claim 100% error on zero samples).
     pub fn error(&self) -> f64 {
-        1.0 - self.accuracy()
+        if self.total() == 0 {
+            0.0
+        } else {
+            1.0 - self.accuracy()
+        }
     }
 
     /// False positives per `window` committed instructions, given that each
@@ -103,7 +113,9 @@ impl Confusion {
     /// FPs per 10k instructions at each sampling granularity).
     pub fn fp_per_instructions(&self, sample_interval: u64, window: u64) -> f64 {
         let benign = self.fp + self.tn;
-        if benign == 0 {
+        // A zero interval means zero instructions were covered: report 0
+        // rather than ±Inf/NaN from the division.
+        if benign == 0 || sample_interval == 0 {
             return 0.0;
         }
         let benign_instrs = benign * sample_interval;
@@ -113,7 +125,7 @@ impl Confusion {
     /// False negatives per `window` instructions (over malicious samples).
     pub fn fn_per_instructions(&self, sample_interval: u64, window: u64) -> f64 {
         let mal = self.tp + self.fn_;
-        if mal == 0 {
+        if mal == 0 || sample_interval == 0 {
             return 0.0;
         }
         let mal_instrs = mal * sample_interval;
@@ -132,13 +144,56 @@ pub struct RocPoint {
     pub threshold: f32,
 }
 
+/// The degenerate ROC: the `(0,0) → (1,1)` diagonal, returned for inputs
+/// the sweep cannot rank (empty, all-NaN, or single-class). Its [`auc`] is
+/// the chance level 0.5, which never over-states a detector.
+fn trivial_roc() -> Vec<RocPoint> {
+    vec![
+        RocPoint {
+            fpr: 0.0,
+            tpr: 0.0,
+            threshold: f32::INFINITY,
+        },
+        RocPoint {
+            fpr: 1.0,
+            tpr: 1.0,
+            threshold: f32::NEG_INFINITY,
+        },
+    ]
+}
+
 /// Computes a ROC curve from `(score, is_malicious)` pairs, sweeping the
 /// threshold over every distinct score. Points are ordered by ascending FPR.
+///
+/// Degenerate inputs are handled fail-safe rather than corrupting the
+/// sweep: NaN scores are filtered out before sorting (they previously
+/// scrambled the `partial_cmp` ordering and with it every downstream
+/// point), and single-class inputs (`p == 0` or `n == 0`, whose rates
+/// would divide by zero) return the trivial diagonal curve.
 pub fn roc_curve(scored: &[(f32, bool)]) -> Vec<RocPoint> {
-    let mut sorted: Vec<(f32, bool)> = scored.to_vec();
-    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut sorted: Vec<(f32, bool)> = scored
+        .iter()
+        .copied()
+        .filter(|(s, _)| !s.is_nan())
+        .collect();
+    // Debug builds log the drop count; release builds filter silently
+    // (the curve itself is the deliverable, and NaN scores carry no rank).
+    #[cfg(debug_assertions)]
+    if sorted.len() < scored.len() {
+        eprintln!(
+            "roc_curve: dropped {} NaN-scored samples of {}",
+            scored.len() - sorted.len(),
+            scored.len()
+        );
+    }
+    // `total_cmp` is total on the NaN-free remainder (and deterministic
+    // for ±0.0 ties, unlike the old `partial_cmp(..).unwrap_or(Equal)`).
+    sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
     let p = sorted.iter().filter(|(_, m)| *m).count() as f64;
     let n = sorted.len() as f64 - p;
+    if p == 0.0 || n == 0.0 {
+        return trivial_roc();
+    }
     let mut points = vec![RocPoint {
         fpr: 0.0,
         tpr: 0.0,
@@ -159,8 +214,8 @@ pub fn roc_curve(scored: &[(f32, bool)]) -> Vec<RocPoint> {
             i += 1;
         }
         points.push(RocPoint {
-            fpr: if n > 0.0 { fp / n } else { 0.0 },
-            tpr: if p > 0.0 { tp / p } else { 0.0 },
+            fpr: fp / n,
+            tpr: tp / p,
             threshold: t,
         });
     }
@@ -253,5 +308,71 @@ mod tests {
         }
         assert_eq!(roc.last().unwrap().fpr, 1.0);
         assert_eq!(roc.last().unwrap().tpr, 1.0);
+    }
+
+    #[test]
+    fn empty_confusion_reports_zero_not_one() {
+        let c = Confusion::default();
+        assert_eq!(c.fnr(), 0.0, "no samples means no misses");
+        assert_eq!(c.error(), 0.0, "no samples means no errors");
+        assert_eq!(c.tpr(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn single_class_fnr_is_defined() {
+        // Benign-only matrix: the malicious denominator is zero.
+        let c = Confusion {
+            tp: 0,
+            fn_: 0,
+            fp: 1,
+            tn: 9,
+        };
+        assert_eq!(c.fnr(), 0.0);
+        assert!((c.error() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sample_interval_yields_zero_not_inf() {
+        let c = Confusion {
+            tp: 1,
+            fn_: 2,
+            fp: 3,
+            tn: 4,
+        };
+        assert_eq!(c.fp_per_instructions(0, 10_000), 0.0);
+        assert_eq!(c.fn_per_instructions(0, 10_000), 0.0);
+        assert!(c.fp_per_instructions(100, 10_000).is_finite());
+    }
+
+    #[test]
+    fn nan_scores_are_filtered_from_roc() {
+        let clean = vec![(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        let mut noisy = clean.clone();
+        noisy.insert(1, (f32::NAN, false));
+        noisy.push((f32::NAN, true));
+        let roc_clean = roc_curve(&clean);
+        let roc_noisy = roc_curve(&noisy);
+        assert_eq!(roc_clean, roc_noisy, "NaN rows must not perturb the curve");
+        assert!((auc(&roc_noisy) - 1.0).abs() < 1e-9);
+        for pt in &roc_noisy {
+            assert!(pt.fpr.is_finite() && pt.tpr.is_finite());
+        }
+    }
+
+    #[test]
+    fn single_class_inputs_return_the_trivial_curve() {
+        for scored in [
+            vec![],                                    // empty
+            vec![(f32::NAN, true), (f32::NAN, false)], // all NaN
+            vec![(0.9, true), (0.3, true)],            // malicious only
+            vec![(0.9, false), (0.3, false)],          // benign only
+        ] {
+            let roc = roc_curve(&scored);
+            assert_eq!(roc.len(), 2, "trivial curve for {scored:?}");
+            assert_eq!((roc[0].fpr, roc[0].tpr), (0.0, 0.0));
+            assert_eq!((roc[1].fpr, roc[1].tpr), (1.0, 1.0));
+            assert!((auc(&roc) - 0.5).abs() < 1e-12, "chance-level AUC");
+        }
     }
 }

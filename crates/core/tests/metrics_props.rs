@@ -1,0 +1,120 @@
+//! Property tests for the metrics edge-case fixes: `roc_curve`/`auc` over
+//! arbitrary score sets (including NaN scores and single-class inputs) and
+//! the empty/degenerate `Confusion` rates. Every property pins the
+//! fail-safe contract: rates are defined (never NaN/Inf), bounded, and
+//! NaN scores never perturb the curve the finite scores alone define.
+
+use evax_core::metrics::{auc, roc_curve, Confusion};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Decodes a `(u8, u8)` raw pair into a score: mostly finite values in
+/// [-4, 4], with NaN and the infinities mixed in (tag-driven, so every run
+/// exercises the degenerate encodings).
+fn decode_score(tag: u8, raw: u8) -> f32 {
+    match tag % 8 {
+        0 => f32::NAN,
+        1 => f32::INFINITY,
+        2 => f32::NEG_INFINITY,
+        _ => (f32::from(raw) - 127.5) / 32.0,
+    }
+}
+
+fn scored(input: &[(u8, u8, bool)]) -> Vec<(f32, bool)> {
+    input
+        .iter()
+        .map(|&(tag, raw, mal)| (decode_score(tag, raw), mal))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The curve is always well-formed: at least the two trivial endpoints,
+    /// every coordinate finite and inside the unit square, FPR
+    /// non-decreasing, and it spans (0,0) → (1,1).
+    #[test]
+    fn roc_curve_is_always_well_formed(
+        input in collection::vec((0u8..=255, 0u8..=255, proptest::arbitrary::any::<bool>()), 0..60)
+    ) {
+        let pts = roc_curve(&scored(&input));
+        prop_assert!(pts.len() >= 2);
+        for p in &pts {
+            prop_assert!(p.fpr.is_finite() && (0.0..=1.0).contains(&p.fpr), "fpr={}", p.fpr);
+            prop_assert!(p.tpr.is_finite() && (0.0..=1.0).contains(&p.tpr), "tpr={}", p.tpr);
+        }
+        for w in pts.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr, "fpr must be non-decreasing");
+            prop_assert!(w[1].tpr >= w[0].tpr, "tpr must be non-decreasing");
+        }
+        prop_assert_eq!(pts[0].fpr, 0.0);
+        prop_assert_eq!(pts[0].tpr, 0.0);
+        prop_assert_eq!(pts[pts.len() - 1].fpr, 1.0);
+        prop_assert_eq!(pts[pts.len() - 1].tpr, 1.0);
+        let a = auc(&pts);
+        prop_assert!(a.is_finite() && (0.0..=1.0).contains(&a), "auc={a}");
+    }
+
+    /// NaN scores are dropped, not ranked: the curve over a NaN-polluted
+    /// input equals the curve over its finite subset exactly.
+    #[test]
+    fn nan_scores_never_perturb_the_curve(
+        input in collection::vec((0u8..=255, 0u8..=255, proptest::arbitrary::any::<bool>()), 0..60)
+    ) {
+        let polluted = scored(&input);
+        let finite_only: Vec<(f32, bool)> =
+            polluted.iter().copied().filter(|(s, _)| !s.is_nan()).collect();
+        let a = roc_curve(&polluted);
+        let b = roc_curve(&finite_only);
+        prop_assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(&b) {
+            prop_assert_eq!(pa.fpr.to_bits(), pb.fpr.to_bits());
+            prop_assert_eq!(pa.tpr.to_bits(), pb.tpr.to_bits());
+        }
+    }
+
+    /// Single-class inputs (all-malicious, all-benign — however large) give
+    /// the trivial diagonal at chance-level AUC instead of dividing by zero.
+    #[test]
+    fn single_class_inputs_are_chance_level(
+        raws in collection::vec((3u8..=255, 0u8..=255), 1..40),
+        mal in proptest::arbitrary::any::<bool>()
+    ) {
+        let one_class: Vec<(f32, bool)> =
+            raws.iter().map(|&(tag, raw)| (decode_score(tag, raw), mal)).collect();
+        let pts = roc_curve(&one_class);
+        prop_assert_eq!(pts.len(), 2);
+        prop_assert!((auc(&pts) - 0.5).abs() < 1e-12);
+    }
+
+    /// Every confusion-matrix rate is defined and bounded for arbitrary
+    /// counts, including the all-zero matrix (the seed bug returned 1.0
+    /// error on an empty evaluation).
+    #[test]
+    fn confusion_rates_are_always_defined(
+        tp in 0u64..1000, tn in 0u64..1000, fp in 0u64..1000, fn_ in 0u64..1000
+    ) {
+        let c = Confusion { tp, tn, fp, fn_ };
+        for (name, rate) in [
+            ("accuracy", c.accuracy()),
+            ("tpr", c.tpr()),
+            ("fpr", c.fpr()),
+            ("fnr", c.fnr()),
+            ("error", c.error()),
+        ] {
+            prop_assert!(rate.is_finite(), "{name} not finite: {rate}");
+            prop_assert!((0.0..=1.0).contains(&rate), "{name} out of range: {rate}");
+        }
+        if c.total() == 0 {
+            prop_assert_eq!(c.error(), 0.0, "empty matrix must report zero error");
+            prop_assert_eq!(c.fnr(), 0.0, "empty matrix must report zero fnr");
+        }
+        // Degenerate reporting windows must not divide by zero either.
+        for (interval, window) in [(0u64, 1_000u64), (200, 0), (0, 0), (200, 1_000)] {
+            let fp_rate = c.fp_per_instructions(interval, window);
+            let fn_rate = c.fn_per_instructions(interval, window);
+            prop_assert!(fp_rate.is_finite(), "fp/instr not finite at ({interval},{window})");
+            prop_assert!(fn_rate.is_finite(), "fn/instr not finite at ({interval},{window})");
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! there is no deployment-side copy of the featurization to drift.
 
 use evax_core::prelude::{
-    Detector, Normalizer, ProgramSource, RawWindow, WindowSink, WindowSource,
+    Detector, FaultInjector, Normalizer, ProgramSource, RawWindow, WindowSink, WindowSource,
 };
 use evax_obs::MetricsSink;
 use evax_sim::{CpuConfig, MitigationMode, Program, RunResult};
@@ -155,6 +155,11 @@ pub struct AdaptiveRun {
     pub flags: u64,
     /// Instructions executed while secure mode was active.
     pub secure_instructions: u64,
+    /// Windows whose verdict could not be trusted — a non-finite counter
+    /// value or a non-finite detector score — and where the controller
+    /// therefore engaged (or held) secure mode instead of guessing. The
+    /// fail-secure policy: an unobtainable verdict is treated as "attack".
+    pub fail_secure_switches: u64,
     /// Cycle of the first detector flag (`None` when nothing was flagged) —
     /// the paper's detection latency, measured from the start of the run
     /// (programs start at cycle 0 on a fresh core).
@@ -190,8 +195,10 @@ pub struct AdaptiveController<'a> {
     flags: u64,
     secure_instructions: u64,
     secure_remaining: u64,
+    fail_secure_switches: u64,
     first_flag_cycle: Option<u64>,
     ipc_series: Vec<(u64, f64)>,
+    faults: FaultInjector,
 }
 
 impl<'a> AdaptiveController<'a> {
@@ -211,14 +218,38 @@ impl<'a> AdaptiveController<'a> {
             flags: 0,
             secure_instructions: 0,
             secure_remaining: 0,
+            fail_secure_switches: 0,
             first_flag_cycle: None,
             ipc_series: Vec::new(),
+            faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Routes the detector's raw score through a fault injector (chaos
+    /// testing: [`evax_core::faults::FaultKind::NanScore`] /
+    /// [`evax_core::faults::FaultKind::InfScore`]). The default disabled
+    /// injector is bitwise invisible.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Detector flags raised so far.
     pub fn flags(&self) -> u64 {
         self.flags
+    }
+
+    /// Fail-secure switches taken so far (untrustworthy verdicts).
+    pub fn fail_secure_switches(&self) -> u64 {
+        self.fail_secure_switches
+    }
+
+    /// Engages (or re-arms) secure mode for one untrustworthy verdict.
+    fn fail_secure(&mut self) -> Option<MitigationMode> {
+        self.fail_secure_switches += 1;
+        self.secure_remaining = self.cfg.secure_window;
+        self.secure_instructions += self.cfg.sample_interval;
+        Some(self.cfg.policy.mode())
     }
 
     /// Consumes the controller, pairing its tallies with the run result.
@@ -227,6 +258,7 @@ impl<'a> AdaptiveController<'a> {
             result,
             flags: self.flags,
             secure_instructions: self.secure_instructions,
+            fail_secure_switches: self.fail_secure_switches,
             first_flag_cycle: self.first_flag_cycle,
             ipc_series: self.ipc_series,
         }
@@ -235,9 +267,28 @@ impl<'a> AdaptiveController<'a> {
 
 impl WindowSink for AdaptiveController<'_> {
     fn window(&mut self, w: &RawWindow<'_>) -> Option<MitigationMode> {
-        self.ipc_series.push((w.instructions, w.ipc()));
+        // Non-finite IPC (a corrupted cycle count) must not poison the
+        // exported timeline; record an explicit zero instead.
+        let ipc = w.ipc();
+        self.ipc_series
+            .push((w.instructions, if ipc.is_finite() { ipc } else { 0.0 }));
+        // Fail-secure gate #1: a window carrying non-finite counters cannot
+        // be featurized honestly — treat the verdict as "attack".
+        if w.values.iter().any(|v| !v.is_finite()) {
+            return self.fail_secure();
+        }
         self.normalizer.normalize_into(w.values, &mut self.features);
-        let malicious = self.detector.classify(&self.features);
+        // Fail-secure gate #2: a non-finite detector score (faulted model,
+        // injected inference fault) compares false against any threshold —
+        // naive `score >= threshold` would fail *open*. Route non-finite
+        // scores to secure mode instead.
+        let score = self
+            .faults
+            .corrupt_score(self.detector.score(&self.features));
+        if !score.is_finite() {
+            return self.fail_secure();
+        }
+        let malicious = score >= self.detector.threshold();
         if malicious {
             self.flags += 1;
             if self.first_flag_cycle.is_none() {
@@ -315,6 +366,7 @@ pub fn run_fixed(
     AdaptiveRun {
         flags: 0,
         secure_instructions: secure,
+        fail_secure_switches: 0,
         first_flag_cycle: None,
         result,
         ipc_series: trace.series,
@@ -354,6 +406,7 @@ pub fn run_adaptive_with_metrics(
         metrics.add(&p("runs"), 1);
         metrics.add(&p("windows"), run.ipc_series.len() as u64);
         metrics.add(&p("flags"), run.flags);
+        metrics.add(&p("fail_secure_switches"), run.fail_secure_switches);
         metrics.add(&p("secure_instructions"), run.secure_instructions);
         metrics.add(
             &p("committed_instructions"),
@@ -486,6 +539,11 @@ mod tests {
         assert_eq!(plain, metered, "recording must not perturb the run");
         assert_eq!(registry.get("adaptive.atk.flags"), Some(plain.flags));
         assert_eq!(
+            registry.get("adaptive.atk.fail_secure_switches"),
+            Some(plain.fail_secure_switches),
+            "fail-secure tally must be exported even when zero"
+        );
+        assert_eq!(
             registry.get("adaptive.atk.detection_latency_cycles"),
             plain.first_flag_cycle,
             "latency histogram sum must equal the first flag cycle"
@@ -565,6 +623,161 @@ mod tests {
         );
         assert!(run.ipc_series.len() >= 5);
         assert!(run.ipc_series.iter().all(|&(_, ipc)| ipc > 0.0));
+    }
+
+    #[test]
+    fn non_finite_windows_fail_secure() {
+        use evax_core::prelude::FaultKind;
+        let (mut det, norm) = trained_detector(5);
+        // Silence genuine flags so only the fail-secure path can engage
+        // secure mode: no finite score reaches an infinite threshold.
+        det.set_threshold(f32::INFINITY);
+        let cfg = AdaptiveConfig {
+            sample_interval: 200,
+            secure_window: 400,
+            ..Default::default()
+        };
+        let mut ctl = AdaptiveController::new(&det, &norm, &cfg);
+        let dim = norm.dim();
+        let clean = vec![1.0f64; dim];
+        assert_eq!(
+            ctl.window(&RawWindow {
+                values: &clean,
+                instructions: 200,
+                cycle: 400
+            }),
+            None,
+            "a finite benign window must stay in performance mode"
+        );
+
+        for (i, poison) in [f64::NAN, f64::INFINITY, u64::MAX as f64]
+            .iter()
+            .enumerate()
+        {
+            let mut bad = clean.clone();
+            bad[dim - 1] = *poison;
+            if poison.is_finite() {
+                // Saturated-but-finite counters are hostile data, not an
+                // unobtainable verdict: they flow through normalization
+                // (which clamps to [0, 1]) and an ordinary verdict.
+                ctl.window(&RawWindow {
+                    values: &bad,
+                    instructions: 200,
+                    cycle: 400,
+                });
+                continue;
+            }
+            assert_eq!(
+                ctl.window(&RawWindow {
+                    values: &bad,
+                    instructions: 200,
+                    cycle: 400
+                }),
+                Some(cfg.policy.mode()),
+                "non-finite window #{i} must engage secure mode"
+            );
+        }
+        assert_eq!(ctl.fail_secure_switches(), 2, "NaN + Inf windows");
+        assert_eq!(
+            ctl.flags(),
+            0,
+            "fail-secure switches are not detector flags"
+        );
+
+        // Finite windows afterwards resume the ordinary secure-window
+        // countdown: 400 instructions at interval 200 = two windows, and the
+        // saturated (finite) window above already consumed the first.
+        assert_eq!(
+            ctl.window(&RawWindow {
+                values: &clean,
+                instructions: 200,
+                cycle: 400
+            }),
+            Some(MitigationMode::None),
+            "secure window must expire back to performance mode"
+        );
+        assert_eq!(
+            ctl.window(&RawWindow {
+                values: &clean,
+                instructions: 200,
+                cycle: 400
+            }),
+            None,
+            "performance mode afterwards"
+        );
+
+        let run = ctl.finish(RunResult {
+            committed_instructions: 1_000,
+            cycles: 2_000,
+            ipc: 0.5,
+            halted: true,
+            regs: [0; 32],
+        });
+        assert_eq!(run.fail_secure_switches, 2);
+        assert!(
+            run.ipc_series.iter().all(|&(_, ipc)| ipc.is_finite()),
+            "exported IPC timeline must stay finite under poisoned windows"
+        );
+        // Keep FaultKind in scope meaningful: the same poison values drive
+        // the injector-based test below.
+        assert!(FaultKind::NanWindow.is_data());
+    }
+
+    #[test]
+    fn non_finite_scores_fail_secure_not_open() {
+        use evax_core::prelude::{FaultInjector, FaultKind};
+        let (det, norm) = trained_detector(5);
+        let cfg = AdaptiveConfig {
+            sample_interval: 200,
+            secure_window: 2_000,
+            ..Default::default()
+        };
+        let dim = norm.dim();
+        let clean = vec![1.0f64; dim];
+        for kind in [FaultKind::NanScore, FaultKind::InfScore] {
+            let inj = FaultInjector::new(kind, 7).with_intensity(1);
+            let mut ctl = AdaptiveController::new(&det, &norm, &cfg).with_faults(inj.clone());
+            assert_eq!(
+                ctl.window(&RawWindow {
+                    values: &clean,
+                    instructions: 200,
+                    cycle: 400
+                }),
+                Some(cfg.policy.mode()),
+                "{kind:?}: an unscoreable verdict must hold mitigations ON"
+            );
+            assert_eq!(ctl.fail_secure_switches(), 1);
+            assert_eq!(ctl.flags(), 0);
+            assert_eq!(inj.injections(), 1);
+        }
+    }
+
+    #[test]
+    fn disabled_injector_is_bitwise_invisible_in_runs() {
+        let (det, norm) = trained_detector(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let attack = evax_attacks::build_attack(
+            evax_attacks::AttackClass::SpectrePht,
+            &evax_attacks::KernelParams::default(),
+            &mut rng,
+        );
+        let cfg = AdaptiveConfig {
+            sample_interval: 200,
+            secure_window: 2_000,
+            ..Default::default()
+        };
+        let cpu = CpuConfig::default();
+        let plain = run_adaptive(&cpu, &attack, &det, &norm, &cfg, 20_000);
+        let mut ctl = AdaptiveController::new(&det, &norm, &cfg)
+            .with_faults(evax_core::prelude::FaultInjector::disabled());
+        let result =
+            ProgramSource::new(&attack, &cpu, cfg.sample_interval, 20_000).stream(&mut ctl);
+        let hooked = ctl.finish(result);
+        assert_eq!(
+            plain, hooked,
+            "a disabled injector must not perturb the run"
+        );
+        assert_eq!(plain.fail_secure_switches, 0);
     }
 
     #[test]
