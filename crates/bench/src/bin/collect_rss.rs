@@ -23,16 +23,14 @@ const REPEAT: usize = 12;
 fn run_one(mode: &str) {
     let programs = corpus(REPEAT);
     let baseline_kb = peak_rss_kb();
-    let start = std::time::Instant::now();
-    let ds = match mode {
+    let (ds, secs) = evax_bench::harness::timed(|| match mode {
         "streaming" => collect_streaming(&programs, Parallelism::Auto),
         "materialize" => collect_materialized(&programs, Parallelism::Auto),
         other => {
             eprintln!("unknown mode {other:?} (streaming|materialize)");
             std::process::exit(2);
         }
-    };
-    let secs = start.elapsed().as_secs_f64();
+    });
     println!(
         "{{\"mode\": \"{mode}\", \"runs\": {}, \"samples\": {}, \"secs\": {secs:.3}, \
          \"baseline_rss_kb\": {baseline_kb}, \"peak_rss_kb\": {}}}",

@@ -99,15 +99,13 @@ fn main() -> ExitCode {
     }
 
     let harness = Harness::new(seed, scale);
-    let total_start = std::time::Instant::now();
     // Fan the experiments out; each returns (report-or-error, seconds).
     // Results merge back in id order, so output is stable at any thread count.
-    let results: Vec<(Result<String, String>, f64)> = par::map(parallelism, &ids, |id| {
-        let started = std::time::Instant::now();
-        let result = run_experiment(id, &harness);
-        (result, started.elapsed().as_secs_f64())
+    let (results, total_secs) = evax_bench::harness::timed(|| {
+        par::map(parallelism, &ids, |id| {
+            evax_bench::harness::timed(|| run_experiment(id, &harness))
+        })
     });
-    let total_secs = total_start.elapsed().as_secs_f64();
 
     // The metered defense pass behind the `metrics` block / `--metrics-out`.
     // Records only simulated quantities in the deterministic export, so the

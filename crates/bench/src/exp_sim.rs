@@ -7,8 +7,6 @@
 //! buys. It also backs the `sim_instrs_per_sec` field of the experiment
 //! runner's `--json` summary and the checked-in `BENCH_sim.json` baseline.
 
-use std::time::Instant;
-
 use evax_attacks::benign::Scale;
 use evax_attacks::{build_attack, build_benign, KernelParams, ATTACK_CLASSES, BENIGN_KINDS};
 use evax_sim::isa::Program;
@@ -16,7 +14,7 @@ use evax_sim::{Cpu, CpuConfig, SchedulerKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::harness::{ExperimentScale, Harness};
+use crate::harness::{timed, ExperimentScale, Harness};
 
 /// Measured throughput of both scheduling cores on the registry mix.
 #[derive(Debug, Clone, Copy)]
@@ -77,15 +75,16 @@ fn run_mix(mix: &[Program], scheduler: SchedulerKind, max_instrs: u64) -> (u64, 
         scheduler,
         ..Default::default()
     };
-    let started = Instant::now();
-    let mut committed = 0u64;
-    for program in mix {
-        let mut cpu = Cpu::new(cfg.clone());
-        cpu.memory_mut()
-            .write_u64(evax_attacks::mds::KERNEL_SECRET_ADDR, 5);
-        committed += cpu.run(program, max_instrs).committed_instructions;
-    }
-    (committed, started.elapsed().as_secs_f64())
+    timed(|| {
+        let mut committed = 0u64;
+        for program in mix {
+            let mut cpu = Cpu::new(cfg.clone());
+            cpu.memory_mut()
+                .write_u64(evax_attacks::mds::KERNEL_SECRET_ADDR, 5);
+            committed += cpu.run(program, max_instrs).committed_instructions;
+        }
+        committed
+    })
 }
 
 /// Measures both schedulers on the registry mix. One warm-up pass per core

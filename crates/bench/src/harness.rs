@@ -87,6 +87,17 @@ impl ExperimentScale {
     }
 }
 
+/// Runs `f` and returns its result together with elapsed wall-clock
+/// seconds. The one timing primitive the bench crate uses — experiment
+/// fan-out, simulator throughput, RSS probes and the fleet service all call
+/// this instead of hand-rolling `Instant` pairs that can drift apart in
+/// what they measure.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let started = std::time::Instant::now();
+    let result = f();
+    (result, started.elapsed().as_secs_f64())
+}
+
 /// The experiment context: seed, scale, and the shared trained pipeline.
 pub struct Harness {
     /// RNG seed for every experiment.

@@ -111,11 +111,20 @@ pub fn engineer_features(
 /// (133 → 145 in the paper's configuration).
 pub fn extend_features(base: &[f32], engineered: &[EngineeredFeature]) -> Vec<f32> {
     let mut out = Vec::with_capacity(base.len() + engineered.len());
+    extend_features_into(base, engineered, &mut out);
+    out
+}
+
+/// [`extend_features`] into a caller-owned buffer (cleared, then refilled) —
+/// the allocation-free form used by per-window scoring hot loops and the
+/// fleet scheduler's batch fan-in.
+pub fn extend_features_into(base: &[f32], engineered: &[EngineeredFeature], out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(base.len() + engineered.len());
     out.extend_from_slice(base);
     for f in engineered {
         out.push(f.eval(base));
     }
-    out
 }
 
 /// Renders the engineered features as the paper's Table I.

@@ -139,9 +139,46 @@ where
     map(par, &indexed, |(i, item)| f(*i, item))
 }
 
+/// Canonical round-robin shard assignment: item `i` goes to shard
+/// `i % n_shards`, and each shard lists its items in ascending order.
+///
+/// This is the fleet scheduler's stream→shard layout. The shard count is
+/// part of the *configuration*, never derived from the thread count, so the
+/// work decomposition — and with it every shard-local decision (batch
+/// composition, flush timing) — is identical no matter how many workers
+/// [`map`] fans the shards out across. Empty when `n_items == 0`;
+/// `n_shards` is clamped to at least 1 and at most `n_items`.
+pub fn round_robin_shards(n_items: usize, n_shards: usize) -> Vec<Vec<usize>> {
+    if n_items == 0 {
+        return Vec::new();
+    }
+    let n_shards = n_shards.clamp(1, n_items);
+    let mut shards = vec![Vec::with_capacity(n_items.div_ceil(n_shards)); n_shards];
+    for i in 0..n_items {
+        shards[i % n_shards].push(i);
+    }
+    shards
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn round_robin_shards_cover_all_items_once() {
+        let shards = round_robin_shards(10, 3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0], vec![0, 3, 6, 9]);
+        assert_eq!(shards[1], vec![1, 4, 7]);
+        assert_eq!(shards[2], vec![2, 5, 8]);
+        let mut all: Vec<usize> = shards.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        // Degenerate shapes.
+        assert!(round_robin_shards(0, 4).is_empty());
+        assert_eq!(round_robin_shards(2, 8).len(), 2); // clamped to n_items
+        assert_eq!(round_robin_shards(5, 0).len(), 1); // clamped to 1
+    }
 
     #[test]
     fn map_preserves_item_order() {

@@ -146,6 +146,70 @@ impl AdaptiveConfigBuilder {
     }
 }
 
+/// Per-stream secure-mode state machine: the detector-gated countdown the
+/// [`AdaptiveController`] runs for its single program, factored out so the
+/// fleet scheduler (`crate::fleet`) can hold one per tenant stream and
+/// drain **batched** verdicts through exactly the same transitions.
+///
+/// Transitions (paper §VIII-A semantics, one call per sampling window):
+/// a malicious verdict (re-)arms `secure_window` instructions of the
+/// policy's mitigation; a benign verdict counts the window down and lifts
+/// the mitigation on expiry; an untrustworthy verdict
+/// ([`SecureModeState::fail_secure`]) is treated as "attack".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SecureModeState {
+    /// Detector flags raised.
+    pub flags: u64,
+    /// Instructions executed while secure mode was active.
+    pub secure_instructions: u64,
+    /// Secure-mode instructions still to run before expiry.
+    pub secure_remaining: u64,
+    /// Untrustworthy verdicts routed to secure mode.
+    pub fail_secure_switches: u64,
+    /// Cycle of the first detector flag.
+    pub first_flag_cycle: Option<u64>,
+}
+
+impl SecureModeState {
+    /// Engages (or re-arms) secure mode for one untrustworthy verdict — a
+    /// window with non-finite counters or a non-finite score. Fail-secure:
+    /// an unobtainable verdict is treated as "attack".
+    pub fn fail_secure(&mut self, cfg: &AdaptiveConfig) -> Option<MitigationMode> {
+        self.fail_secure_switches += 1;
+        self.secure_remaining = cfg.secure_window;
+        self.secure_instructions += cfg.sample_interval;
+        Some(cfg.policy.mode())
+    }
+
+    /// Applies one trusted verdict for the window ending at `cycle`,
+    /// returning the mitigation switch to apply (if any).
+    pub fn apply_verdict(
+        &mut self,
+        malicious: bool,
+        cycle: u64,
+        cfg: &AdaptiveConfig,
+    ) -> Option<MitigationMode> {
+        if malicious {
+            self.flags += 1;
+            if self.first_flag_cycle.is_none() {
+                self.first_flag_cycle = Some(cycle);
+            }
+            self.secure_remaining = cfg.secure_window;
+            self.secure_instructions += cfg.sample_interval;
+            return Some(cfg.policy.mode());
+        }
+        if self.secure_remaining > 0 {
+            self.secure_remaining = self.secure_remaining.saturating_sub(cfg.sample_interval);
+            self.secure_instructions += cfg.sample_interval;
+            if self.secure_remaining == 0 {
+                // Window expired: back to performance mode.
+                return Some(MitigationMode::None);
+            }
+        }
+        None
+    }
+}
+
 /// Outcome of an adaptive (or fixed-mode) run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveRun {
@@ -192,11 +256,9 @@ pub struct AdaptiveController<'a> {
     cfg: &'a AdaptiveConfig,
     /// One features buffer reused across every sampling window.
     features: Vec<f32>,
-    flags: u64,
-    secure_instructions: u64,
-    secure_remaining: u64,
-    fail_secure_switches: u64,
-    first_flag_cycle: Option<u64>,
+    /// Extended-feature scratch for the allocation-free scoring path.
+    extended: Vec<f32>,
+    state: SecureModeState,
     ipc_series: Vec<(u64, f64)>,
     faults: FaultInjector,
 }
@@ -215,11 +277,8 @@ impl<'a> AdaptiveController<'a> {
             normalizer,
             cfg,
             features: vec![0.0f32; normalizer.dim()],
-            flags: 0,
-            secure_instructions: 0,
-            secure_remaining: 0,
-            fail_secure_switches: 0,
-            first_flag_cycle: None,
+            extended: Vec::with_capacity(detector.extended_dim()),
+            state: SecureModeState::default(),
             ipc_series: Vec::new(),
             faults: FaultInjector::disabled(),
         }
@@ -236,30 +295,22 @@ impl<'a> AdaptiveController<'a> {
 
     /// Detector flags raised so far.
     pub fn flags(&self) -> u64 {
-        self.flags
+        self.state.flags
     }
 
     /// Fail-secure switches taken so far (untrustworthy verdicts).
     pub fn fail_secure_switches(&self) -> u64 {
-        self.fail_secure_switches
-    }
-
-    /// Engages (or re-arms) secure mode for one untrustworthy verdict.
-    fn fail_secure(&mut self) -> Option<MitigationMode> {
-        self.fail_secure_switches += 1;
-        self.secure_remaining = self.cfg.secure_window;
-        self.secure_instructions += self.cfg.sample_interval;
-        Some(self.cfg.policy.mode())
+        self.state.fail_secure_switches
     }
 
     /// Consumes the controller, pairing its tallies with the run result.
     pub fn finish(self, result: RunResult) -> AdaptiveRun {
         AdaptiveRun {
             result,
-            flags: self.flags,
-            secure_instructions: self.secure_instructions,
-            fail_secure_switches: self.fail_secure_switches,
-            first_flag_cycle: self.first_flag_cycle,
+            flags: self.state.flags,
+            secure_instructions: self.state.secure_instructions,
+            fail_secure_switches: self.state.fail_secure_switches,
+            first_flag_cycle: self.state.first_flag_cycle,
             ipc_series: self.ipc_series,
         }
     }
@@ -275,40 +326,22 @@ impl WindowSink for AdaptiveController<'_> {
         // Fail-secure gate #1: a window carrying non-finite counters cannot
         // be featurized honestly — treat the verdict as "attack".
         if w.values.iter().any(|v| !v.is_finite()) {
-            return self.fail_secure();
+            return self.state.fail_secure(self.cfg);
         }
         self.normalizer.normalize_into(w.values, &mut self.features);
         // Fail-secure gate #2: a non-finite detector score (faulted model,
         // injected inference fault) compares false against any threshold —
         // naive `score >= threshold` would fail *open*. Route non-finite
         // scores to secure mode instead.
-        let score = self
-            .faults
-            .corrupt_score(self.detector.score(&self.features));
+        let score = self.faults.corrupt_score(
+            self.detector
+                .score_with_scratch(&self.features, &mut self.extended),
+        );
         if !score.is_finite() {
-            return self.fail_secure();
+            return self.state.fail_secure(self.cfg);
         }
         let malicious = score >= self.detector.threshold();
-        if malicious {
-            self.flags += 1;
-            if self.first_flag_cycle.is_none() {
-                self.first_flag_cycle = Some(w.cycle);
-            }
-            self.secure_remaining = self.cfg.secure_window;
-            self.secure_instructions += self.cfg.sample_interval;
-            return Some(self.cfg.policy.mode());
-        }
-        if self.secure_remaining > 0 {
-            self.secure_remaining = self
-                .secure_remaining
-                .saturating_sub(self.cfg.sample_interval);
-            self.secure_instructions += self.cfg.sample_interval;
-            if self.secure_remaining == 0 {
-                // Window expired: back to performance mode.
-                return Some(MitigationMode::None);
-            }
-        }
-        None
+        self.state.apply_verdict(malicious, w.cycle, self.cfg)
     }
 }
 

@@ -15,6 +15,10 @@
 //! * [`overhead`] — end-to-end overhead measurement: always-on vs. adaptive
 //!   across the benign workload suite (Fig. 16's bars), plus IPC timelines
 //!   (Fig. 14's series).
+//! * [`fleet`] — the many-tenant deployment shape: thousands of interleaved
+//!   tenant streams round-robin sharded over [`evax_core::par`], with
+//!   detector inference batched across streams' pending windows (and
+//!   optionally quantized to the paper's 9-bit integer hardware model).
 //!
 //! ## Example
 //!
@@ -35,10 +39,12 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod fleet;
 pub mod overhead;
 
 pub use adaptive::{
     run_adaptive, run_adaptive_with_metrics, run_fixed, run_fixed_with_metrics, AdaptiveConfig,
-    AdaptiveController, AdaptiveRun, Policy,
+    AdaptiveController, AdaptiveRun, Policy, SecureModeState,
 };
+pub use fleet::{run_fleet, FleetConfig, FleetReport, InferenceMode, StreamOutcome};
 pub use overhead::{measure_workload, measure_workload_with, overhead_suite, OverheadRow};

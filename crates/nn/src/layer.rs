@@ -124,6 +124,15 @@ impl Dense {
         out
     }
 
+    /// Inference forward pass into a caller-owned buffer — same result as
+    /// [`Dense::forward`], no per-call output allocation once `out` has
+    /// capacity.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w, out);
+        out.add_row_broadcast(&self.b);
+        self.act.apply_matrix(out);
+    }
+
     /// Forward pass that caches input and output for a later
     /// [`Dense::backward`].
     pub fn forward_train(&mut self, x: &Matrix) -> Matrix {

@@ -51,6 +51,7 @@ pub mod loss;
 pub mod net;
 pub mod optim;
 pub mod perceptron;
+pub mod quant;
 pub mod tensor;
 
 pub use activation::Activation;
@@ -60,4 +61,5 @@ pub use loss::Loss;
 pub use net::Network;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use perceptron::{HwPerceptron, PerceptronTrainer, QuantizedWeights};
-pub use tensor::Matrix;
+pub use quant::QuantLinear;
+pub use tensor::{matvec_bias_into, Matrix};

@@ -108,6 +108,33 @@ impl Network {
         cur
     }
 
+    /// Allocation-free inference forward pass: activations ping-pong
+    /// between the two caller-owned buffers (grown once, then reused), and
+    /// a reference to the buffer holding the final layer's output is
+    /// returned. Bit-identical to [`Network::forward`].
+    pub fn forward_into<'a>(
+        &self,
+        x: &Matrix,
+        ping: &'a mut Matrix,
+        pong: &'a mut Matrix,
+    ) -> &'a Matrix {
+        self.layers[0].forward_into(x, ping);
+        let mut in_ping = true;
+        for layer in &self.layers[1..] {
+            if in_ping {
+                layer.forward_into(ping, pong);
+            } else {
+                layer.forward_into(pong, ping);
+            }
+            in_ping = !in_ping;
+        }
+        if in_ping {
+            ping
+        } else {
+            pong
+        }
+    }
+
     /// Forward pass that caches intermediate activations for backprop.
     pub fn forward_train(&mut self, x: &Matrix) -> Matrix {
         let mut cur = self.layers[0].forward_train(x);

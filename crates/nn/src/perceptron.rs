@@ -82,6 +82,55 @@ impl HwPerceptron {
         self.score(x) >= threshold
     }
 
+    /// Batched scores over a flat row-major batch: `out[i]` becomes the
+    /// score of row `i`. Large batches fan out across worker threads
+    /// (`threads == 0` resolves automatically); each row is reduced with
+    /// exactly the accumulation chain [`HwPerceptron::score`] uses, so every
+    /// entry is **bit-identical** to scoring that window alone — regardless
+    /// of batch composition or thread count.
+    ///
+    /// # Panics
+    /// Panics if `rows.len() != out.len() * n_features()`.
+    pub fn score_rows_into(&self, rows: &[f32], threads: usize, out: &mut [f32]) {
+        crate::tensor::matvec_bias_into(rows, &self.weights, self.bias, threads, out);
+    }
+
+    /// [`HwPerceptron::score_rows_into`] over a [`Matrix`] batch (one window
+    /// per row).
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != n_features()` or `x.rows() != out.len()`.
+    pub fn score_batch_into(&self, x: &Matrix, threads: usize, out: &mut [f32]) {
+        assert_eq!(x.cols(), self.weights.len(), "feature count mismatch");
+        assert_eq!(x.rows(), out.len(), "batch row count mismatch");
+        self.score_rows_into(x.as_slice(), threads, out);
+    }
+
+    /// Batched classification: scores every row of the flat batch into
+    /// `scores` and writes `scores[i] >= threshold` into `verdicts`.
+    /// Per-row results are bit-identical to [`HwPerceptron::classify`].
+    ///
+    /// # Panics
+    /// Panics on batch/score/verdict length mismatches.
+    pub fn classify_batch_into(
+        &self,
+        rows: &[f32],
+        threshold: f32,
+        threads: usize,
+        scores: &mut [f32],
+        verdicts: &mut [bool],
+    ) {
+        assert_eq!(
+            scores.len(),
+            verdicts.len(),
+            "score/verdict length mismatch"
+        );
+        self.score_rows_into(rows, threads, scores);
+        for (v, &s) in verdicts.iter_mut().zip(scores.iter()) {
+            *v = s >= threshold;
+        }
+    }
+
     /// Quantizes to the hardware weight set (integer levels in `[-2, 1]`),
     /// scaling so the largest-magnitude weight maps to a full-scale level.
     pub fn quantize(&self) -> QuantizedWeights {

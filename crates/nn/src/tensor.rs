@@ -207,6 +207,24 @@ impl Matrix {
         out
     }
 
+    /// [`Matrix::matmul`] written into a caller-owned output matrix, reusing
+    /// its buffer when capacity allows (`out` is reshaped to `self.rows ×
+    /// other.cols`). Bit-identical to `matmul` at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        out.rows = self.rows;
+        out.cols = other.cols;
+        out.data.clear();
+        out.data.resize(self.rows * other.cols, 0.0);
+        let threads = auto_threads(self.rows * self.cols * other.cols);
+        shard_rows(&mut out.data, other.cols, threads, |row0, shard| {
+            self.matmul_rows_into(other, row0, shard)
+        });
+    }
+
     /// Computes output rows `row0..` of `self * other` into `out_rows`
     /// (k-tiled so a block of `other` rows stays hot across the shard).
     fn matmul_rows_into(&self, other: &Matrix, row0: usize, out_rows: &mut [f32]) {
@@ -479,6 +497,49 @@ impl Matrix {
             self.data.iter().sum::<f32>() / self.data.len() as f32
         }
     }
+}
+
+/// Threaded batched mat-vec: `out[r] = rows[r] · w + bias` over a flat
+/// row-major batch (`out.len()` rows of `w.len()` features each).
+///
+/// Each row is reduced with the exact ascending-index
+/// `iter().zip().map().sum()` chain that `HwPerceptron::score` uses for a
+/// single window, entirely on one worker thread, so every per-row result is
+/// **bit-identical** to scoring that row alone — independent of batch
+/// composition, batch size, and thread count. That property is what lets
+/// the fleet scheduler keep verdicts byte-identical across thread counts
+/// (see evax-defense).
+///
+/// `threads == 0` resolves automatically from the multiply–accumulate count
+/// (same policy as [`Matrix::matmul`]).
+///
+/// # Panics
+/// Panics if `rows.len() != out.len() * w.len()`.
+pub fn matvec_bias_into(rows: &[f32], w: &[f32], bias: f32, threads: usize, out: &mut [f32]) {
+    assert_eq!(
+        rows.len(),
+        out.len() * w.len(),
+        "batch length mismatch: {} values for {} rows of {} features",
+        rows.len(),
+        out.len(),
+        w.len()
+    );
+    let n = w.len();
+    if n == 0 {
+        out.fill(bias);
+        return;
+    }
+    let threads = if threads == 0 {
+        auto_threads(out.len() * n)
+    } else {
+        threads
+    };
+    shard_rows(out, 1, threads, |row0, shard| {
+        for (i, o) in shard.iter_mut().enumerate() {
+            let x = &rows[(row0 + i) * n..(row0 + i + 1) * n];
+            *o = w.iter().zip(x.iter()).map(|(&w, &v)| w * v).sum::<f32>() + bias;
+        }
+    });
 }
 
 /// Multiply–accumulate count below which a product always runs serially:

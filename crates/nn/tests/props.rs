@@ -1,7 +1,7 @@
 //! Property tests for the NN substrate: algebraic identities, gradient
 //! sanity, and quantization invariants.
 
-use evax_nn::{Activation, Dense, HwPerceptron, Loss, Matrix, Network, Sgd};
+use evax_nn::{Activation, Dense, HwPerceptron, Loss, Matrix, Network, QuantLinear, Sgd};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -148,6 +148,112 @@ proptest! {
         let all = q.classify_bits(&vec![true; ws.len()]);
         prop_assert!(all.sum >= none.sum);
         prop_assert!(all.cycles as usize <= ws.len());
+    }
+
+    /// Batched f32 scoring is bit-identical to per-window `score` for every
+    /// row, at every thread count — the invariant the fleet scheduler's
+    /// thread-count-independent verdicts rest on.
+    #[test]
+    fn batched_scores_equal_per_window_scores_exactly(
+        n in 1usize..64, rows in 1usize..24, seed in 1u64..999
+    ) {
+        let w = mat(1, n, seed ^ 0x111);
+        let p = HwPerceptron::from_parts(w.as_slice().to_vec(), 0.37);
+        let batch = mat(rows, n, seed ^ 0x222);
+        let mut serial = vec![0.0f32; rows];
+        p.score_batch_into(&batch, 1, &mut serial);
+        for (i, &s) in serial.iter().enumerate() {
+            prop_assert_eq!(s, p.score(batch.row(i)), "row {} differs from score()", i);
+        }
+        for threads in [2usize, 4, 16] {
+            let mut out = vec![0.0f32; rows];
+            p.score_batch_into(&batch, threads, &mut out);
+            prop_assert_eq!(&out, &serial, "threads={}", threads);
+        }
+        // Batch composition must not matter: score a sub-batch and compare.
+        if rows > 1 {
+            let sub = batch.select_rows(&[rows - 1]);
+            let mut one = [0.0f32];
+            p.score_batch_into(&sub, 1, &mut one);
+            prop_assert_eq!(one[0], serial[rows - 1]);
+        }
+    }
+
+    /// `forward_into` (ping-pong buffers, no per-layer allocation) is
+    /// bit-identical to the allocating `forward`.
+    #[test]
+    fn forward_into_equals_forward_exactly(seed in 0u64..500, n in 1usize..8) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Network::mlp(4, 8, 2, 2, Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let x = mat(n, 4, seed ^ 0xF0);
+        let mut ping = Matrix::zeros(0, 0);
+        let mut pong = Matrix::zeros(0, 0);
+        let out = net.forward_into(&x, &mut ping, &mut pong);
+        prop_assert_eq!(out, &net.forward(&x));
+    }
+
+    /// Quantized-vs-f32 oracle equivalence: the dequantized score stays
+    /// inside the kernel's closed-form error bound, and a verdict may flip
+    /// only when the f32 score falls within that bound of the threshold.
+    #[test]
+    fn quant_kernel_scores_within_analytic_bound(
+        ws in proptest::collection::vec(-2.0f32..2.0, 1..80),
+        seed in 1u64..2000,
+        bias in -1.0f32..1.0,
+        threshold in -1.0f32..1.0,
+    ) {
+        let q = QuantLinear::from_f32(&ws, bias, threshold);
+        let p = HwPerceptron::from_parts(ws.clone(), bias);
+        let mut s = seed | 1;
+        let mut x = vec![0.0f32; ws.len()];
+        let mut xq = vec![0u8; ws.len()];
+        for _ in 0..8 {
+            for v in x.iter_mut() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *v = (s >> 40) as f32 / ((1u64 << 24) as f32); // uniform [0,1)
+            }
+            QuantLinear::quantize_input_into(&x, &mut xq);
+            let f32_score = p.score(&x);
+            let acc = q.score_q(&xq);
+            let dq = q.dequantize(acc);
+            prop_assert!(
+                (dq - f32_score).abs() <= q.score_error_bound(),
+                "score error {} exceeds bound {}", (dq - f32_score).abs(), q.score_error_bound()
+            );
+            prop_assert!(
+                q.agrees_with_f32(f32_score, threshold, acc >= q.threshold_q()),
+                "verdict flipped outside the ambiguity band: f32={} thr={} bound={}",
+                f32_score, threshold, q.score_error_bound()
+            );
+        }
+    }
+
+    /// Verdict flips are rare in aggregate, not just individually bounded:
+    /// over a spread of windows the flip rate stays under 2%.
+    #[test]
+    fn quant_verdict_flip_rate_is_bounded(
+        ws in proptest::collection::vec(-2.0f32..2.0, 8..80),
+        seed in 1u64..500,
+    ) {
+        let threshold = 0.1f32;
+        let q = QuantLinear::from_f32(&ws, 0.0, threshold);
+        let p = HwPerceptron::from_parts(ws.clone(), 0.0);
+        let mut s = seed | 1;
+        let mut x = vec![0.0f32; ws.len()];
+        let mut xq = vec![0u8; ws.len()];
+        let trials = 200usize;
+        let mut flips = 0usize;
+        for _ in 0..trials {
+            for v in x.iter_mut() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *v = (s >> 40) as f32 / ((1u64 << 24) as f32);
+            }
+            QuantLinear::quantize_input_into(&x, &mut xq);
+            if q.classify_q(&xq) != p.classify(&x, threshold) {
+                flips += 1;
+            }
+        }
+        prop_assert!(flips * 50 <= trials, "flip rate {}/{} exceeds 2%", flips, trials);
     }
 
     #[test]

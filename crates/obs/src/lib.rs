@@ -205,6 +205,48 @@ impl Metric {
                 .collect(),
         }
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) of a histogram metric from
+    /// its pow-2 buckets: the bucket holding the `ceil(q · count)`-th
+    /// observation is found by cumulative count, then the value is
+    /// linearly interpolated across the bucket's `[lo, hi]` span by the
+    /// rank's position within the bucket.
+    ///
+    /// With at most one bit of bucket resolution the estimate is within 2×
+    /// of the true quantile — ample for p50/p99 latency reporting. Returns
+    /// 0 for scalar kinds, empty histograms, or a non-finite `q`; `q` is
+    /// clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let h = match &self.data {
+            MetricData::Scalar(_) => return 0,
+            MetricData::Hist(h) => h,
+        };
+        let total = h.count.load(Ordering::Relaxed);
+        if total == 0 || !q.is_finite() {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in h.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = bucket_lo(i);
+                if i == 0 {
+                    return 0;
+                }
+                // Highest value the bucket can hold: 2^i - 1 (saturating at
+                // the top bucket, whose upper edge is u64::MAX).
+                let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                let within = (rank - seen) as f64 / n as f64;
+                return lo + ((hi - lo) as f64 * within).round() as u64;
+            }
+            seen += n;
+        }
+        0
+    }
 }
 
 /// The metric store: a name → metric map with sorted, stable iteration.
@@ -458,6 +500,12 @@ impl Histogram {
             }
         }
     }
+
+    /// Estimated `q`-quantile of the recorded observations (see
+    /// [`Metric::quantile`]). Returns 0 for a detached (disabled) handle.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.0.as_ref().map_or(0, |m| m.quantile(q))
+    }
 }
 
 /// A wall-clock span: records its lifetime (ns) into a timer histogram on
@@ -635,6 +683,44 @@ mod tests {
         assert_eq!(h.count(), 3);
         assert_eq!(h.value(), 10); // sum
         assert_eq!(h.buckets(), vec![(0, 1), (4, 2)]);
+    }
+
+    #[test]
+    fn quantile_interpolates_pow2_buckets() {
+        let reg = Registry::shared();
+        let sink = MetricsSink::recording(&reg);
+        let h = sink.histogram("lat");
+        // Empty histogram and detached handle report 0.
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(Histogram::default().quantile(0.99), 0);
+        // 100 observations in bucket [16, 31].
+        for _ in 0..100 {
+            h.observe(20);
+        }
+        let p50 = h.quantile(0.5);
+        // Rank 50 of 100 → half-way through [16, 31].
+        assert_eq!(p50, 16 + ((31 - 16) as f64 * 0.5).round() as u64);
+        // Upper tail lands at the bucket's top edge.
+        assert_eq!(h.quantile(1.0), 31);
+        // True value 20 is within the bucket's 2x resolution everywhere.
+        for q in [0.01, 0.5, 0.99] {
+            let est = h.quantile(q);
+            assert!((16..=31).contains(&est), "q={q} est={est}");
+        }
+        // A bimodal distribution: p99 must come from the upper mode.
+        let h2 = sink.histogram("bi");
+        for _ in 0..99 {
+            h2.observe(1);
+        }
+        h2.observe(1 << 20);
+        assert_eq!(h2.quantile(0.5), 1);
+        assert!(h2.quantile(0.995) >= 1 << 20);
+        // Zeros stay in the zero bucket.
+        let h3 = sink.histogram("z");
+        h3.observe(0);
+        assert_eq!(h3.quantile(0.99), 0);
+        // Non-finite q is refused rather than panicking.
+        assert_eq!(h.quantile(f64::NAN), 0);
     }
 
     #[test]

@@ -132,6 +132,109 @@ pub struct HpcSample {
     pub values: Vec<f64>,
 }
 
+/// Resumable sampled-execution state: everything [`Cpu::run_sampled`]
+/// used to keep on its stack, lifted into a value so callers can advance
+/// a core one sampling window at a time (see [`Cpu::begin_sampled`]).
+///
+/// The cursor deliberately borrows nothing: every step takes the `Cpu`
+/// and `Program` explicitly, so a fleet scheduler can own thousands of
+/// `(Cpu, SampledCursor)` pairs in plain `Vec`s.
+#[derive(Debug, Clone)]
+pub struct SampledCursor {
+    start_committed: u64,
+    start_cycle: u64,
+    cycle_budget: u64,
+    max_instrs: u64,
+    sample_interval: u64,
+    /// Absolute counter values at the previous window boundary.
+    prev_vec: Vec<f64>,
+    done: bool,
+}
+
+/// Outcome of one [`SampledCursor::next_window_into`] step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampledStep {
+    /// A sampling window closed. Per-counter **deltas** (ordered as
+    /// [`crate::hpc::hpc_names`]) were written into the caller's buffer.
+    Window {
+        /// Committed instructions at the end of the window.
+        instructions: u64,
+        /// Cycle at the end of the window.
+        cycle: u64,
+    },
+    /// The run finished: `Halt` committed, the instruction budget was
+    /// reached, or the cycle ceiling tripped. Subsequent calls keep
+    /// returning `Done` without stepping the core.
+    ///
+    /// Boxed: [`RunResult`] carries the full architectural register file,
+    /// which would otherwise dominate the enum's size next to `Window`.
+    Done(Box<RunResult>),
+}
+
+impl SampledCursor {
+    /// Advances the core until the next sampling window closes (writing
+    /// the counter deltas into `values`, which must be `hpc_dim()` long)
+    /// or the run ends.
+    ///
+    /// The step sequence — loop-condition check, `step_cycle`, window
+    /// check — is exactly the one the original monolithic `run_sampled`
+    /// loop performed, so a run driven through this cursor is
+    /// cycle-for-cycle identical to one driven by `run_sampled`.
+    pub fn next_window_into(
+        &mut self,
+        cpu: &mut Cpu,
+        program: &Program,
+        values: &mut [f64],
+    ) -> SampledStep {
+        debug_assert_eq!(values.len(), self.prev_vec.len());
+        if !self.done {
+            while !cpu.halted
+                && cpu.stats.committed_insts - self.start_committed < self.max_instrs
+                && cpu.cycle - self.start_cycle < self.cycle_budget
+            {
+                cpu.step_cycle(program);
+                if cpu.committed_since_sample >= self.sample_interval {
+                    cpu.committed_since_sample = 0;
+                    crate::hpc::hpc_vector_into(cpu, values);
+                    for (v, p) in values.iter_mut().zip(self.prev_vec.iter_mut()) {
+                        let cur = *v;
+                        *v -= *p;
+                        *p = cur;
+                    }
+                    return SampledStep::Window {
+                        instructions: cpu.stats.committed_insts,
+                        cycle: cpu.cycle,
+                    };
+                }
+            }
+            self.done = true;
+        }
+        SampledStep::Done(Box::new(self.result(cpu)))
+    }
+
+    /// `true` once the run has ended (a `Done` step was produced).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Snapshot of the run totals so far, in the same shape `run_sampled`
+    /// returns at the end of a run.
+    pub fn result(&self, cpu: &Cpu) -> RunResult {
+        let committed = cpu.stats.committed_insts - self.start_committed;
+        RunResult {
+            committed_instructions: committed,
+            cycles: cpu.cycle - self.start_cycle,
+            ipc: if cpu.cycle > self.start_cycle {
+                committed as f64 / (cpu.cycle - self.start_cycle) as f64
+            } else {
+                0.0
+            },
+            halted: cpu.halted,
+            regs: cpu.arch_regs,
+        }
+    }
+}
+
 /// Scheduler-core activity counters, maintained by the event-driven
 /// scheduling core (all zero in [`SchedulerKind::Scan`] mode, whose
 /// reference loop bypasses the heaps).
@@ -417,6 +520,46 @@ impl Cpu {
         sample_interval: u64,
         mut on_sample: impl FnMut(HpcSample) -> Option<MitigationMode>,
     ) -> RunResult {
+        let mut cursor = self.begin_sampled(max_instrs, sample_interval);
+        let dim = crate::hpc::hpc_dim();
+        loop {
+            // The retained delta row is the window's only allocation:
+            // counters are read straight into it, then converted to
+            // deltas in place while the absolute values move to `prev`.
+            let mut values = vec![0.0f64; dim];
+            match cursor.next_window_into(self, program, &mut values) {
+                SampledStep::Window {
+                    instructions,
+                    cycle,
+                } => {
+                    let sample = HpcSample {
+                        instructions,
+                        cycle,
+                        values,
+                    };
+                    if let Some(mode) = on_sample(sample) {
+                        self.set_mitigation(mode);
+                    }
+                }
+                SampledStep::Done(result) => return *result,
+            }
+        }
+    }
+
+    /// Starts an incremental sampled run, returning a [`SampledCursor`]
+    /// that advances this core **one sampling window at a time**.
+    ///
+    /// This is the resumable form of [`Cpu::run_sampled`] (which is a thin
+    /// wrapper over it): a multi-stream scheduler can hold thousands of
+    /// `(Cpu, SampledCursor)` pairs and interleave them window-by-window
+    /// without restarting any program. The front end is reset here, exactly
+    /// as `run_sampled` does, so the cursor always begins at the program's
+    /// first instruction.
+    ///
+    /// The cursor is tied to this one run: interleaving it with another
+    /// `run*`/`begin_sampled` call on the same core yields unspecified
+    /// (but memory-safe) results.
+    pub fn begin_sampled(&mut self, max_instrs: u64, sample_interval: u64) -> SampledCursor {
         let start_committed = self.stats.committed_insts;
         self.reset_front_end();
         let dim = crate::hpc::hpc_dim();
@@ -425,45 +568,14 @@ impl Cpu {
         self.committed_since_sample = 0;
         // Hard cycle ceiling so a wedged configuration cannot hang the host.
         let cycle_budget = max_instrs.saturating_mul(200).max(100_000);
-        let start_cycle = self.cycle;
-        while !self.halted
-            && self.stats.committed_insts - start_committed < max_instrs
-            && self.cycle - start_cycle < cycle_budget
-        {
-            self.step_cycle(program);
-            if self.committed_since_sample >= sample_interval {
-                self.committed_since_sample = 0;
-                // The retained delta row is the window's only allocation:
-                // counters are read straight into it, then converted to
-                // deltas in place while the absolute values move to `prev`.
-                let mut values = vec![0.0f64; dim];
-                crate::hpc::hpc_vector_into(self, &mut values);
-                for (v, p) in values.iter_mut().zip(prev_vec.iter_mut()) {
-                    let cur = *v;
-                    *v -= *p;
-                    *p = cur;
-                }
-                let sample = HpcSample {
-                    instructions: self.stats.committed_insts,
-                    cycle: self.cycle,
-                    values,
-                };
-                if let Some(mode) = on_sample(sample) {
-                    self.set_mitigation(mode);
-                }
-            }
-        }
-        let committed = self.stats.committed_insts - start_committed;
-        RunResult {
-            committed_instructions: committed,
-            cycles: self.cycle - start_cycle,
-            ipc: if self.cycle > start_cycle {
-                committed as f64 / (self.cycle - start_cycle) as f64
-            } else {
-                0.0
-            },
-            halted: self.halted,
-            regs: self.arch_regs,
+        SampledCursor {
+            start_committed,
+            start_cycle: self.cycle,
+            cycle_budget,
+            max_instrs,
+            sample_interval,
+            prev_vec,
+            done: false,
         }
     }
 

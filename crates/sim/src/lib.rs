@@ -58,7 +58,7 @@ pub mod tlb;
 
 pub use cache::Cache;
 pub use config::{CacheConfig, CpuConfig, MitigationMode, SchedulerKind};
-pub use cpu::{Cpu, HpcSample, RunResult};
+pub use cpu::{Cpu, HpcSample, RunResult, SampledCursor, SampledStep};
 pub use hpc::{
     for_each_hpc, hpc_dim, hpc_index, hpc_names, hpc_vector, hpc_vector_into, HPC_BASE_DIM,
 };
