@@ -20,6 +20,7 @@ fn bench_cfg(parallelism: Parallelism) -> CollectConfig {
         max_instrs: 3_000,
         benign_scale: 3_000,
         parallelism,
+        ..Default::default()
     }
 }
 

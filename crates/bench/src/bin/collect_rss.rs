@@ -67,9 +67,11 @@ fn main() {
     let (stream, mat) = (&reports[0], &reports[1]);
     let stream_kb = field(stream, "peak_rss_kb");
     let mat_kb = field(mat, "peak_rss_kb");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("{{");
     println!(
-        "  \"corpus_runs\": {}, \"interval\": {INTERVAL}, \"max_instrs\": {MAX_INSTRS},",
+        "  \"corpus_runs\": {}, \"interval\": {INTERVAL}, \"max_instrs\": {MAX_INSTRS}, \
+         \"cores\": {cores}, \"threads\": \"auto\",",
         field(stream, "runs") as u64
     );
     println!("  \"streaming\": {},", stream.trim());

@@ -124,7 +124,14 @@ fn main() -> ExitCode {
     if json {
         println!(
             "{}",
-            json_summary(&harness, &ids, &results, total_secs, obs.as_deref())
+            json_summary(
+                &harness,
+                &ids,
+                &results,
+                total_secs,
+                obs.as_deref(),
+                parallelism
+            )
         );
         failed = results.iter().any(|(r, _)| r.is_err());
         for (id, (result, _)) in ids.iter().zip(&results) {
@@ -162,9 +169,18 @@ fn json_summary(
     results: &[(Result<String, String>, f64)],
     total_secs: f64,
     obs: Option<&evax_obs::Registry>,
+    parallelism: Parallelism,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"seed\": {},\n", harness.seed));
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = match parallelism {
+        Parallelism::Fixed(n) => n.to_string(),
+        _ => "\"auto\"".to_string(),
+    };
+    out.push_str(&format!(
+        "  \"cores\": {cores},\n  \"threads\": {threads},\n"
+    ));
     out.push_str(&format!(
         "  \"scale\": \"{}\",\n",
         match harness.scale {

@@ -29,6 +29,7 @@ pub mod exp_sim;
 pub mod exp_tables;
 pub mod exp_zeroday;
 pub mod fault_matrix;
+pub mod ff_bench;
 pub mod fleet_bench;
 pub mod harness;
 pub mod obs_pass;

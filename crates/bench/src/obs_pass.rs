@@ -104,6 +104,7 @@ pub fn obs_pass(seed: u64, parallelism: Parallelism, programs: &[ObsProgram]) ->
         max_instrs: 3_000,
         benign_scale: 3_000,
         parallelism,
+        ..Default::default()
     };
     let (dataset, stats) = collect_dataset_stats_with(&collect_cfg, seed, &metrics);
     let normalizer = stats.normalizer();

@@ -55,6 +55,7 @@ fn fleet_cfg(n_streams: usize, inference: InferenceMode) -> FleetConfig {
         kernel_threads: 1,
         inference,
         seed: 7,
+        warm_start: false,
     }
 }
 

@@ -19,7 +19,7 @@
 use evax_attacks::benign::Scale;
 use evax_attacks::{build_attack, build_benign, AttackClass, BenignKind, KernelParams};
 use evax_obs::MetricsSink;
-use evax_sim::{CpuConfig, Program};
+use evax_sim::{CpuConfig, Program, SampleSchedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,6 +43,11 @@ pub struct CollectConfig {
     /// Worker threads for the simulation fan-out. Collection is
     /// bit-deterministic at any setting (see [`crate::par`]).
     pub parallelism: Parallelism,
+    /// Fast-forward interval schedule. The default (all-detailed) keeps
+    /// collection bitwise-identical to the historical behavior; a nonzero
+    /// `warmup_instrs` fast-forwards between sampling windows for large
+    /// corpus-throughput gains at the cost of approximate windows.
+    pub schedule: SampleSchedule,
 }
 
 impl Default for CollectConfig {
@@ -54,6 +59,7 @@ impl Default for CollectConfig {
             max_instrs: 12_000,
             benign_scale: 12_000,
             parallelism: Parallelism::Auto,
+            schedule: SampleSchedule::default(),
         }
     }
 }
@@ -64,7 +70,9 @@ impl Default for CollectConfig {
 /// production collection path never materializes windows like this.
 pub fn raw_windows(program: &Program, cfg: &CollectConfig, cpu_cfg: &CpuConfig) -> Vec<Vec<f64>> {
     let mut sink = CollectingSink::new();
-    ProgramSource::new(program, cpu_cfg, cfg.interval, cfg.max_instrs).stream(&mut sink);
+    ProgramSource::new(program, cpu_cfg, cfg.interval, cfg.max_instrs)
+        .with_schedule(cfg.schedule)
+        .stream(&mut sink);
     sink.into_windows()
 }
 
@@ -159,6 +167,7 @@ pub fn collect_dataset_stats_with(
             let mut stats = StreamStats::new(dim);
             let local = metrics.fork();
             ProgramSource::new(&program, &cpu_cfg, cfg.interval, cfg.max_instrs)
+                .with_schedule(cfg.schedule)
                 .with_metrics(local.clone())
                 .stream(&mut stats);
             (stats, local)
@@ -178,6 +187,7 @@ pub fn collect_dataset_stats_with(
             let mut sink = DatasetSink::new(&norm, label);
             let local = metrics.fork();
             ProgramSource::new(&program, &cpu_cfg, cfg.interval, cfg.max_instrs)
+                .with_schedule(cfg.schedule)
                 .with_metrics(local.clone())
                 .stream(&mut sink);
             (sink.into_dataset(), local)
@@ -211,7 +221,9 @@ pub fn collect_program(
 ) -> Vec<Sample> {
     let cpu_cfg = CpuConfig::default();
     let mut sink = DatasetSink::new(norm, class);
-    ProgramSource::new(program, &cpu_cfg, cfg.interval, cfg.max_instrs).stream(&mut sink);
+    ProgramSource::new(program, &cpu_cfg, cfg.interval, cfg.max_instrs)
+        .with_schedule(cfg.schedule)
+        .stream(&mut sink);
     sink.into_dataset().samples
 }
 
@@ -227,6 +239,7 @@ mod tests {
             max_instrs: 3_000,
             benign_scale: 3_000,
             parallelism: Parallelism::serial(),
+            ..Default::default()
         }
     }
 

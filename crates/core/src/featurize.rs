@@ -45,7 +45,7 @@
 //! how many raw windows the corpus contains.
 
 use evax_obs::MetricsSink;
-use evax_sim::{Cpu, CpuConfig, MitigationMode, Program, RunResult};
+use evax_sim::{Cpu, CpuConfig, MitigationMode, Program, RunResult, SampleSchedule};
 
 use crate::dataset::{Dataset, Normalizer, Sample};
 use crate::detector::Detector;
@@ -102,6 +102,7 @@ pub struct ProgramSource<'a> {
     cpu_cfg: &'a CpuConfig,
     interval: u64,
     max_instrs: u64,
+    schedule: SampleSchedule,
     metrics: MetricsSink,
 }
 
@@ -119,8 +120,19 @@ impl<'a> ProgramSource<'a> {
             cpu_cfg,
             interval,
             max_instrs,
+            schedule: SampleSchedule::default(),
             metrics: MetricsSink::default(),
         }
+    }
+
+    /// Sets a fast-forward interval schedule (builder style). With the
+    /// default all-detailed schedule the stream is bitwise-identical to the
+    /// historical behavior; a nonzero `warmup_instrs` fast-forwards between
+    /// sampling windows (functional execution with approximate warm-up), so
+    /// windows are approximate but far cheaper to produce.
+    pub fn with_schedule(mut self, schedule: SampleSchedule) -> Self {
+        self.schedule = schedule;
+        self
     }
 
     /// Attaches a metrics sink (builder style). With the default no-op sink
@@ -145,29 +157,41 @@ impl WindowSource for ProgramSource<'_> {
             let switches = self.metrics.counter("featurize.mode_switches");
             let switch_cycle = self.metrics.histogram("featurize.switch_cycle");
             let span = self.metrics.span("sim.run_wall_ns");
-            let result = cpu.run_sampled(self.program, self.max_instrs, self.interval, |s| {
-                windows.inc();
-                let verdict = sink.window(&RawWindow {
-                    values: &s.values,
-                    instructions: s.instructions,
-                    cycle: s.cycle,
-                });
-                if verdict.is_some() {
-                    switches.inc();
-                    switch_cycle.observe(s.cycle);
-                }
-                verdict
-            });
+            let result = cpu.run_sampled_with_schedule(
+                self.program,
+                self.max_instrs,
+                self.interval,
+                self.schedule,
+                |s| {
+                    windows.inc();
+                    let verdict = sink.window(&RawWindow {
+                        values: &s.values,
+                        instructions: s.instructions,
+                        cycle: s.cycle,
+                    });
+                    if verdict.is_some() {
+                        switches.inc();
+                        switch_cycle.observe(s.cycle);
+                    }
+                    verdict
+                },
+            );
             drop(span);
             result
         } else {
-            cpu.run_sampled(self.program, self.max_instrs, self.interval, |s| {
-                sink.window(&RawWindow {
-                    values: &s.values,
-                    instructions: s.instructions,
-                    cycle: s.cycle,
-                })
-            })
+            cpu.run_sampled_with_schedule(
+                self.program,
+                self.max_instrs,
+                self.interval,
+                self.schedule,
+                |s| {
+                    sink.window(&RawWindow {
+                        values: &s.values,
+                        instructions: s.instructions,
+                        cycle: s.cycle,
+                    })
+                },
+            )
         };
         if self.metrics.enabled() {
             self.metrics.add("featurize.runs", 1);

@@ -26,6 +26,8 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
+use evax_sim::{Snapshot, SnapshotError};
+
 use crate::dataset::{Dataset, Normalizer, Sample, N_CLASSES};
 use crate::detector::Detector;
 use crate::error::{EvaxError, Result};
@@ -468,6 +470,62 @@ pub fn write_model_file<P: AsRef<Path>>(
     .map_err(|e| e.with_path(path))
 }
 
+/// Converts a simulator [`SnapshotError`] into the crate-wide typed error:
+/// truncation becomes [`EvaxError::Parse`] (line 0 — binary streams are not
+/// line-addressable), everything else becomes [`EvaxError::Corrupt`] with
+/// expected/got context.
+fn snapshot_error(e: SnapshotError) -> EvaxError {
+    let magic = String::from_utf8_lossy(evax_sim::snapshot::SNAPSHOT_MAGIC);
+    match e {
+        SnapshotError::Header { got } => EvaxError::corrupt(
+            "snapshot header",
+            format!("{:?}", magic.trim_end()),
+            format!("{got:?}"),
+        ),
+        SnapshotError::Truncated { what } => {
+            EvaxError::parse(0, format!("snapshot truncated while reading {what}"))
+        }
+        SnapshotError::Checksum { expected, got } => EvaxError::corrupt(
+            "snapshot checksum",
+            format!("{expected:#018x}"),
+            format!("{got:#018x}"),
+        ),
+        SnapshotError::ConfigMismatch { expected, got } => EvaxError::corrupt(
+            "snapshot config fingerprint",
+            format!("{expected:#018x}"),
+            format!("{got:#018x}"),
+        ),
+        SnapshotError::Malformed { what } => {
+            EvaxError::corrupt("snapshot payload", "a structurally valid word stream", what)
+        }
+    }
+}
+
+/// Writes a simulator checkpoint ([`Snapshot`]) to a path in its versioned,
+/// checksummed binary format, with the path attached to any error.
+///
+/// # Errors
+/// Returns [`EvaxError::Io`] when the file cannot be written; the error
+/// carries the path.
+pub fn write_snapshot_file<P: AsRef<Path>>(snap: &Snapshot, path: P) -> Result<()> {
+    let path = path.as_ref();
+    std::fs::write(path, snap.to_bytes()).map_err(|e| EvaxError::from(e).with_path(path))
+}
+
+/// Reads a simulator checkpoint written by [`write_snapshot_file`],
+/// validating the magic header, section structure and trailing checksum.
+///
+/// # Errors
+/// Returns [`EvaxError::Io`] when the file cannot be opened,
+/// [`EvaxError::Parse`] on truncation and [`EvaxError::Corrupt`] on a bad
+/// header, checksum mismatch or malformed payload; every error carries the
+/// path.
+pub fn read_snapshot_file<P: AsRef<Path>>(path: P) -> Result<Snapshot> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| EvaxError::from(e).with_path(path))?;
+    Snapshot::from_bytes(&bytes).map_err(|e| snapshot_error(e).with_path(path))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -756,5 +814,76 @@ mod tests {
         let csv = "class,a\n0,0.5\n\n1,0.7\n";
         let ds = read_csv(csv.as_bytes()).unwrap();
         assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_file_round_trip() {
+        let dir = std::env::temp_dir().join("evax-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.snap");
+        let snap = Snapshot {
+            config_fingerprint: 0x1234,
+            cpu_words: vec![1, 2, 3, u64::MAX],
+            cursor_words: Some(vec![7, 8, 9]),
+        };
+        write_snapshot_file(&snap, &path).unwrap();
+        assert_eq!(read_snapshot_file(&path).unwrap(), snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_corruption_rejected_with_typed_errors() {
+        let dir = std::env::temp_dir().join("evax-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = Snapshot {
+            config_fingerprint: 0x1234,
+            cpu_words: vec![10, 20, 30],
+            cursor_words: None,
+        };
+        let bytes = snap.to_bytes();
+
+        // Truncation right after the magic → Parse, with the path attached.
+        let path = dir.join("truncated.snap");
+        std::fs::write(&path, &bytes[..20]).unwrap();
+        let err = read_snapshot_file(&path).unwrap_err();
+        assert!(matches!(err, EvaxError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("truncated.snap"), "{err}");
+
+        // Mid-stream truncation is caught by the trailing checksum → Corrupt.
+        std::fs::write(&path, &bytes[..bytes.len() - 12]).unwrap();
+        let err = read_snapshot_file(&path).unwrap_err();
+        assert!(matches!(err, EvaxError::Corrupt { .. }), "{err}");
+
+        // Bad magic → Corrupt naming the expected header.
+        let path = dir.join("badmagic.snap");
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        match read_snapshot_file(&path).unwrap_err() {
+            EvaxError::Corrupt { what, expected, .. } => {
+                assert_eq!(what, "snapshot header");
+                assert!(expected.contains("evax-snapshot v1"), "{expected}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // Mid-payload bit flip → checksum Corrupt.
+        let path = dir.join("bitflip.snap");
+        let mut bad = bytes.clone();
+        let mid = bytes.len() / 2;
+        bad[mid] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        match read_snapshot_file(&path).unwrap_err() {
+            EvaxError::Corrupt { what, .. } => assert_eq!(what, "snapshot checksum"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // Missing file → Io with the path.
+        let err = read_snapshot_file(dir.join("nonexistent.snap")).unwrap_err();
+        assert!(matches!(err, EvaxError::Io { .. }), "{err}");
+
+        for name in ["truncated.snap", "badmagic.snap", "bitflip.snap"] {
+            std::fs::remove_file(dir.join(name)).ok();
+        }
     }
 }

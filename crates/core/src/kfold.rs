@@ -271,6 +271,7 @@ mod tests {
             max_instrs: 3_000,
             benign_scale: 3_000,
             parallelism: Parallelism::serial(),
+            ..Default::default()
         };
         let (ds, norm) = collect_dataset(&collect, 3);
         let base = KfoldConfig {

@@ -37,6 +37,7 @@
 //!
 //! [`AdaptiveController`]: crate::adaptive::AdaptiveController
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use evax_core::par::{self, round_robin_shards, Parallelism};
@@ -98,6 +99,14 @@ pub struct FleetConfig {
     pub inference: InferenceMode,
     /// Master seed; per-stream program seeds derive from it by stream id.
     pub seed: u64,
+    /// Warm-start tenant cores from a per-program-class snapshot pool: one
+    /// representative core per distinct registry program is fast-forwarded
+    /// (functional execution with approximate cache/TLB/predictor warm-up)
+    /// and snapshotted before sharding, and every tenant stream of that
+    /// class forks from the warm snapshot instead of a cold core. Windows
+    /// are approximate (warm microarchitectural state from a sibling run);
+    /// the `ff` bench quantifies the verdict drift.
+    pub warm_start: bool,
 }
 
 impl Default for FleetConfig {
@@ -119,6 +128,7 @@ impl Default for FleetConfig {
             kernel_threads: 1,
             inference: InferenceMode::BatchedF32,
             seed: 0xF1EE7,
+            warm_start: false,
         }
     }
 }
@@ -161,6 +171,13 @@ pub struct FleetReport {
     pub full_flushes: u64,
     /// End-of-pass partial drains through the in-place tail path.
     pub tail_flushes: u64,
+    /// CPU nanoseconds spent stepping simulated cores (summed across shard
+    /// workers, so this can exceed wall-clock on a multi-core run; compare
+    /// against [`FleetReport::inference_ns`], measured the same way).
+    pub sim_ns: u64,
+    /// CPU nanoseconds spent in featurization + inference drains, summed
+    /// across shard workers like [`FleetReport::sim_ns`].
+    pub inference_ns: u64,
     /// Inference backend the run used.
     pub inference: InferenceMode,
 }
@@ -268,13 +285,13 @@ struct FleetStream {
     result: Option<RunResult>,
 }
 
-/// Builds stream `id` deterministically from the registry: the program
-/// choice and its seed depend only on `(cfg.seed, id)`.
-fn build_stream(id: usize, cfg: &FleetConfig, cpu_cfg: &CpuConfig) -> FleetStream {
+/// Builds stream `id`'s program deterministically from the registry: the
+/// program choice and its seed depend only on `(cfg.seed, id)`.
+fn stream_program(id: usize, cfg: &FleetConfig) -> (Program, usize) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(
         cfg.seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
     );
-    let (program, class_label) = if cfg.attack_every > 0 && id.is_multiple_of(cfg.attack_every) {
+    if cfg.attack_every > 0 && id.is_multiple_of(cfg.attack_every) {
         let class = evax_attacks::ATTACK_CLASSES
             [(id / cfg.attack_every) % evax_attacks::ATTACK_CLASSES.len()];
         (
@@ -287,9 +304,63 @@ fn build_stream(id: usize, cfg: &FleetConfig, cpu_cfg: &CpuConfig) -> FleetStrea
             evax_attacks::build_benign(kind, evax_attacks::benign::Scale(cfg.max_instrs), &mut rng),
             0,
         )
+    }
+}
+
+/// The per-program-class warm-start pool: `name → warm template core` for
+/// one representative per distinct registry program. Templates are produced
+/// by a snapshot→restore round trip (exercising the serialized format) and
+/// then cloned per tenant stream — cloning forks the full core state at
+/// memcpy speed, far cheaper than re-parsing the snapshot word stream per
+/// stream.
+type WarmPool = HashMap<String, Cpu>;
+
+/// Warms one core per distinct registry program name (sequentially, before
+/// the shard fan-out, so the pool is identical at any thread count): the
+/// representative is fast-forwarded through half the stream budget and
+/// snapshotted. That prefix then counts against every forked stream's
+/// retirement budget (see [`build_stream`]), so half of each tenant's
+/// instructions retire once per class at functional speed instead of per
+/// stream at detailed speed. Programs that finish inside the warm-up budget
+/// stay cold — they are cheap to run exactly, and a fully retired core has
+/// nothing left to sample.
+fn build_warm_pool(cfg: &FleetConfig, cpu_cfg: &CpuConfig) -> WarmPool {
+    let warm = cfg.max_instrs / 2;
+    let mut pool = WarmPool::new();
+    if warm == 0 {
+        return pool;
+    }
+    for id in 0..cfg.n_streams {
+        let (program, _) = stream_program(id, cfg);
+        if pool.contains_key(program.name()) {
+            continue;
+        }
+        let mut cpu = Cpu::new(cpu_cfg.clone());
+        if cpu.fast_forward(&program, warm) < warm {
+            continue;
+        }
+        let snap = cpu.snapshot();
+        if let Ok(template) = Cpu::restore(cpu_cfg.clone(), &snap) {
+            pool.insert(program.name().to_string(), template);
+        }
+    }
+    pool
+}
+
+/// Builds stream `id`: its registry program plus a core — forked from the
+/// class's warm snapshot when the pool has one, cold otherwise.
+fn build_stream(id: usize, cfg: &FleetConfig, cpu_cfg: &CpuConfig, pool: &WarmPool) -> FleetStream {
+    let (program, class_label) = stream_program(id, cfg);
+    let mut cpu = match pool.get(program.name()) {
+        Some(template) => template.clone(),
+        None => Cpu::new(cpu_cfg.clone()),
     };
-    let mut cpu = Cpu::new(cpu_cfg.clone());
-    let cursor = cpu.begin_sampled(cfg.max_instrs, cfg.adaptive.sample_interval);
+    // `max_instrs` is the stream's total retirement budget: instructions the
+    // warm template already retired functionally (once per program class, at
+    // fast-forward speed) are not re-run on the detailed core per stream —
+    // that amortization is what makes warm-start a throughput win.
+    let budget = cfg.max_instrs.saturating_sub(cpu.stats().committed_insts);
+    let cursor = cpu.begin_sampled(budget, cfg.adaptive.sample_interval);
     FleetStream {
         id,
         class_label,
@@ -345,12 +416,14 @@ fn drain_batch(
                 QuantLinear::quantize_input_into(batch.rows(), &mut scratch.xq);
                 q.score_rows_q_into(&scratch.xq, cfg.kernel_threads, &mut scratch.q_scores);
             } else {
-                // Tail path: row-at-a-time through the same integer kernel.
+                // Tail path: quantize the whole slab in one pass (hoisted
+                // out of the scoring loop), then score row-at-a-time through
+                // the same integer kernel.
                 scratch.xq.clear();
-                scratch.xq.resize(dim, 0);
-                for (i, row) in batch.rows().chunks(dim).enumerate() {
-                    QuantLinear::quantize_input_into(row, &mut scratch.xq);
-                    scratch.q_scores[i] = q.score_q(&scratch.xq);
+                scratch.xq.resize(n * dim, 0);
+                QuantLinear::quantize_input_into(batch.rows(), &mut scratch.xq);
+                for (i, xq_row) in scratch.xq.chunks(dim).enumerate() {
+                    scratch.q_scores[i] = q.score_q(xq_row);
                 }
             }
             for (v, &s) in scratch.verdicts.iter_mut().zip(scratch.q_scores.iter()) {
@@ -401,6 +474,7 @@ fn drain_batch(
 
 /// Runs one shard to completion: round-robin passes over its live streams,
 /// batching windows and draining verdicts, until every stream finishes.
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     indices: &[usize],
     cfg: &FleetConfig,
@@ -408,10 +482,11 @@ fn run_shard(
     detector: &Detector,
     featurizer: &Featurizer,
     quant: Option<&QuantLinear>,
-) -> (Vec<StreamOutcome>, Vec<u64>, u64, u64) {
+    pool: &WarmPool,
+) -> (Vec<StreamOutcome>, Vec<u64>, u64, u64, u64, u64) {
     let mut streams: Vec<FleetStream> = indices
         .iter()
-        .map(|&id| build_stream(id, cfg, cpu_cfg))
+        .map(|&id| build_stream(id, cfg, cpu_cfg, pool))
         .collect();
     let ext_dim = detector.extended_dim();
     let mut batch: WindowBatch<(usize, u64, Instant)> =
@@ -428,17 +503,24 @@ fn run_shard(
     let mut full_flushes = 0u64;
     let mut tail_flushes = 0u64;
     let mut live: Vec<usize> = (0..streams.len()).collect();
+    // Sim-vs-inference CPU split: stepping cores vs everything downstream
+    // of a produced window. Pure observability — never branches behavior.
+    let mut sim_ns = 0u64;
+    let mut infer_ns = 0u64;
     while !live.is_empty() {
         let mut next_live = Vec::with_capacity(live.len());
         for &slot in &live {
+            let step_t0 = Instant::now();
             let step = {
                 let s = &mut streams[slot];
                 s.cursor.next_window_into(&mut s.cpu, &s.program, &mut raw)
             };
+            sim_ns += step_t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             match step {
                 SampledStep::Window { cycle, .. } => {
                     streams[slot].windows += 1;
                     let t0 = Instant::now();
+                    let infer_t0 = t0;
                     // Fail-secure gate #1 (shared with the per-window
                     // controller): non-finite counters never reach the
                     // featurizer or the batch.
@@ -485,6 +567,7 @@ fn run_shard(
                             );
                         }
                     }
+                    infer_ns += infer_t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                     next_live.push(slot);
                 }
                 SampledStep::Done(result) => {
@@ -496,6 +579,7 @@ fn run_shard(
         // in-place per-row path, so no window waits longer than one pass.
         if !batch.is_empty() {
             tail_flushes += 1;
+            let infer_t0 = Instant::now();
             drain_batch(
                 &mut batch,
                 &mut streams,
@@ -506,6 +590,7 @@ fn run_shard(
                 &mut latencies,
                 false,
             );
+            infer_ns += infer_t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         }
         live = next_live;
     }
@@ -526,7 +611,14 @@ fn run_shard(
             }
         })
         .collect();
-    (outcomes, latencies, full_flushes, tail_flushes)
+    (
+        outcomes,
+        latencies,
+        full_flushes,
+        tail_flushes,
+        sim_ns,
+        infer_ns,
+    )
 }
 
 /// Runs the whole fleet: `cfg.n_streams` tenant streams, round-robin
@@ -562,19 +654,39 @@ pub fn run_fleet(
         InferenceMode::BatchedQuant => Some(detector.quantize_linear()),
         _ => None,
     };
+    // Warm the per-program snapshot pool sequentially before the fan-out:
+    // every shard forks tenant cores from the same snapshots, so warm-start
+    // runs stay bit-identical at any thread count.
+    let pool = if cfg.warm_start {
+        build_warm_pool(cfg, cpu_cfg)
+    } else {
+        WarmPool::new()
+    };
     let shards = round_robin_shards(cfg.n_streams, cfg.n_shards.max(1));
     let shard_results = par::map(parallelism, &shards, |indices| {
-        run_shard(indices, cfg, cpu_cfg, detector, featurizer, quant.as_ref())
+        run_shard(
+            indices,
+            cfg,
+            cpu_cfg,
+            detector,
+            featurizer,
+            quant.as_ref(),
+            &pool,
+        )
     });
     let mut outcomes: Vec<StreamOutcome> = Vec::with_capacity(cfg.n_streams);
     let mut latencies: Vec<u64> = Vec::new();
     let mut full_flushes = 0u64;
     let mut tail_flushes = 0u64;
-    for (o, l, f, t) in shard_results {
+    let mut sim_ns = 0u64;
+    let mut inference_ns = 0u64;
+    for (o, l, f, t, s, i) in shard_results {
         outcomes.extend(o);
         latencies.extend(l);
         full_flushes += f;
         tail_flushes += t;
+        sim_ns += s;
+        inference_ns += i;
     }
     outcomes.sort_by_key(|o| o.stream_id);
     FleetReport {
@@ -582,6 +694,8 @@ pub fn run_fleet(
         latencies_ns: latencies,
         full_flushes,
         tail_flushes,
+        sim_ns,
+        inference_ns,
         inference: cfg.inference,
     }
 }
@@ -631,6 +745,7 @@ mod tests {
             kernel_threads: 1,
             inference,
             seed: 11,
+            warm_start: false,
         }
     }
 
@@ -709,6 +824,44 @@ mod tests {
             assert_eq!(b.class_label, p.class_label);
             assert_eq!(b.windows, p.windows);
         }
+    }
+
+    #[test]
+    fn warm_start_fleet_is_deterministic_and_covers_every_stream() {
+        let (det, norm) = trained(5);
+        let feat = Featurizer::new(norm, det.engineered().to_vec());
+        let cfg = FleetConfig {
+            warm_start: true,
+            ..small_cfg(InferenceMode::BatchedF32)
+        };
+        let cpu_cfg = CpuConfig::default();
+        let base = run_fleet(&cfg, &cpu_cfg, &det, &feat, Parallelism::Fixed(1));
+        assert_eq!(base.outcomes.len(), cfg.n_streams);
+        assert!(base.windows() > 0);
+        // Every window still gets exactly one verdict.
+        assert_eq!(base.latencies_ns.len() as u64, base.windows());
+        // Forking from the shared snapshot pool must not break the
+        // thread-count determinism contract.
+        for threads in [4usize, 16] {
+            let r = run_fleet(&cfg, &cpu_cfg, &det, &feat, Parallelism::Fixed(threads));
+            assert_eq!(base.deterministic_json(), r.deterministic_json());
+        }
+        // Warm streams run on pre-touched caches/predictors, so their cycle
+        // totals should differ from a cold fleet (the snapshot actually
+        // changed microarchitectural state).
+        let cold = run_fleet(
+            &small_cfg(InferenceMode::BatchedF32),
+            &cpu_cfg,
+            &det,
+            &feat,
+            Parallelism::Fixed(1),
+        );
+        assert_eq!(cold.outcomes.len(), base.outcomes.len());
+        assert_ne!(
+            base.outcomes.iter().map(|o| o.cycles).sum::<u64>(),
+            cold.outcomes.iter().map(|o| o.cycles).sum::<u64>(),
+            "warm-start must change timing-visible state"
+        );
     }
 
     #[test]

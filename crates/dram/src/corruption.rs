@@ -7,6 +7,38 @@
 //! the affected cells in consequence."
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for `(bank, row)` keys. Activation bookkeeping
+/// sits on the DRAM hot path (every row activation probes these maps
+/// several times), where SipHash dominates; the keys are small integers,
+/// so a multiply-xorshift suffices.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RowHasher(u64);
+
+impl Hasher for RowHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type RowMap<V> = HashMap<(usize, u64), V, BuildHasherDefault<RowHasher>>;
 
 /// A single induced bit flip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -31,13 +63,17 @@ pub struct CorruptionModule {
     rows_per_bank: u64,
     row_bytes: u64,
     /// (bank, row) -> activations since last refresh.
-    counts: HashMap<(usize, u64), u32>,
+    counts: RowMap<u32>,
     /// All flips induced since construction (a victim bit flips at most once
     /// per refresh window; charge loss is not re-applied to an already
     /// flipped cell).
     flips: Vec<BitFlip>,
     /// (bank, victim row) pairs already flipped in the current refresh window.
-    flipped_this_window: HashMap<(usize, u64), ()>,
+    flipped_this_window: RowMap<()>,
+    /// Rows whose count crossed half their threshold this refresh window —
+    /// maintained incrementally so [`Self::rows_near_threshold`] is O(1)
+    /// instead of a full map scan per activation.
+    near_threshold: u64,
 }
 
 impl CorruptionModule {
@@ -60,9 +96,10 @@ impl CorruptionModule {
             blast_radius,
             rows_per_bank,
             row_bytes,
-            counts: HashMap::new(),
+            counts: RowMap::default(),
             flips: Vec::new(),
-            flipped_this_window: HashMap::new(),
+            flipped_this_window: RowMap::default(),
+            near_threshold: 0,
         }
     }
 
@@ -93,6 +130,12 @@ impl CorruptionModule {
         let count = self.counts.entry((bank, row)).or_insert(0);
         *count += 1;
         let count = *count;
+        // Incremental near-threshold bookkeeping: a row is counted exactly
+        // once, on the activation where it crosses half its threshold.
+        let threshold = self.row_threshold(bank, row);
+        if count * 2 >= threshold && (count - 1) * 2 < threshold {
+            self.near_threshold += 1;
+        }
         let mut out = Vec::new();
         for dist in 1..=self.blast_radius {
             for victim in [row.checked_sub(dist), row.checked_add(dist)]
@@ -134,6 +177,7 @@ impl CorruptionModule {
     pub fn on_refresh(&mut self) {
         self.counts.clear();
         self.flipped_this_window.clear();
+        self.near_threshold = 0;
     }
 
     /// All flips induced since construction.
@@ -141,13 +185,78 @@ impl CorruptionModule {
         &self.flips
     }
 
+    /// Appends disturbance state (activation counts, induced flips, armed
+    /// victims) to a snapshot word stream. Maps are emitted sorted by key so
+    /// the stream is independent of `HashMap` iteration order.
+    pub(crate) fn save_state(&self, out: &mut Vec<u64>) {
+        let mut counts: Vec<((usize, u64), u32)> =
+            self.counts.iter().map(|(&k, &v)| (k, v)).collect();
+        counts.sort_unstable_by_key(|&(k, _)| k);
+        out.push(counts.len() as u64);
+        for ((bank, row), count) in counts {
+            out.extend_from_slice(&[bank as u64, row, count as u64]);
+        }
+        out.push(self.flips.len() as u64);
+        for flip in &self.flips {
+            out.extend_from_slice(&[flip.bank as u64, flip.row, flip.byte, flip.bit as u64]);
+        }
+        let mut armed: Vec<(usize, u64)> = self.flipped_this_window.keys().copied().collect();
+        armed.sort_unstable();
+        out.push(armed.len() as u64);
+        for (bank, row) in armed {
+            out.push(bank as u64);
+            out.push(row);
+        }
+    }
+
+    /// Restores state written by [`CorruptionModule::save_state`]. Returns
+    /// `None` on a truncated or malformed stream.
+    pub(crate) fn load_state(&mut self, w: &mut std::slice::Iter<'_, u64>) -> Option<()> {
+        let n = usize::try_from(*w.next()?).ok()?;
+        self.counts.clear();
+        for _ in 0..n {
+            let bank = usize::try_from(*w.next()?).ok()?;
+            let row = *w.next()?;
+            let count = u32::try_from(*w.next()?).ok()?;
+            self.counts.insert((bank, row), count);
+        }
+        let near = self
+            .counts
+            .iter()
+            .filter(|(&(bank, row), &c)| c * 2 >= self.row_threshold(bank, row))
+            .count() as u64;
+        self.near_threshold = near;
+        let n = usize::try_from(*w.next()?).ok()?;
+        self.flips.clear();
+        for _ in 0..n {
+            let bank = usize::try_from(*w.next()?).ok()?;
+            let row = *w.next()?;
+            let byte = *w.next()?;
+            let bit = u8::try_from(*w.next()?).ok()?;
+            if bit >= 8 {
+                return None;
+            }
+            self.flips.push(BitFlip {
+                bank,
+                row,
+                byte,
+                bit,
+            });
+        }
+        let n = usize::try_from(*w.next()?).ok()?;
+        self.flipped_this_window.clear();
+        for _ in 0..n {
+            let bank = usize::try_from(*w.next()?).ok()?;
+            let row = *w.next()?;
+            self.flipped_this_window.insert((bank, row), ());
+        }
+        Some(())
+    }
+
     /// Number of rows whose count exceeds half their threshold (early-warning
     /// signal exported to the HPC space).
     pub fn rows_near_threshold(&self) -> u64 {
-        self.counts
-            .iter()
-            .filter(|(&(bank, row), &c)| c * 2 >= self.row_threshold(bank, row))
-            .count() as u64
+        self.near_threshold
     }
 }
 

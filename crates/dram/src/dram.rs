@@ -220,6 +220,52 @@ impl Dram {
         }
     }
 
+    /// Appends the full device state — bank row buffers, write queue,
+    /// refresh clock, disturbance module, and statistics — to a snapshot
+    /// word stream. Geometry/timing come from the [`DramConfig`] at restore;
+    /// callers are responsible for restoring into an identically configured
+    /// device (the simulator's snapshot header fingerprints the config).
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.last_refresh);
+        for bank in &self.banks {
+            out.push(match bank {
+                RowState::Idle => u64::MAX,
+                RowState::Open(row) => *row,
+            });
+        }
+        out.push(self.write_queue.len() as u64);
+        for &line in &self.write_queue {
+            out.push(line);
+        }
+        self.corruption.save_state(out);
+        self.stats.save_state(out);
+    }
+
+    /// Restores state written by [`Dram::save_state`] into a device built
+    /// from the same configuration. Returns `None` on a truncated or
+    /// malformed stream.
+    pub fn load_state(&mut self, w: &mut std::slice::Iter<'_, u64>) -> Option<()> {
+        self.last_refresh = *w.next()?;
+        for bank in &mut self.banks {
+            let row = *w.next()?;
+            *bank = if row == u64::MAX {
+                RowState::Idle
+            } else if row < self.cfg.rows_per_bank {
+                RowState::Open(row)
+            } else {
+                return None;
+            };
+        }
+        let n = usize::try_from(*w.next()?).ok()?;
+        self.write_queue.clear();
+        for _ in 0..n {
+            self.write_queue.push_back(*w.next()?);
+        }
+        self.corruption.load_state(w)?;
+        self.stats.load_state(w)?;
+        Some(())
+    }
+
     /// Drains the entire write queue to the array (end-of-simulation flush).
     pub fn drain_writes(&mut self) {
         while let Some(line) = self.write_queue.pop_front() {

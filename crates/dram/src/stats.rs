@@ -40,6 +40,69 @@ pub struct DramStats {
 }
 
 impl DramStats {
+    /// Appends every counter to a snapshot word stream, in field order.
+    pub(crate) fn save_state(&self, out: &mut Vec<u64>) {
+        let DramStats {
+            activations,
+            row_buffer_hits,
+            row_buffer_conflicts,
+            row_buffer_empty,
+            precharges,
+            refreshes,
+            read_reqs,
+            write_reqs,
+            bytes_read,
+            bytes_written,
+            bytes_read_wr_q,
+            write_bursts,
+            energy,
+            bit_flips,
+            rows_near_threshold,
+        } = self.clone();
+        out.extend_from_slice(&[
+            activations,
+            row_buffer_hits,
+            row_buffer_conflicts,
+            row_buffer_empty,
+            precharges,
+            refreshes,
+            read_reqs,
+            write_reqs,
+            bytes_read,
+            bytes_written,
+            bytes_read_wr_q,
+            write_bursts,
+            energy,
+            bit_flips,
+            rows_near_threshold,
+        ]);
+    }
+
+    /// Reads every counter back from a snapshot word stream. Returns `None`
+    /// if the stream runs out.
+    pub(crate) fn load_state(&mut self, w: &mut std::slice::Iter<'_, u64>) -> Option<()> {
+        for field in [
+            &mut self.activations,
+            &mut self.row_buffer_hits,
+            &mut self.row_buffer_conflicts,
+            &mut self.row_buffer_empty,
+            &mut self.precharges,
+            &mut self.refreshes,
+            &mut self.read_reqs,
+            &mut self.write_reqs,
+            &mut self.bytes_read,
+            &mut self.bytes_written,
+            &mut self.bytes_read_wr_q,
+            &mut self.write_bursts,
+            &mut self.energy,
+            &mut self.bit_flips,
+            &mut self.rows_near_threshold,
+        ] {
+            *field = *w.next()?;
+        }
+        Some(())
+    }
+
     /// Bytes accessed per row activation — the paper's `bytesPerActivate`.
     /// High values mean streaming; values near one cache line mean
     /// activation-thrashing (Rowhammer/DRAMA signature).

@@ -103,6 +103,35 @@ impl TournamentPredictor {
         *lh = ((*lh << 1) | actual as u16) & ((1 << self.local_hist_bits) - 1);
         self.ghr = ((self.ghr << 1) | actual as u64) & ((1 << self.global_bits) - 1);
     }
+
+    /// Appends predictor state (histories + all counter tables) to a
+    /// snapshot word stream. Table sizes are fixed by [`Self::new`].
+    pub(crate) fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.ghr);
+        out.extend(self.local_hist.iter().map(|&h| h as u64));
+        for table in [&self.local_pht, &self.global_pht, &self.choice] {
+            out.extend(table.iter().map(|c| c.0 as u64));
+        }
+    }
+
+    /// Restores state written by [`TournamentPredictor::save_state`].
+    /// Returns `None` on a truncated stream or an out-of-range counter.
+    pub(crate) fn load_state(&mut self, w: &mut std::slice::Iter<'_, u64>) -> Option<()> {
+        self.ghr = *w.next()?;
+        for h in &mut self.local_hist {
+            *h = u16::try_from(*w.next()?).ok()?;
+        }
+        for table in [&mut self.local_pht, &mut self.global_pht, &mut self.choice] {
+            for c in table.iter_mut() {
+                let v = *w.next()?;
+                if v > 3 {
+                    return None;
+                }
+                *c = Ctr2(v as u8);
+            }
+        }
+        Some(())
+    }
 }
 
 impl Default for TournamentPredictor {
@@ -142,6 +171,39 @@ impl Btb {
     pub fn update(&mut self, pc: usize, target: usize) {
         let len = self.entries.len();
         self.entries[pc % len] = Some((pc, target));
+    }
+
+    /// Appends BTB contents to a snapshot word stream (3 words per slot).
+    pub(crate) fn save_state(&self, out: &mut Vec<u64>) {
+        for entry in &self.entries {
+            match entry {
+                Some((tag, target)) => {
+                    out.push(1);
+                    out.push(*tag as u64);
+                    out.push(*target as u64);
+                }
+                None => {
+                    out.push(0);
+                    out.push(0);
+                    out.push(0);
+                }
+            }
+        }
+    }
+
+    /// Restores state written by [`Btb::save_state`].
+    pub(crate) fn load_state(&mut self, w: &mut std::slice::Iter<'_, u64>) -> Option<()> {
+        for entry in &mut self.entries {
+            let present = *w.next()?;
+            let tag = usize::try_from(*w.next()?).ok()?;
+            let target = usize::try_from(*w.next()?).ok()?;
+            *entry = match present {
+                0 => None,
+                1 => Some((tag, target)),
+                _ => return None,
+            };
+        }
+        Some(())
     }
 }
 
@@ -208,6 +270,30 @@ impl Ras {
     /// Number of live entries.
     pub fn depth(&self) -> usize {
         self.used
+    }
+
+    /// Appends RAS state to a snapshot word stream. Capacity is fixed by
+    /// construction.
+    pub(crate) fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.top as u64);
+        out.push(self.used as u64);
+        out.extend(self.stack.iter().map(|&a| a as u64));
+    }
+
+    /// Restores state written by [`Ras::save_state`]. Returns `None` on a
+    /// truncated stream or indices beyond this RAS's capacity.
+    pub(crate) fn load_state(&mut self, w: &mut std::slice::Iter<'_, u64>) -> Option<()> {
+        let top = usize::try_from(*w.next()?).ok()?;
+        let used = usize::try_from(*w.next()?).ok()?;
+        if top >= self.capacity || used > self.capacity {
+            return None;
+        }
+        self.top = top;
+        self.used = used;
+        for slot in &mut self.stack {
+            *slot = usize::try_from(*w.next()?).ok()?;
+        }
+        Some(())
     }
 }
 

@@ -248,6 +248,100 @@ impl Cache {
     pub fn occupancy(&self) -> usize {
         self.sets.iter().flatten().filter(|l| l.valid).count()
     }
+
+    /// Appends the full cache state (lines, LRU clock, in-flight MSHR
+    /// deadlines, statistics) to a snapshot word stream. Geometry is not
+    /// recorded — it is re-derived from the [`CacheConfig`] at restore, which
+    /// the snapshot header fingerprints.
+    pub(crate) fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.tick);
+        for set in &self.sets {
+            for line in set {
+                out.push(line.tag);
+                out.push(
+                    line.valid as u64 | (line.dirty as u64) << 1 | (line.prefetched as u64) << 2,
+                );
+                out.push(line.lru);
+            }
+        }
+        out.push(self.mshr_busy_until.len() as u64);
+        out.extend_from_slice(&self.mshr_busy_until);
+        let CacheStats {
+            read_hits,
+            read_misses,
+            write_hits,
+            write_misses,
+            clean_evicts,
+            writebacks,
+            flushes,
+            mshr_misses,
+            mshr_miss_latency,
+            mshr_full_events,
+            prefetch_fills,
+            prefetch_hits,
+        } = self.stats.clone();
+        out.extend_from_slice(&[
+            read_hits,
+            read_misses,
+            write_hits,
+            write_misses,
+            clean_evicts,
+            writebacks,
+            flushes,
+            mshr_misses,
+            mshr_miss_latency,
+            mshr_full_events,
+            prefetch_fills,
+            prefetch_hits,
+        ]);
+    }
+
+    /// Restores state written by [`Cache::save_state`] into a cache built
+    /// from the same configuration. Returns `None` on a truncated or
+    /// malformed stream.
+    pub(crate) fn load_state(&mut self, w: &mut std::slice::Iter<'_, u64>) -> Option<()> {
+        self.tick = *w.next()?;
+        for set in &mut self.sets {
+            for line in set {
+                let tag = *w.next()?;
+                let flags = *w.next()?;
+                let lru = *w.next()?;
+                if flags > 0b111 {
+                    return None;
+                }
+                *line = Line {
+                    tag,
+                    valid: flags & 1 != 0,
+                    dirty: flags & 2 != 0,
+                    prefetched: flags & 4 != 0,
+                    lru,
+                };
+            }
+        }
+        let n = usize::try_from(*w.next()?).ok()?;
+        self.mshr_busy_until.clear();
+        for _ in 0..n {
+            self.mshr_busy_until.push(*w.next()?);
+        }
+        let s = &mut self.stats;
+        for field in [
+            &mut s.read_hits,
+            &mut s.read_misses,
+            &mut s.write_hits,
+            &mut s.write_misses,
+            &mut s.clean_evicts,
+            &mut s.writebacks,
+            &mut s.flushes,
+            &mut s.mshr_misses,
+            &mut s.mshr_miss_latency,
+            &mut s.mshr_full_events,
+            &mut s.prefetch_fills,
+            &mut s.prefetch_hits,
+        ] {
+            *field = *w.next()?;
+        }
+        Some(())
+    }
 }
 
 #[cfg(test)]

@@ -132,6 +132,24 @@ pub struct HpcSample {
     pub values: Vec<f64>,
 }
 
+/// Interval-sampling schedule for a sampled run (SMARTS-style): between
+/// detailed sampling phases the core **fast-forwards** functionally —
+/// architectural state is exact, caches/TLBs/predictors are warmed by
+/// touch, and the out-of-order pipeline is skipped entirely.
+///
+/// The default (`warmup_instrs == 0`) disables fast-forwarding: every
+/// instruction runs on the detailed core, bit-identical to the pre-schedule
+/// behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleSchedule {
+    /// Instructions to retire on the functional fast-forward path before
+    /// each detailed phase. `0` disables fast-forwarding.
+    pub warmup_instrs: u64,
+    /// Instructions to run on the detailed core per detailed phase
+    /// (clamped to at least 1 when `warmup_instrs > 0`).
+    pub detail_instrs: u64,
+}
+
 /// Resumable sampled-execution state: everything [`Cpu::run_sampled`]
 /// used to keep on its stack, lifted into a value so callers can advance
 /// a core one sampling window at a time (see [`Cpu::begin_sampled`]).
@@ -146,6 +164,13 @@ pub struct SampledCursor {
     cycle_budget: u64,
     max_instrs: u64,
     sample_interval: u64,
+    /// Fast-forward phase length (0 = pure detailed execution).
+    warmup_instrs: u64,
+    /// Detailed phase length between fast-forward phases.
+    detail_instrs: u64,
+    /// Detailed instructions remaining before the next fast-forward phase.
+    /// Starts at 0 when a schedule is active so the run opens with warm-up.
+    detail_left: u64,
     /// Absolute counter values at the previous window boundary.
     prev_vec: Vec<f64>,
     done: bool,
@@ -187,27 +212,48 @@ impl SampledCursor {
         values: &mut [f64],
     ) -> SampledStep {
         debug_assert_eq!(values.len(), self.prev_vec.len());
-        if !self.done {
-            while !cpu.halted
-                && cpu.stats.committed_insts - self.start_committed < self.max_instrs
-                && cpu.cycle - self.start_cycle < self.cycle_budget
-            {
-                cpu.step_cycle(program);
-                if cpu.committed_since_sample >= self.sample_interval {
-                    cpu.committed_since_sample = 0;
-                    crate::hpc::hpc_vector_into(cpu, values);
-                    for (v, p) in values.iter_mut().zip(self.prev_vec.iter_mut()) {
-                        let cur = *v;
-                        *v -= *p;
-                        *p = cur;
-                    }
-                    return SampledStep::Window {
-                        instructions: cpu.stats.committed_insts,
-                        cycle: cpu.cycle,
-                    };
+        while !self.done {
+            if self.warmup_instrs > 0 && self.detail_left == 0 {
+                // Fast-forward phase: retire instructions functionally,
+                // capped by the remaining instruction budget. Counters move
+                // during warm-up (touch effects), so re-baseline the delta
+                // tracking afterwards: the next window's deltas cover only
+                // the detailed phase.
+                let used = cpu.stats.committed_insts - self.start_committed;
+                let room = self.max_instrs.saturating_sub(used);
+                if room > 0 {
+                    cpu.fast_forward(program, self.warmup_instrs.min(room));
                 }
+                crate::hpc::hpc_vector_into(cpu, &mut self.prev_vec);
+                cpu.committed_since_sample = 0;
+                self.detail_left = self.detail_instrs.max(1);
             }
-            self.done = true;
+            if cpu.halted
+                || cpu.stats.committed_insts - self.start_committed >= self.max_instrs
+                || cpu.cycle - self.start_cycle >= self.cycle_budget
+            {
+                self.done = true;
+                break;
+            }
+            let before = cpu.stats.committed_insts;
+            cpu.step_cycle(program);
+            if self.warmup_instrs > 0 {
+                let retired = cpu.stats.committed_insts - before;
+                self.detail_left = self.detail_left.saturating_sub(retired);
+            }
+            if cpu.committed_since_sample >= self.sample_interval {
+                cpu.committed_since_sample = 0;
+                crate::hpc::hpc_vector_into(cpu, values);
+                for (v, p) in values.iter_mut().zip(self.prev_vec.iter_mut()) {
+                    let cur = *v;
+                    *v -= *p;
+                    *p = cur;
+                }
+                return SampledStep::Window {
+                    instructions: cpu.stats.committed_insts,
+                    cycle: cpu.cycle,
+                };
+            }
         }
         SampledStep::Done(Box::new(self.result(cpu)))
     }
@@ -233,6 +279,64 @@ impl SampledCursor {
             regs: cpu.arch_regs,
         }
     }
+
+    /// Appends the cursor's state to a snapshot word stream (`f64` deltas
+    /// via `to_bits`, so the round trip is bitwise).
+    pub(crate) fn save_state(&self, out: &mut Vec<u64>) {
+        out.extend_from_slice(&[
+            self.start_committed,
+            self.start_cycle,
+            self.cycle_budget,
+            self.max_instrs,
+            self.sample_interval,
+            self.warmup_instrs,
+            self.detail_instrs,
+            self.detail_left,
+            self.done as u64,
+        ]);
+        out.push(self.prev_vec.len() as u64);
+        for &v in &self.prev_vec {
+            out.push(v.to_bits());
+        }
+    }
+
+    /// Rebuilds a cursor from a snapshot word stream. Returns `None` on a
+    /// truncated or malformed stream.
+    pub(crate) fn load_state(w: &mut std::slice::Iter<'_, u64>) -> Option<SampledCursor> {
+        let start_committed = *w.next()?;
+        let start_cycle = *w.next()?;
+        let cycle_budget = *w.next()?;
+        let max_instrs = *w.next()?;
+        let sample_interval = *w.next()?;
+        let warmup_instrs = *w.next()?;
+        let detail_instrs = *w.next()?;
+        let detail_left = *w.next()?;
+        let done = match *w.next()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let n = usize::try_from(*w.next()?).ok()?;
+        if n != crate::hpc::hpc_dim() {
+            return None;
+        }
+        let mut prev_vec = Vec::with_capacity(n);
+        for _ in 0..n {
+            prev_vec.push(f64::from_bits(*w.next()?));
+        }
+        Some(SampledCursor {
+            start_committed,
+            start_cycle,
+            cycle_budget,
+            max_instrs,
+            sample_interval,
+            warmup_instrs,
+            detail_instrs,
+            detail_left,
+            prev_vec,
+            done,
+        })
+    }
 }
 
 /// Scheduler-core activity counters, maintained by the event-driven
@@ -256,6 +360,11 @@ pub struct SchedCounters {
 }
 
 /// The simulated core.
+///
+/// `Clone` forks the complete core (architectural + microarchitectural
+/// state): a restored warm template can be cloned per tenant stream far
+/// cheaper than re-parsing its snapshot word stream.
+#[derive(Clone)]
 pub struct Cpu {
     cfg: CpuConfig,
     mitigation: MitigationMode,
@@ -265,6 +374,11 @@ pub struct Cpu {
     reg_producer: [Option<u64>; 32],
     rob: VecDeque<RobEntry>,
     fetch_pc: usize,
+    /// Architectural (committed) program counter: the pc the next committed
+    /// instruction will execute at. Maintained at commit so the core can be
+    /// quiesced (pipeline drained, fetch rolled back here) for snapshots and
+    /// functional fast-forwarding.
+    arch_pc: usize,
     fetch_buffer: VecDeque<FetchedInstr>,
     fetch_stall_until: u64,
     fetch_parked: bool,
@@ -374,6 +488,7 @@ impl Cpu {
             reg_producer: [None; 32],
             rob: VecDeque::with_capacity(cfg.rob_entries),
             fetch_pc: 0,
+            arch_pc: 0,
             fetch_buffer: VecDeque::new(),
             fetch_stall_until: 0,
             fetch_parked: false,
@@ -560,8 +675,23 @@ impl Cpu {
     /// `run*`/`begin_sampled` call on the same core yields unspecified
     /// (but memory-safe) results.
     pub fn begin_sampled(&mut self, max_instrs: u64, sample_interval: u64) -> SampledCursor {
+        self.begin_sampled_with_schedule(max_instrs, sample_interval, SampleSchedule::default())
+    }
+
+    /// [`Cpu::begin_sampled`] with an interval-sampling schedule: the cursor
+    /// alternates functional fast-forward phases (`schedule.warmup_instrs`)
+    /// with detailed phases (`schedule.detail_instrs`), opening with a
+    /// warm-up. A zero `warmup_instrs` reduces to plain `begin_sampled` —
+    /// bit-identical, not merely equivalent.
+    pub fn begin_sampled_with_schedule(
+        &mut self,
+        max_instrs: u64,
+        sample_interval: u64,
+        schedule: SampleSchedule,
+    ) -> SampledCursor {
         let start_committed = self.stats.committed_insts;
-        self.reset_front_end();
+        self.arch_pc = 0;
+        self.reset_front_end_at(0);
         let dim = crate::hpc::hpc_dim();
         let mut prev_vec = vec![0.0f64; dim];
         crate::hpc::hpc_vector_into(self, &mut prev_vec);
@@ -574,13 +704,63 @@ impl Cpu {
             cycle_budget,
             max_instrs,
             sample_interval,
+            warmup_instrs: schedule.warmup_instrs,
+            detail_instrs: schedule.detail_instrs,
+            detail_left: 0,
             prev_vec,
             done: false,
         }
     }
 
-    fn reset_front_end(&mut self) {
-        self.fetch_pc = 0;
+    /// [`Cpu::run_sampled`] under an interval-sampling schedule (see
+    /// [`SampleSchedule`]). Sampling windows close only during detailed
+    /// phases; fast-forward phases re-baseline the counter deltas.
+    pub fn run_sampled_with_schedule(
+        &mut self,
+        program: &Program,
+        max_instrs: u64,
+        sample_interval: u64,
+        schedule: SampleSchedule,
+        mut on_sample: impl FnMut(HpcSample) -> Option<MitigationMode>,
+    ) -> RunResult {
+        let mut cursor = self.begin_sampled_with_schedule(max_instrs, sample_interval, schedule);
+        let dim = crate::hpc::hpc_dim();
+        loop {
+            let mut values = vec![0.0f64; dim];
+            match cursor.next_window_into(self, program, &mut values) {
+                SampledStep::Window {
+                    instructions,
+                    cycle,
+                } => {
+                    let sample = HpcSample {
+                        instructions,
+                        cycle,
+                        values,
+                    };
+                    if let Some(mode) = on_sample(sample) {
+                        self.set_mitigation(mode);
+                    }
+                }
+                SampledStep::Done(result) => return *result,
+            }
+        }
+    }
+
+    /// Drains all in-flight (speculative) pipeline state and rolls fetch
+    /// back to the architectural pc, preserving the halted flag. After a
+    /// quiesce the core's observable state is purely architectural +
+    /// warm-microarchitectural — the precondition for [`Cpu::snapshot`] and
+    /// [`Cpu::fast_forward`]. Quiescing an already-quiet core is a no-op in
+    /// effect (idempotent at a given cycle).
+    pub fn quiesce(&mut self) {
+        let halted = self.halted;
+        let pc = self.arch_pc;
+        self.reset_front_end_at(pc);
+        self.halted = halted;
+    }
+
+    fn reset_front_end_at(&mut self, pc: usize) {
+        self.fetch_pc = pc;
         self.fetch_buffer.clear();
         self.rob.clear();
         self.reg_producer = [None; 32];
@@ -1448,6 +1628,9 @@ impl Cpu {
             }
             Op::JmpInd { base } => {
                 let target = self.read_operand(idx, base).expect("ready") as usize;
+                // Record the resolved target as the (otherwise unused)
+                // result so commit can track the architectural pc.
+                result = target as u64;
                 self.btb.update(pc, target);
                 self.resolve_control(idx, target, true);
             }
@@ -2062,6 +2245,9 @@ impl Cpu {
                 let actual = self.arch_ret_stack.pop().unwrap_or(head_pc + 1);
                 let head_mut = self.rob.front_mut().expect("head");
                 head_mut.resolved = true;
+                // Record the actual return target as the (otherwise unused)
+                // result so commit can track the architectural pc.
+                head_mut.result = actual as u64;
                 self.unresolved_ctrl.retain(|&s| s != seq);
                 if predicted != actual {
                     self.stats.iew_branch_mispredicts += 1;
@@ -2077,6 +2263,7 @@ impl Cpu {
             if head_fault {
                 self.stats.faults_raised += 1;
                 let handler = program.fault_handler().unwrap_or(head_pc + 1);
+                self.arch_pc = handler;
                 // Squash everything *including* the faulting instruction
                 // (its seq is greater than seq-1, so the tail squash removes
                 // it too) and redirect to the handler.
@@ -2109,6 +2296,20 @@ impl Cpu {
         }
         self.stats.committed_insts += 1;
         self.committed_since_sample += 1;
+        // Track the architectural pc: where the next committed instruction
+        // executes. Control ops stashed their resolved target in `result`.
+        self.arch_pc = match e.op {
+            Op::Branch { target, .. } => {
+                if e.result != 0 {
+                    target
+                } else {
+                    e.pc + 1
+                }
+            }
+            Op::Jmp { target } | Op::Call { target } => target,
+            Op::JmpInd { .. } | Op::Ret => e.result as usize,
+            _ => e.pc + 1,
+        };
         if let Some(dst) = e.op.dst() {
             if dst != Reg::ZERO {
                 self.arch_regs[dst.index()] = e.result;
@@ -2191,4 +2392,420 @@ impl Cpu {
     pub fn reseed(&mut self, rng: &mut impl Rng) {
         self.rng_state = rng.gen::<u64>() | 1;
     }
+
+    // ------------------------------------------------------------------
+    // Functional fast-forward
+    // ------------------------------------------------------------------
+
+    /// The architectural (committed) program counter.
+    pub fn arch_pc(&self) -> usize {
+        self.arch_pc
+    }
+
+    /// Retires up to `max_instrs` instructions on the **functional** path:
+    /// architectural state (registers, memory, return stack, RNG, arch pc)
+    /// is updated exactly as the detailed core would at commit, while
+    /// caches, TLBs, the branch predictor, BTB, RAS and DRAM are warmed by
+    /// touch — no out-of-order pipeline, no speculation, no wrong-path
+    /// execution. Cycle accounting is approximate (one cycle per
+    /// instruction plus memory latencies).
+    ///
+    /// The core is quiesced first (in-flight speculative work discarded).
+    /// Running off the end of the program stops without halting; committing
+    /// `Halt` sets the halted flag. Returns the number of instructions
+    /// retired.
+    ///
+    /// `stats.committed_insts` advances (so instruction budgets account for
+    /// warm-up) but `committed_since_sample` does not: sampling windows
+    /// never close inside a fast-forward phase.
+    pub fn fast_forward(&mut self, program: &Program, max_instrs: u64) -> u64 {
+        self.quiesce();
+        let iline_shift = self.cfg.l1i.line.trailing_zeros();
+        let mut last_iline = u64::MAX;
+        let mut retired = 0u64;
+        while retired < max_instrs && !self.halted {
+            let pc = self.arch_pc;
+            let Some(op) = program.fetch(pc) else {
+                // Ran off the program: architecturally there is nothing
+                // left to execute, but the program did not halt.
+                break;
+            };
+            let mut extra = 0u64;
+            // I-side touch, once per line transition.
+            let iaddr = CODE_BASE + pc as u64 * INSTR_BYTES;
+            let iline = iaddr >> iline_shift;
+            if iline != last_iline {
+                last_iline = iline;
+                extra += self.fetch_line_latency(iaddr) as u64;
+            }
+            let mut next_pc = pc + 1;
+            match op {
+                Op::Nop | Op::Fence => {}
+                Op::Li { dst, imm } => self.write_arch_reg(dst, imm),
+                Op::Alu {
+                    op: a,
+                    dst,
+                    a: ra,
+                    b: rb,
+                } => {
+                    let v = a.eval(self.arch_regs[ra.index()], self.arch_regs[rb.index()]);
+                    self.write_arch_reg(dst, v);
+                    extra += a.latency() as u64 - 1;
+                }
+                Op::AluImm {
+                    op: a,
+                    dst,
+                    a: ra,
+                    imm,
+                } => {
+                    let v = a.eval(self.arch_regs[ra.index()], imm);
+                    self.write_arch_reg(dst, v);
+                    extra += a.latency() as u64 - 1;
+                }
+                Op::RdCycle { dst } => {
+                    let c = self.cycle;
+                    self.write_arch_reg(dst, c);
+                }
+                Op::RdRand { dst } => {
+                    self.rng_state ^= self.rng_state >> 12;
+                    self.rng_state ^= self.rng_state << 25;
+                    self.rng_state ^= self.rng_state >> 27;
+                    let v = self.rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                    self.write_arch_reg(dst, v);
+                    extra += self.cfg.rdrand_latency as u64;
+                }
+                Op::Syscall => {
+                    self.kernel_noise();
+                    extra += self.cfg.syscall_latency as u64;
+                }
+                Op::Branch { cond, a, b, target } => {
+                    let taken = cond.eval(self.arch_regs[a.index()], self.arch_regs[b.index()]);
+                    // Warm the direction predictor exactly as a resolved
+                    // branch would train it.
+                    let p = self.bp.predict(pc);
+                    self.bp.update(pc, p, taken);
+                    if taken {
+                        next_pc = target;
+                    }
+                }
+                Op::Jmp { target } => next_pc = target,
+                Op::JmpInd { base } => {
+                    let target = self.arch_regs[base.index()] as usize;
+                    self.btb.update(pc, target);
+                    next_pc = target;
+                }
+                Op::Call { target } => {
+                    self.ras.push(pc + 1);
+                    self.arch_ret_stack.push(pc + 1);
+                    next_pc = target;
+                }
+                Op::Ret => {
+                    let _ = self.ras.pop();
+                    next_pc = self.arch_ret_stack.pop().unwrap_or(pc + 1);
+                }
+                Op::Load { dst, base, offset } => {
+                    let addr = self.arch_regs[base.index()].wrapping_add(offset as u64);
+                    extra += self.touch_data(addr, false);
+                    if self.cfg.stride_prefetcher {
+                        self.stride_prefetch(pc, addr);
+                    }
+                    if self.mem.is_privileged(addr) {
+                        // Architectural fault: no destination write, redirect
+                        // to the handler (next instruction if none).
+                        next_pc = program.fault_handler().unwrap_or(pc + 1);
+                    } else {
+                        let v = self.mem.read_u64(addr);
+                        self.write_arch_reg(dst, v);
+                    }
+                }
+                Op::Store { src, base, offset } => {
+                    let addr = self.arch_regs[base.index()].wrapping_add(offset as u64);
+                    if self.mem.is_privileged(addr) {
+                        next_pc = program.fault_handler().unwrap_or(pc + 1);
+                    } else {
+                        let data = self.arch_regs[src.index()];
+                        self.mem.write_u64(addr, data);
+                        extra += self.touch_data(addr, true);
+                    }
+                }
+                Op::Flush { base, offset } => {
+                    let addr = self.arch_regs[base.index()].wrapping_add(offset as u64);
+                    self.dcache.flush_line(addr);
+                    self.l2.flush_line(addr);
+                    extra += 3;
+                }
+                Op::Prefetch { base, offset } => {
+                    let addr = self.arch_regs[base.index()].wrapping_add(offset as u64);
+                    // Prefetches never fault; mirror the detailed core's
+                    // prefetched-line fill chain.
+                    let _ = self.dtlb.access(addr, false);
+                    if !self.dcache.contains(addr) {
+                        if !self.l2.contains(addr) {
+                            let resp = self.dram.access(addr, AccessKind::Read, self.cycle);
+                            self.apply_flips_response(&resp);
+                            self.l2.fill(addr, false, true);
+                        }
+                        self.dcache.fill(addr, false, true);
+                    }
+                }
+                Op::Halt => {
+                    self.halted = true;
+                }
+            }
+            self.arch_pc = next_pc;
+            self.cycle += 1 + extra;
+            self.stats.cycles += 1 + extra;
+            self.stats.committed_insts += 1;
+            retired += 1;
+        }
+        // Fetch resumes from the new architectural pc if a detailed phase
+        // follows.
+        self.fetch_pc = self.arch_pc;
+        self.fetch_stall_until = self.cycle;
+        retired
+    }
+
+    /// Architectural register write honoring the hard-wired zero register.
+    fn write_arch_reg(&mut self, dst: Reg, value: u64) {
+        if dst != Reg::ZERO {
+            self.arch_regs[dst.index()] = value;
+        }
+    }
+
+    /// D-side touch for the fast-forward path: DTLB, then the
+    /// L1D → L2 → DRAM chain with fills — the same footprint a committed
+    /// access leaves, minus the out-of-order timing. Returns latency.
+    fn touch_data(&mut self, addr: u64, write: bool) -> u64 {
+        let mut lat = 0u64;
+        if !self.dtlb.access(addr, false) {
+            lat += self.cfg.tlb_walk_latency as u64;
+        }
+        let acc = self.dcache.access(addr, write, self.cycle);
+        if acc.hit {
+            lat += acc.latency as u64;
+        } else {
+            let l2acc = self.l2.access(addr, write, self.cycle);
+            let miss_lat = if l2acc.hit {
+                self.cfg.l2.hit_latency
+            } else {
+                let kind = if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let resp = self.dram.access(addr, kind, self.cycle);
+                self.apply_flips_response(&resp);
+                self.l2.fill(addr, write, false);
+                self.cfg.l2.hit_latency + resp.latency
+            };
+            self.dcache.fill(addr, write, false);
+            lat += (acc.latency + miss_lat) as u64;
+        }
+        lat
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Captures a checkpoint of this core: architectural state plus warm
+    /// microarchitectural state (caches, TLBs, branch predictor, BTB, RAS,
+    /// DRAM disturbance state, pipeline statistics).
+    ///
+    /// The core is **quiesced** first: in-flight speculative pipeline work
+    /// is discarded and fetch rolls back to the architectural pc, so the
+    /// snapshot needs no ROB/LSQ serialization and a restored core is
+    /// exactly this core post-quiesce.
+    pub fn snapshot(&mut self) -> crate::snapshot::Snapshot {
+        self.quiesce();
+        let mut cpu_words = Vec::new();
+        self.save_state_words(&mut cpu_words);
+        crate::snapshot::Snapshot {
+            config_fingerprint: crate::snapshot::config_fingerprint(&self.cfg),
+            cpu_words,
+            cursor_words: None,
+        }
+    }
+
+    /// [`Cpu::snapshot`] plus the state of an in-flight [`SampledCursor`],
+    /// so an interrupted sampled run can resume mid-stream with
+    /// [`Cpu::restore_with_cursor`].
+    pub fn snapshot_with_cursor(&mut self, cursor: &SampledCursor) -> crate::snapshot::Snapshot {
+        let mut snap = self.snapshot();
+        let mut cursor_words = Vec::new();
+        cursor.save_state(&mut cursor_words);
+        snap.cursor_words = Some(cursor_words);
+        snap
+    }
+
+    /// Rebuilds a core from a snapshot taken under an equal configuration.
+    ///
+    /// # Errors
+    /// [`SnapshotError::ConfigMismatch`] if `cfg` does not fingerprint-match
+    /// the snapshot; [`SnapshotError::Malformed`] if the payload is
+    /// truncated or structurally invalid.
+    ///
+    /// [`SnapshotError::ConfigMismatch`]: crate::snapshot::SnapshotError::ConfigMismatch
+    /// [`SnapshotError::Malformed`]: crate::snapshot::SnapshotError::Malformed
+    pub fn restore(
+        cfg: CpuConfig,
+        snap: &crate::snapshot::Snapshot,
+    ) -> Result<Cpu, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let expected = crate::snapshot::config_fingerprint(&cfg);
+        if expected != snap.config_fingerprint {
+            return Err(SnapshotError::ConfigMismatch {
+                expected,
+                got: snap.config_fingerprint,
+            });
+        }
+        let mut cpu = Cpu::new(cfg);
+        let mut w = snap.cpu_words.iter();
+        cpu.load_state_words(&mut w)
+            .ok_or(SnapshotError::Malformed {
+                what: "cpu state words",
+            })?;
+        if w.next().is_some() {
+            return Err(SnapshotError::Malformed {
+                what: "trailing cpu state words",
+            });
+        }
+        Ok(cpu)
+    }
+
+    /// [`Cpu::restore`] plus the [`SampledCursor`] recorded by
+    /// [`Cpu::snapshot_with_cursor`].
+    ///
+    /// # Errors
+    /// As [`Cpu::restore`]; additionally `Malformed` when the snapshot has
+    /// no cursor section or the cursor payload is invalid.
+    pub fn restore_with_cursor(
+        cfg: CpuConfig,
+        snap: &crate::snapshot::Snapshot,
+    ) -> Result<(Cpu, SampledCursor), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let cpu = Cpu::restore(cfg, snap)?;
+        let cursor_words = snap.cursor_words.as_ref().ok_or(SnapshotError::Malformed {
+            what: "snapshot has no cursor section",
+        })?;
+        let mut w = cursor_words.iter();
+        let cursor = SampledCursor::load_state(&mut w).ok_or(SnapshotError::Malformed {
+            what: "cursor state words",
+        })?;
+        if w.next().is_some() {
+            return Err(SnapshotError::Malformed {
+                what: "trailing cursor state words",
+            });
+        }
+        Ok((cpu, cursor))
+    }
+
+    /// Serializes the quiesced core into a word stream: scalars, then each
+    /// component in a fixed order. `sched_counters` is intentionally not
+    /// serialized — it is pure observability (never feeds back into
+    /// scheduling) and restarts from zero in a restored core.
+    fn save_state_words(&self, out: &mut Vec<u64>) {
+        out.extend_from_slice(&[
+            self.cycle,
+            self.next_seq,
+            self.arch_pc as u64,
+            self.halted as u64,
+            self.committed_since_sample,
+            self.rng_state,
+            self.rdrand_busy_until,
+            mitigation_index(self.mitigation),
+        ]);
+        out.extend_from_slice(&self.arch_regs);
+        out.push(self.arch_ret_stack.len() as u64);
+        for &a in &self.arch_ret_stack {
+            out.push(a as u64);
+        }
+        for &(last, stride, conf) in &self.stride_table {
+            out.extend_from_slice(&[last, stride as u64, conf as u64]);
+        }
+        self.stats.save_state(out);
+        self.bp.save_state(out);
+        self.btb.save_state(out);
+        self.ras.save_state(out);
+        self.icache.save_state(out);
+        self.dcache.save_state(out);
+        self.l2.save_state(out);
+        self.itlb.save_state(out);
+        self.dtlb.save_state(out);
+        self.dram.save_state(out);
+        self.mem.save_state(out);
+    }
+
+    /// Restores state written by [`Cpu::save_state_words`] into a freshly
+    /// constructed core, then re-quiesces the front end at the restored
+    /// architectural pc. Returns `None` on a truncated or malformed stream.
+    fn load_state_words(&mut self, w: &mut std::slice::Iter<'_, u64>) -> Option<()> {
+        self.cycle = *w.next()?;
+        self.next_seq = *w.next()?;
+        let arch_pc = usize::try_from(*w.next()?).ok()?;
+        let halted = match *w.next()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        self.committed_since_sample = *w.next()?;
+        self.rng_state = *w.next()?;
+        self.rdrand_busy_until = *w.next()?;
+        self.mitigation = mitigation_from_index(*w.next()?)?;
+        for r in &mut self.arch_regs {
+            *r = *w.next()?;
+        }
+        let n = usize::try_from(*w.next()?).ok()?;
+        self.arch_ret_stack.clear();
+        for _ in 0..n {
+            self.arch_ret_stack.push(usize::try_from(*w.next()?).ok()?);
+        }
+        for e in &mut self.stride_table {
+            let last = *w.next()?;
+            let stride = *w.next()? as i64;
+            let conf = u8::try_from(*w.next()?).ok()?;
+            if conf > 3 {
+                return None;
+            }
+            *e = (last, stride, conf);
+        }
+        self.stats.load_state(w)?;
+        self.bp.load_state(w)?;
+        self.btb.load_state(w)?;
+        self.ras.load_state(w)?;
+        self.icache.load_state(w)?;
+        self.dcache.load_state(w)?;
+        self.l2.load_state(w)?;
+        self.itlb.load_state(w)?;
+        self.dtlb.load_state(w)?;
+        self.dram.load_state(w)?;
+        self.mem.load_state(w)?;
+        self.arch_pc = arch_pc;
+        self.reset_front_end_at(arch_pc);
+        self.halted = halted;
+        Some(())
+    }
+}
+
+/// Stable on-disk index of a [`MitigationMode`] (snapshot encoding).
+fn mitigation_index(m: MitigationMode) -> u64 {
+    match m {
+        MitigationMode::None => 0,
+        MitigationMode::FenceSpectre => 1,
+        MitigationMode::FenceFuturistic => 2,
+        MitigationMode::InvisiSpecSpectre => 3,
+        MitigationMode::InvisiSpecFuturistic => 4,
+    }
+}
+
+/// Inverse of [`mitigation_index`]; `None` for out-of-range values.
+fn mitigation_from_index(i: u64) -> Option<MitigationMode> {
+    Some(match i {
+        0 => MitigationMode::None,
+        1 => MitigationMode::FenceSpectre,
+        2 => MitigationMode::FenceFuturistic,
+        3 => MitigationMode::InvisiSpecSpectre,
+        4 => MitigationMode::InvisiSpecFuturistic,
+        _ => return None,
+    })
 }

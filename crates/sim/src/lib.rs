@@ -53,14 +53,16 @@ pub mod cpu;
 pub mod hpc;
 pub mod isa;
 pub mod memory;
+pub mod snapshot;
 pub mod stats;
 pub mod tlb;
 
 pub use cache::Cache;
 pub use config::{CacheConfig, CpuConfig, MitigationMode, SchedulerKind};
-pub use cpu::{Cpu, HpcSample, RunResult, SampledCursor, SampledStep};
+pub use cpu::{Cpu, HpcSample, RunResult, SampleSchedule, SampledCursor, SampledStep};
 pub use hpc::{
     for_each_hpc, hpc_dim, hpc_index, hpc_names, hpc_vector, hpc_vector_into, HPC_BASE_DIM,
 };
 pub use isa::{Program, ProgramBuilder};
+pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::PipelineStats;

@@ -2,18 +2,69 @@
 //! range and Rowhammer bit-flip application.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use evax_dram::BitFlip;
 
 const PAGE_SIZE: u64 = 4096;
 
+/// Multiplicative hasher for page indices. Page lookups are on the hot
+/// path of every load/store (functional and detailed), where SipHash
+/// dominates; page indices are already well-distributed small integers, so
+/// a single multiply-xorshift is collision-safe enough and much cheaper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type PageIndex = HashMap<u64, u32, BuildHasherDefault<PageHasher>>;
+
+/// Sentinel page number for the empty last-lookup cache (never a real page:
+/// it would require an address above `u64::MAX`).
+const NO_PAGE: u64 = u64::MAX;
+
 /// Sparse byte-addressable memory. Reads of untouched memory return a
 /// deterministic address-derived pattern (so "secrets" exist everywhere
 /// without initialization).
-#[derive(Debug, Clone, Default)]
+///
+/// Pages live in an arena indexed by a hash map, with a one-entry
+/// last-written-page cache: stores stream through the same page, so the
+/// mutating path usually resolves with a single compare instead of a hash
+/// probe. (The cache is a plain field, not interior mutability, so shared
+/// references stay `Sync`; the read path just takes the cheap hash probe.)
+#[derive(Debug, Clone)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8]>>,
+    pages: Vec<Box<[u8]>>,
+    index: PageIndex,
+    last: (u64, u32),
     kernel_base: u64,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory {
+            pages: Vec::new(),
+            index: PageIndex::default(),
+            last: (NO_PAGE, 0),
+            kernel_base: 0,
+        }
+    }
 }
 
 impl Memory {
@@ -21,8 +72,8 @@ impl Memory {
     /// privileged.
     pub fn new(kernel_base: u64) -> Self {
         Memory {
-            pages: HashMap::new(),
             kernel_base,
+            ..Memory::default()
         }
     }
 
@@ -38,19 +89,38 @@ impl Memory {
         (h & 0xFF) as u8
     }
 
-    fn page_mut(&mut self, page: u64) -> &mut Box<[u8]> {
-        self.pages.entry(page).or_insert_with(|| {
-            let base = page * PAGE_SIZE;
-            (0..PAGE_SIZE)
-                .map(|i| Self::background_byte(base + i))
-                .collect()
-        })
+    /// Arena slot of a materialized page (consults the last-written cache;
+    /// cannot refresh it through a shared reference).
+    fn lookup(&self, page: u64) -> Option<u32> {
+        let (last_page, last_idx) = self.last;
+        if last_page == page {
+            return Some(last_idx);
+        }
+        self.index.get(&page).copied()
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8] {
+        let idx = match self.lookup(page) {
+            Some(idx) => idx,
+            None => {
+                let base = page * PAGE_SIZE;
+                let bytes: Box<[u8]> = (0..PAGE_SIZE)
+                    .map(|i| Self::background_byte(base + i))
+                    .collect();
+                let idx = u32::try_from(self.pages.len()).expect("page arena overflow");
+                self.pages.push(bytes);
+                self.index.insert(page, idx);
+                idx
+            }
+        };
+        self.last = (page, idx);
+        &mut self.pages[idx as usize]
     }
 
     /// Reads one byte.
     pub fn read_u8(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr / PAGE_SIZE)) {
-            Some(p) => p[(addr % PAGE_SIZE) as usize],
+        match self.lookup(addr / PAGE_SIZE) {
+            Some(idx) => self.pages[idx as usize][(addr % PAGE_SIZE) as usize],
             None => Self::background_byte(addr),
         }
     }
@@ -61,8 +131,26 @@ impl Memory {
         self.page_mut(addr / PAGE_SIZE)[off] = value;
     }
 
-    /// Reads a little-endian `u64`.
+    /// Reads a little-endian `u64`. Single page lookup when the word does
+    /// not straddle a page boundary (the overwhelmingly common case).
     pub fn read_u64(&self, addr: u64) -> u64 {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            match self.lookup(addr / PAGE_SIZE) {
+                Some(idx) => {
+                    let mut word = [0u8; 8];
+                    word.copy_from_slice(&self.pages[idx as usize][off..off + 8]);
+                    return u64::from_le_bytes(word);
+                }
+                None => {
+                    let mut v = 0u64;
+                    for i in 0..8 {
+                        v |= (Self::background_byte(addr.wrapping_add(i)) as u64) << (8 * i);
+                    }
+                    return v;
+                }
+            }
+        }
         let mut v = 0u64;
         for i in 0..8 {
             v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
@@ -70,8 +158,15 @@ impl Memory {
         v
     }
 
-    /// Writes a little-endian `u64`.
+    /// Writes a little-endian `u64`. Single page lookup when the word does
+    /// not straddle a page boundary.
     pub fn write_u64(&mut self, addr: u64, value: u64) {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            let page = self.page_mut(addr / PAGE_SIZE);
+            page[off..off + 8].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         for i in 0..8 {
             self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
         }
@@ -85,6 +180,44 @@ impl Memory {
         let old = self.read_u8(addr);
         self.write_u8(addr, old ^ (1 << flip.bit));
         addr
+    }
+
+    /// Appends every materialized page (sorted by page index, so the byte
+    /// stream is independent of `HashMap` iteration order) to a snapshot
+    /// word stream. Untouched pages are omitted — they regenerate from the
+    /// deterministic background pattern on demand.
+    pub(crate) fn save_state(&self, out: &mut Vec<u64>) {
+        let mut indices: Vec<(u64, u32)> = self.index.iter().map(|(&p, &i)| (p, i)).collect();
+        indices.sort_unstable();
+        out.push(indices.len() as u64);
+        for (page, idx) in indices {
+            out.push(page);
+            for chunk in self.pages[idx as usize].chunks_exact(8) {
+                let mut word = [0u8; 8];
+                word.copy_from_slice(chunk);
+                out.push(u64::from_le_bytes(word));
+            }
+        }
+    }
+
+    /// Restores state written by [`Memory::save_state`], replacing all
+    /// materialized pages. Returns `None` on a truncated stream.
+    pub(crate) fn load_state(&mut self, w: &mut std::slice::Iter<'_, u64>) -> Option<()> {
+        let n = usize::try_from(*w.next()?).ok()?;
+        self.pages.clear();
+        self.index.clear();
+        self.last = (NO_PAGE, 0);
+        for _ in 0..n {
+            let page = *w.next()?;
+            let mut bytes = vec![0u8; PAGE_SIZE as usize];
+            for chunk in bytes.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&w.next()?.to_le_bytes());
+            }
+            let idx = u32::try_from(self.pages.len()).ok()?;
+            self.pages.push(bytes.into_boxed_slice());
+            self.index.insert(page, idx);
+        }
+        Some(())
     }
 }
 

@@ -168,7 +168,97 @@ pub struct PipelineStats {
     pub syscalls: u64,
 }
 
+/// Applies a macro to every [`PipelineStats`] field, in declaration order —
+/// the single list the snapshot word-codec derives from, so adding a field
+/// here keeps serialization in sync by construction.
+macro_rules! pipeline_stats_fields {
+    ($m:ident) => {
+        $m!(
+            cycles,
+            committed_insts,
+            fetch_insts,
+            fetch_branches,
+            fetch_predicted_taken,
+            fetch_squash_cycles,
+            fetch_icache_stall_cycles,
+            fetch_blocked_cycles,
+            fetch_idle_cycles,
+            fetch_pending_quiesce_stall_cycles,
+            rename_renamed_insts,
+            rename_rob_full_events,
+            rename_iq_full_events,
+            rename_lq_full_events,
+            rename_sq_full_events,
+            rename_full_registers_events,
+            rename_serializing_insts,
+            rename_undone_maps,
+            rename_committed_maps,
+            iq_issued_insts,
+            iq_squashed_insts_issued,
+            iq_squashed_non_spec_ld,
+            iq_operand_stall_cycles,
+            iq_fu_stall_cycles,
+            iew_executed_insts,
+            iew_exec_squashed_insts,
+            iew_exec_load_insts,
+            iew_exec_store_insts,
+            iew_mem_order_violations,
+            iew_branch_mispredicts,
+            iew_predicted_taken_incorrect,
+            iew_predicted_not_taken_incorrect,
+            lsq_forw_loads,
+            lsq_squashed_loads,
+            lsq_squashed_stores,
+            lsq_ignored_responses,
+            lsq_rescheduled_loads,
+            lsq_cache_blocked_loads,
+            lsq_false_forwards,
+            commit_squashed_insts,
+            commit_branches,
+            commit_loads,
+            commit_stores,
+            commit_membars,
+            commit_rob_squashing_cycles,
+            commit_expose_stall_cycles,
+            bp_cond_predicted,
+            bp_cond_incorrect,
+            bp_btb_lookups,
+            bp_btb_hits,
+            bp_indirect_mispredicted,
+            bp_used_ras,
+            bp_ras_incorrect,
+            faults_raised,
+            faults_deferred_with_data,
+            faults_squashed,
+            spec_insts_added,
+            spec_loads_executed,
+            spec_window_cycles,
+            rdrand_ops,
+            rdrand_contention_cycles,
+            syscalls,
+        );
+    };
+}
+
 impl PipelineStats {
+    /// Appends every counter to the snapshot word stream, in field order.
+    pub(crate) fn save_state(&self, out: &mut Vec<u64>) {
+        macro_rules! push {
+            ($($f:ident),* $(,)?) => { $( out.push(self.$f); )* };
+        }
+        pipeline_stats_fields!(push);
+    }
+
+    /// Reads every counter back from a snapshot word stream. Returns `None`
+    /// if the stream runs out.
+    pub(crate) fn load_state(&mut self, w: &mut std::slice::Iter<'_, u64>) -> Option<()> {
+        macro_rules! pull {
+            ($($f:ident),* $(,)?) => { $( self.$f = *w.next()?; )* };
+        }
+        pipeline_stats_fields!(pull);
+        Some(())
+    }
+
     /// Instructions per cycle over the whole run.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -205,6 +295,26 @@ mod tests {
             ..Default::default()
         };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_words_round_trip() {
+        let s = PipelineStats {
+            cycles: 1,
+            committed_insts: 2,
+            lsq_false_forwards: 3,
+            syscalls: 4,
+            ..Default::default()
+        };
+        let mut words = Vec::new();
+        s.save_state(&mut words);
+        let mut back = PipelineStats::default();
+        back.load_state(&mut words.iter()).expect("enough words");
+        assert_eq!(back, s);
+        // Truncated streams are rejected, not half-applied silently.
+        assert!(back
+            .load_state(&mut words[..words.len() - 1].iter())
+            .is_none());
     }
 
     #[test]

@@ -51,8 +51,12 @@ impl Tlb {
     pub fn access(&mut self, addr: u64, write: bool) -> bool {
         self.tick += 1;
         let page = addr >> PAGE_SHIFT;
-        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
-            e.1 = self.tick;
+        if let Some(i) = self.entries.iter().position(|(p, _)| *p == page) {
+            self.entries[i].1 = self.tick;
+            // Move-to-front so the hot page is found in one comparison.
+            // Vec order carries no semantics: hits match any position,
+            // eviction picks the minimum (unique) LRU stamp.
+            self.entries.swap(0, i);
             if write {
                 self.stats.wr_hits += 1;
             } else {
@@ -89,6 +93,52 @@ impl Tlb {
     pub fn flush(&mut self) {
         self.stats.evictions += self.entries.len() as u64;
         self.entries.clear();
+    }
+
+    /// Appends the TLB state (entries with LRU stamps, clock, statistics) to
+    /// a snapshot word stream. Capacity comes from construction.
+    pub(crate) fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.tick);
+        out.push(self.entries.len() as u64);
+        for &(page, lru) in &self.entries {
+            out.push(page);
+            out.push(lru);
+        }
+        let TlbStats {
+            rd_hits,
+            rd_misses,
+            wr_hits,
+            wr_misses,
+            evictions,
+        } = self.stats.clone();
+        out.extend_from_slice(&[rd_hits, rd_misses, wr_hits, wr_misses, evictions]);
+    }
+
+    /// Restores state written by [`Tlb::save_state`]. Returns `None` on a
+    /// truncated stream or an entry count beyond this TLB's capacity.
+    pub(crate) fn load_state(&mut self, w: &mut std::slice::Iter<'_, u64>) -> Option<()> {
+        self.tick = *w.next()?;
+        let n = usize::try_from(*w.next()?).ok()?;
+        if n > self.capacity {
+            return None;
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let page = *w.next()?;
+            let lru = *w.next()?;
+            self.entries.push((page, lru));
+        }
+        let s = &mut self.stats;
+        for field in [
+            &mut s.rd_hits,
+            &mut s.rd_misses,
+            &mut s.wr_hits,
+            &mut s.wr_misses,
+            &mut s.evictions,
+        ] {
+            *field = *w.next()?;
+        }
+        Some(())
     }
 }
 

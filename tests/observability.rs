@@ -14,6 +14,7 @@ fn small_collect(parallelism: Parallelism) -> CollectConfig {
         max_instrs: 3_000,
         benign_scale: 3_000,
         parallelism,
+        ..Default::default()
     }
 }
 
