@@ -41,11 +41,16 @@ pub mod common;
 pub mod compose;
 pub mod covert;
 pub mod dram_attacks;
+pub mod evasion;
 pub mod mds;
 pub mod registry;
 pub mod spectre;
 
 pub use common::KernelParams;
+pub use evasion::{
+    build_evasive_attack, evasive_params, generate_evasive_programs, EvasionStrategy,
+    WeightProfile, EVASION_STRATEGIES,
+};
 pub use registry::{
     build_attack, build_benign, AttackClass, BenignKind, ATTACK_CLASSES, BENIGN_KINDS,
 };

@@ -1,0 +1,439 @@
+//! Adversarial arms race benchmark (`BENCH_armsrace.json`): multi-round
+//! attack ↔ vaccinate loop over the unified detector abstraction.
+//!
+//! Each round the adversary reads the deployed baseline's weight vector
+//! and generates evasive variants ([`evax_attacks::evasion`]: benign
+//! padding, rate modulation, weight-guided targeting) at escalating
+//! intensity; the defender measures per-window detection for every
+//! deployed variant (plain perceptron, 9-bit quantized, stochastic
+//! jitter, majority-vote ensemble), then re-vaccinates on the accumulated
+//! evasive windows and measures again. The artifact records
+//! detection-rate-vs-round per variant, both *pre*-adaptation (the
+//! adversary's win) and *post*-adaptation (the vaccine's recovery).
+//!
+//! Every rate is an exact `(hits, total)` integer pair produced by the
+//! trait-level batched drain ([`evax_nn::Detector::classify_rows_into`]).
+//! Each evaluation runs at 1, 4 and 16 kernel threads and asserts
+//! identical counts; the report's `verdict_digest` folds every pair in
+//! canonical order, so two runs with the same seed are byte-comparable.
+
+use evax_attacks::{generate_evasive_programs, EVASION_STRATEGIES};
+use evax_core::collect::{collect_dataset, collect_program, CollectConfig};
+use evax_core::gan::AmGanConfig;
+use evax_core::par::{self, Parallelism};
+use evax_core::pipeline::StageTimings;
+use evax_core::prelude::{
+    vaccinate_ensemble, Dataset, DetectorScratch, Ensemble, ModelDetector, Normalizer,
+    StochasticDetector, TrainConfig, Vaccination,
+};
+use evax_nn::QuantLinear;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arms-race benchmark configuration (CLI-shaped).
+#[derive(Debug, Clone)]
+pub struct ArmsRaceConfig {
+    /// Master seed: training corpus, vaccination, evasion generation.
+    pub seed: u64,
+    /// Attack ↔ vaccinate rounds.
+    pub rounds: usize,
+    /// Evasive programs generated per strategy per round.
+    pub programs_per_strategy: usize,
+    /// Majority-vote committee size.
+    pub members: usize,
+    /// Stochastic detector jitter magnitude.
+    pub jitter: f32,
+    /// CI-scale run: 2 rounds, small corpus, short GAN schedule.
+    pub smoke: bool,
+}
+
+impl Default for ArmsRaceConfig {
+    fn default() -> Self {
+        ArmsRaceConfig {
+            seed: 42,
+            rounds: 4,
+            programs_per_strategy: 4,
+            members: 3,
+            jitter: 0.03,
+            smoke: false,
+        }
+    }
+}
+
+impl ArmsRaceConfig {
+    /// The CI configuration: 2 rounds over a small corpus.
+    pub fn smoke(seed: u64) -> ArmsRaceConfig {
+        ArmsRaceConfig {
+            seed,
+            rounds: 2,
+            programs_per_strategy: 2,
+            smoke: true,
+            ..ArmsRaceConfig::default()
+        }
+    }
+}
+
+/// An exact detection count: windows flagged over windows scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rate {
+    /// Windows the variant flagged malicious.
+    pub hits: u64,
+    /// Windows scored.
+    pub total: u64,
+}
+
+impl Rate {
+    /// `hits / total` (0 on an empty corpus).
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+/// One value per deployed detector variant.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PerVariant<T> {
+    /// The plain vaccinated perceptron.
+    pub baseline: T,
+    /// The 9-bit integer deployment of the same weights.
+    pub quant: T,
+    /// Seeded inference-time weight/threshold jitter.
+    pub stochastic: T,
+    /// Majority-vote committee over independent vaccination draws.
+    pub ensemble: T,
+}
+
+impl<T> PerVariant<T> {
+    /// `(name, value)` pairs in canonical order.
+    pub fn named(&self) -> [(&'static str, &T); 4] {
+        [
+            ("baseline", &self.baseline),
+            ("quant", &self.quant),
+            ("stochastic", &self.stochastic),
+            ("ensemble", &self.ensemble),
+        ]
+    }
+}
+
+/// One arms-race round.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// 1-based round number (doubles as the evasion intensity).
+    pub round: u32,
+    /// Windows in this round's evasive corpus.
+    pub windows: u64,
+    /// Detection on the fresh evasive corpus, *before* re-vaccination —
+    /// the adversary's move.
+    pub pre: PerVariant<Rate>,
+    /// Detection on the same corpus after re-vaccinating on all evasive
+    /// windows observed so far — the defender's move.
+    pub post: PerVariant<Rate>,
+}
+
+/// The full benchmark artifact.
+#[derive(Debug, Clone)]
+pub struct ArmsRaceReport {
+    /// The configuration the run used.
+    pub config: ArmsRaceConfig,
+    /// Detection on the clean (non-evasive) attack corpus, round 0.
+    pub clean: PerVariant<Rate>,
+    /// False positives on the clean benign corpus, round 0.
+    pub clean_fp: PerVariant<Rate>,
+    /// Per-round detection trajectories.
+    pub rounds: Vec<RoundReport>,
+    /// FNV-1a over every `(hits, total)` pair in canonical order —
+    /// identical at 1/4/16 kernel threads by construction (each
+    /// evaluation asserts it) and across same-seed runs.
+    pub verdict_digest: String,
+}
+
+/// The defender's deployed variants for one round, all views of (or
+/// committees over) one vaccination's extended-feature space.
+struct Deployment {
+    vac: Vaccination,
+    quant: QuantLinear,
+    stochastic: StochasticDetector,
+    ensemble: Ensemble,
+}
+
+impl Deployment {
+    fn train(train: &Dataset, cfg: &ArmsRaceConfig, round: u64) -> Deployment {
+        let gan_cfg = if cfg.smoke {
+            AmGanConfig {
+                epochs: 3,
+                ..AmGanConfig::small()
+            }
+        } else {
+            AmGanConfig::small()
+        };
+        let (augment_per_class, augment_benign) = if cfg.smoke { (20, 60) } else { (60, 200) };
+        // Each round's vaccination stream derives from the master seed and
+        // the round index alone, so the race replays identically no matter
+        // how earlier rounds were evaluated.
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(round * 0x9E37_79B9));
+        let mut timings = StageTimings::default();
+        let (vac, ensemble) = vaccinate_ensemble(
+            train,
+            &gan_cfg,
+            &TrainConfig::default(),
+            augment_per_class,
+            augment_benign,
+            cfg.members,
+            &mut rng,
+            &mut timings,
+        );
+        let quant = vac.detector.quantize_linear();
+        let stochastic = vac.harden_stochastic(cfg.seed ^ 0x570C_4A57, cfg.jitter);
+        Deployment {
+            vac,
+            quant,
+            stochastic,
+            ensemble,
+        }
+    }
+
+    /// Detection counts for every variant on `ds` (filtered to malicious
+    /// or benign samples), via the trait-level batched drain, pinned
+    /// identical at 1/4/16 kernel threads.
+    fn measure(&self, ds: &Dataset, malicious: bool) -> PerVariant<Rate> {
+        let det = &self.vac.detector;
+        let dim = det.extended_dim();
+        let mut matrix = Vec::new();
+        let mut ext = Vec::with_capacity(dim);
+        let mut n = 0usize;
+        for s in ds.samples.iter().filter(|s| s.malicious == malicious) {
+            det.transform_into(&s.features, &mut ext);
+            matrix.extend_from_slice(&ext);
+            n += 1;
+        }
+        let drain = |model: &dyn ModelDetector| -> Rate {
+            let mut counts = [0u64; 3];
+            for (i, threads) in [1usize, 4, 16].into_iter().enumerate() {
+                let mut scratch = DetectorScratch::new();
+                let mut scores = vec![0.0f32; n];
+                let mut verdicts = vec![false; n];
+                model.classify_rows_into(
+                    &matrix,
+                    threads,
+                    &mut scratch,
+                    &mut scores,
+                    &mut verdicts,
+                );
+                counts[i] = verdicts.iter().filter(|&&v| v).count() as u64;
+            }
+            assert!(
+                counts[0] == counts[1] && counts[1] == counts[2],
+                "{}: verdict counts diverged across kernel threads: {counts:?}",
+                model.kind()
+            );
+            Rate {
+                hits: counts[0],
+                total: n as u64,
+            }
+        };
+        PerVariant {
+            baseline: drain(det),
+            quant: drain(&self.quant),
+            stochastic: drain(&self.stochastic),
+            ensemble: drain(&self.ensemble),
+        }
+    }
+}
+
+fn fnv1a(digest: &mut u64, rates: &PerVariant<Rate>) {
+    for (_, r) in rates.named() {
+        for b in r
+            .hits
+            .to_le_bytes()
+            .into_iter()
+            .chain(r.total.to_le_bytes())
+        {
+            *digest ^= b as u64;
+            *digest = digest.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+fn small_collect(smoke: bool) -> CollectConfig {
+    CollectConfig {
+        interval: 200,
+        runs_per_attack: 1,
+        runs_per_benign: 1,
+        max_instrs: if smoke { 3_000 } else { 4_000 },
+        benign_scale: 3_000,
+        ..Default::default()
+    }
+}
+
+/// Simulates one round's evasive corpus against the deployed baseline's
+/// (stolen) weight vector. Program generation is serial and canonical;
+/// simulation fans out per program and merges back in order.
+fn evasive_corpus(
+    deploy: &Deployment,
+    round: u32,
+    cfg: &ArmsRaceConfig,
+    collect: &CollectConfig,
+    norm: &Normalizer,
+) -> Dataset {
+    let weights = deploy.vac.detector.perceptron().weights();
+    let mut programs = Vec::new();
+    for (si, &strategy) in EVASION_STRATEGIES.iter().enumerate() {
+        programs.extend(generate_evasive_programs(
+            strategy,
+            cfg.programs_per_strategy,
+            weights,
+            round,
+            cfg.seed
+                .wrapping_add(round as u64 * 0x5DEE_CE66)
+                .wrapping_add(si as u64 * 7919),
+        ));
+    }
+    let per_program = par::map(Parallelism::Auto, &programs, |(program, class)| {
+        collect_program(program, class.label(), collect, norm)
+    });
+    let mut ds = Dataset::new();
+    for s in per_program.into_iter().flatten() {
+        ds.push(s);
+    }
+    ds
+}
+
+/// Runs the full arms race.
+pub fn run_arms_race(cfg: &ArmsRaceConfig) -> ArmsRaceReport {
+    assert!(cfg.rounds > 0, "the race needs at least one round");
+    let collect = small_collect(cfg.smoke);
+    eprintln!("[armsrace] collecting training + clean evaluation corpora...");
+    let (train, norm) = collect_dataset(&collect, cfg.seed);
+    // The clean evaluation corpus is a disjoint draw: same workload
+    // registry, different seed, never trained on.
+    let (clean_eval, _) = collect_dataset(&collect, cfg.seed ^ 0xC1EA_11E5);
+
+    eprintln!("[armsrace] round 0: vaccinating the initial deployment...");
+    let mut deploy = Deployment::train(&train, cfg, 0);
+    let clean = deploy.measure(&clean_eval, true);
+    let clean_fp = deploy.measure(&clean_eval, false);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a(&mut digest, &clean);
+    fnv1a(&mut digest, &clean_fp);
+
+    let mut accumulated = train.clone();
+    let mut rounds = Vec::with_capacity(cfg.rounds);
+    for round in 1..=cfg.rounds as u32 {
+        eprintln!("[armsrace] round {round}: adversary generates evasive corpus...");
+        let corpus = evasive_corpus(&deploy, round, cfg, &collect, &norm);
+        let pre = deploy.measure(&corpus, true);
+        fnv1a(&mut digest, &pre);
+
+        eprintln!(
+            "[armsrace] round {round}: baseline pre-adaptation detection {:.3} \
+             ({}/{} windows); re-vaccinating...",
+            pre.baseline.rate(),
+            pre.baseline.hits,
+            pre.baseline.total
+        );
+        for s in &corpus.samples {
+            accumulated.push(s.clone());
+        }
+        deploy = Deployment::train(&accumulated, cfg, round as u64);
+        let post = deploy.measure(&corpus, true);
+        fnv1a(&mut digest, &post);
+
+        rounds.push(RoundReport {
+            round,
+            windows: pre.baseline.total,
+            pre,
+            post,
+        });
+    }
+
+    ArmsRaceReport {
+        config: cfg.clone(),
+        clean,
+        clean_fp,
+        rounds,
+        verdict_digest: format!("{digest:016x}"),
+    }
+}
+
+impl ArmsRaceReport {
+    /// Relative round-1 drop in baseline detection vs the clean corpus
+    /// (the acceptance criterion's adversary side).
+    pub fn round1_baseline_drop(&self) -> f64 {
+        let clean = self.clean.baseline.rate();
+        if clean <= 0.0 {
+            return 0.0;
+        }
+        (clean - self.rounds[0].pre.baseline.rate()) / clean
+    }
+
+    /// Smallest final-round gap to clean-corpus detection over the
+    /// hardened variants (stochastic, ensemble), post-adaptation. Negative
+    /// means a hardened variant beats its clean-corpus rate.
+    pub fn final_best_hardened_gap(&self) -> f64 {
+        let last = self.rounds.last().expect("at least one round");
+        let stoch = self.clean.stochastic.rate() - last.post.stochastic.rate();
+        let ens = self.clean.ensemble.rate() - last.post.ensemble.rate();
+        stoch.min(ens)
+    }
+
+    /// Renders `BENCH_armsrace.json`.
+    pub fn to_json(&self) -> String {
+        fn variant_json(v: &PerVariant<Rate>) -> String {
+            let fields: Vec<String> = v
+                .named()
+                .iter()
+                .map(|(name, r)| {
+                    format!(
+                        "\"{name}\": {{\"hits\": {}, \"total\": {}, \"rate\": {:.4}}}",
+                        r.hits,
+                        r.total,
+                        r.rate()
+                    )
+                })
+                .collect();
+            format!("{{{}}}", fields.join(", "))
+        }
+        let rounds: Vec<String> = self
+            .rounds
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"round\": {}, \"windows\": {},\n     \"pre\": {},\n     \"post\": {}}}",
+                    r.round,
+                    r.windows,
+                    variant_json(&r.pre),
+                    variant_json(&r.post)
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"seed\": {}, \"rounds\": {}, \"programs_per_strategy\": {}, \
+             \"members\": {}, \"jitter\": {}, \"smoke\": {},\n  \
+             \"strategies\": [\"benign_padding\", \"rate_modulation\", \"weight_guided\"],\n  \
+             \"clean\": {},\n  \"clean_false_positives\": {},\n  \"race\": [\n{}\n  ],\n  \
+             \"acceptance\": {{\"round1_baseline_drop\": {:.4}, \
+             \"final_best_hardened_gap\": {:.4}}},\n  \
+             \"verdict_digest\": \"{}\",\n  \
+             \"note\": \"rates are exact (hits, total) window counts from the \
+             trait-level batched drain, asserted identical at 1/4/16 kernel \
+             threads; pre = detection on the fresh evasive corpus before \
+             re-vaccination, post = after re-vaccinating on all evasive \
+             windows observed so far\"\n}}\n",
+            self.config.seed,
+            self.config.rounds,
+            self.config.programs_per_strategy,
+            self.config.members,
+            self.config.jitter,
+            self.config.smoke,
+            variant_json(&self.clean),
+            variant_json(&self.clean_fp),
+            rounds.join(",\n"),
+            self.round1_baseline_drop(),
+            self.final_best_hardened_gap(),
+            self.verdict_digest,
+        )
+    }
+}

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod armsrace;
 pub mod exp_ablations;
 pub mod exp_gan;
 pub mod exp_hpc;

@@ -11,6 +11,7 @@
 //! ([`Detector::quantize`]) so benchmarks can report classification latency
 //! in serial-adder cycles.
 
+use evax_nn::detector::{Detector as ModelDetector, DetectorScratch};
 use evax_nn::{HwPerceptron, PerceptronTrainer, QuantizedWeights};
 use rand::Rng;
 
@@ -340,6 +341,78 @@ impl Detector {
         }
         let hit = malicious.iter().filter(|s| self.classify_sample(s)).count();
         hit as f64 / malicious.len() as f64
+    }
+
+    /// The deployed linear model behind this detector as a standalone
+    /// trait-level object: perceptron weights plus the tuned threshold,
+    /// over the extended feature space. The engineered-feature transform
+    /// stays with the featurizer/this detector ([`Detector::transform_into`]).
+    pub fn to_model(&self) -> evax_nn::ThresholdedPerceptron {
+        evax_nn::ThresholdedPerceptron::new(self.perceptron.clone(), self.threshold)
+    }
+
+    /// Wraps the deployed model with seeded inference-time weight/threshold
+    /// jitter (the Stochastic-HMDs hardening; see
+    /// [`evax_nn::StochasticDetector`]). Scores stay a pure function of
+    /// `(seed, row)`, so the repo's bit-determinism contract holds.
+    pub fn harden_stochastic(&self, seed: u64, jitter: f32) -> evax_nn::StochasticDetector {
+        evax_nn::StochasticDetector::new(self.perceptron.clone(), self.threshold, seed, jitter)
+    }
+}
+
+/// The trait-level view of the deployed detector: a thresholded perceptron
+/// over **extended** (base + engineered) feature rows. Bitwise-pinned to the
+/// inherent paths — `score_into` equals [`HwPerceptron::score`] on the
+/// transformed row, batched paths equal [`Detector::score_rows_into`] /
+/// [`Detector::classify_rows_into`].
+impl ModelDetector for Detector {
+    fn n_features(&self) -> usize {
+        self.perceptron.n_features()
+    }
+
+    fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Serializes as its deployed linear shape, so
+    /// [`evax_nn::load_detector`] round-trips it into a
+    /// [`evax_nn::ThresholdedPerceptron`].
+    fn kind(&self) -> &'static str {
+        "thresholded-perceptron"
+    }
+
+    fn score_into(&self, x: &[f32], _scratch: &mut DetectorScratch) -> f32 {
+        self.perceptron.score(x)
+    }
+
+    fn score_rows_into(
+        &self,
+        rows: &[f32],
+        threads: usize,
+        _scratch: &mut DetectorScratch,
+        out: &mut [f32],
+    ) {
+        self.perceptron.score_rows_into(rows, threads, out);
+    }
+
+    fn classify_rows_into(
+        &self,
+        rows: &[f32],
+        threads: usize,
+        _scratch: &mut DetectorScratch,
+        scores: &mut [f32],
+        verdicts: &mut [bool],
+    ) {
+        self.perceptron
+            .classify_batch_into(rows, self.threshold, threads, scores, verdicts);
+    }
+
+    fn save_bytes(&self) -> Vec<u8> {
+        self.to_model().save_bytes()
+    }
+
+    fn clone_box(&self) -> Box<dyn ModelDetector> {
+        Box::new(self.clone())
     }
 }
 

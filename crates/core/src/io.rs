@@ -35,12 +35,6 @@ use crate::feature_engineering::EngineeredFeature;
 use crate::featurize::Featurizer;
 use crate::patch::DetectorPatch;
 
-/// Former name of this module's error type, now the crate-wide
-/// [`EvaxError`]. The variant shapes existing code matched on
-/// (`Parse { line, .. }`, `Io { .. }`) are preserved.
-#[deprecated(since = "0.1.0", note = "use `evax_core::error::EvaxError` instead")]
-pub type IoError = EvaxError;
-
 /// Writes a dataset as CSV with a header naming each feature.
 ///
 /// `feature_names` may be shorter than the feature dimension; missing names
@@ -357,6 +351,24 @@ pub fn write_model<W: Write>(
     detector: &Detector,
     featurizer: &Featurizer,
     revision: u32,
+    w: W,
+) -> Result<()> {
+    write_model_with_hardened(detector, featurizer, revision, None, w)
+}
+
+/// [`write_model`] plus an optional hardened deployment variant (stochastic,
+/// ensemble, quantized — any [`evax_nn::Detector`]): the trait-level model
+/// is appended as a `hardened <kind> <hex>` row via its serialization hooks.
+/// Bundles without the row read back exactly as before, so the format stays
+/// backward compatible.
+///
+/// # Errors
+/// Propagates writer failures.
+pub fn write_model_with_hardened<W: Write>(
+    detector: &Detector,
+    featurizer: &Featurizer,
+    revision: u32,
+    hardened: Option<&dyn evax_nn::Detector>,
     mut w: W,
 ) -> Result<()> {
     writeln!(w, "{MODEL_HEADER}")?;
@@ -367,6 +379,13 @@ pub fn write_model<W: Write>(
         write!(w, "{b:02x}")?;
     }
     writeln!(w)?;
+    if let Some(model) = hardened {
+        write!(w, "hardened {} ", model.kind())?;
+        for b in model.save_bytes() {
+            write!(w, "{b:02x}")?;
+        }
+        writeln!(w)?;
+    }
     Ok(())
 }
 
@@ -380,6 +399,9 @@ pub struct ModelBundle {
     pub featurizer: Featurizer,
     /// Patch revision of the bundled detector.
     pub revision: u32,
+    /// The hardened deployment variant, when the bundle carries one (see
+    /// [`write_model_with_hardened`]).
+    pub hardened: Option<Box<dyn evax_nn::Detector>>,
 }
 
 /// Reads a model written by [`write_model`], verifying the embedded patch
@@ -411,15 +433,7 @@ pub fn read_model<R: Read>(mut r: R) -> Result<ModelBundle> {
         .strip_prefix("patch ")
         .ok_or_else(|| EvaxError::parse(ln, "expected 'patch <hex>' row"))?
         .trim();
-    if hex.len() % 2 != 0 {
-        return Err(EvaxError::parse(ln, "odd-length hex payload"));
-    }
-    let blob: Vec<u8> = (0..hex.len() / 2)
-        .map(|i| {
-            u8::from_str_radix(&hex[2 * i..2 * i + 2], 16)
-                .map_err(|e| EvaxError::parse(ln, format!("bad hex byte: {e}")))
-        })
-        .collect::<Result<_>>()?;
+    let blob = parse_hex(hex, ln)?;
     let patch = DetectorPatch::from_bytes(&blob).map_err(|e| {
         EvaxError::corrupt("detector patch", "a checksummed patch blob", e.to_string())
     })?;
@@ -431,11 +445,50 @@ pub fn read_model<R: Read>(mut r: R) -> Result<ModelBundle> {
             e.to_string(),
         )
     })?;
+    // Optional trailing `hardened <kind> <hex>` row (newer bundles).
+    let hardened = match lines.next() {
+        None => None,
+        Some((ln, row)) => {
+            let rest = row
+                .strip_prefix("hardened ")
+                .ok_or_else(|| EvaxError::parse(ln, "expected 'hardened <kind> <hex>' row"))?;
+            let (kind, hex) = rest
+                .trim_end()
+                .split_once(' ')
+                .ok_or_else(|| EvaxError::parse(ln, "expected 'hardened <kind> <hex>' row"))?;
+            let blob = parse_hex(hex, ln)?;
+            let model = evax_nn::load_detector(kind, &blob).map_err(|e| {
+                EvaxError::corrupt("hardened detector", "a valid detector encoding", e)
+            })?;
+            if model.n_features() != detector.extended_dim() {
+                return Err(EvaxError::corrupt(
+                    "hardened detector",
+                    format!("feature dimension {}", detector.extended_dim()),
+                    format!("{}", model.n_features()),
+                ));
+            }
+            Some(model)
+        }
+    };
     Ok(ModelBundle {
         detector,
         featurizer,
         revision,
+        hardened,
     })
+}
+
+/// Decodes a hex payload, blaming 1-based line `ln` on malformation.
+fn parse_hex(hex: &str, ln: usize) -> Result<Vec<u8>> {
+    if !hex.len().is_multiple_of(2) {
+        return Err(EvaxError::parse(ln, "odd-length hex payload"));
+    }
+    (0..hex.len() / 2)
+        .map(|i| {
+            u8::from_str_radix(&hex[2 * i..2 * i + 2], 16)
+                .map_err(|e| EvaxError::parse(ln, format!("bad hex byte: {e}")))
+        })
+        .collect()
 }
 
 /// [`read_model`] from a path, with the path attached to any error.
@@ -581,21 +634,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_alias_still_matches() {
-        // The historical name keeps working (and keeps its variant shape)
-        // for downstream code that has not migrated yet.
-        #[allow(deprecated)]
-        fn classify(e: IoError) -> usize {
-            match e {
-                EvaxError::Parse { line, .. } => line,
-                _ => 0,
-            }
-        }
-        let err = read_csv("class,a\n0,oops\n".as_bytes()).unwrap_err();
-        assert_eq!(classify(err), 2);
-    }
-
-    #[test]
     fn normalizer_round_trip_is_exact() {
         let mut norm = Normalizer::new(3);
         // Deliberately awkward values: shortest-round-trip formatting must
@@ -711,6 +749,43 @@ mod tests {
             DetectorPatch::from_detector(&bundle.detector, featurizer.base_dim(), 3),
             DetectorPatch::from_detector(&detector, featurizer.base_dim(), 3),
         );
+    }
+
+    #[test]
+    fn hardened_bundle_round_trips_every_kind() {
+        let (detector, featurizer, plain) = sample_model_text();
+        // Plain bundles (no hardened row) read back with `hardened: None`.
+        assert!(read_model(plain.as_bytes()).unwrap().hardened.is_none());
+
+        let stochastic = detector.harden_stochastic(42, 0.05);
+        let ensemble = evax_nn::Ensemble::new(vec![
+            Box::new(detector.to_model()),
+            Box::new(detector.harden_stochastic(7, 0.02)),
+        ]);
+        let quant = detector.quantize_linear();
+        let variants: Vec<&dyn evax_nn::Detector> = vec![&stochastic, &ensemble, &quant];
+        for model in variants {
+            let mut buf = Vec::new();
+            write_model_with_hardened(&detector, &featurizer, 3, Some(model), &mut buf).unwrap();
+            let bundle = read_model(buf.as_slice()).unwrap();
+            let back = bundle.hardened.unwrap();
+            assert_eq!(back.kind(), model.kind());
+            // The restored model votes identically on a probe row.
+            let probe: Vec<f32> = (0..detector.extended_dim())
+                .map(|i| (i as f32 * 0.37).fract())
+                .collect();
+            let mut scratch = evax_nn::DetectorScratch::new();
+            let (s0, v0) = model.decide(&probe, &mut scratch);
+            let (s1, v1) = back.decide(&probe, &mut scratch);
+            assert_eq!(s0.to_bits(), s1.to_bits());
+            assert_eq!(v0, v1);
+
+            // A mangled kind tag is rejected as corruption.
+            let text = String::from_utf8(buf).unwrap();
+            let bad = text.replacen(&format!("hardened {}", model.kind()), "hardened bogus", 1);
+            let err = read_model(bad.as_bytes()).unwrap_err();
+            assert!(matches!(err, EvaxError::Corrupt { .. }), "{err}");
+        }
     }
 
     #[test]

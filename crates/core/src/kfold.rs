@@ -183,13 +183,18 @@ fn run_fold(
         )
         .detector;
 
+        // Evaluation dispatches through the trait-level model view — the
+        // same path hardened variants (stochastic/ensemble) take — which is
+        // bit-identical to the inherent scoring chain for the concrete
+        // detector (see `evax_nn::detector`'s pinning contract).
         let triple = |det: &Detector| {
             let mut attack_only = Dataset::new();
             for s in test.samples.iter().filter(|s| s.malicious) {
                 attack_only.push(s.clone());
             }
-            let tpr = det.tpr(&attack_only);
-            let err = Confusion::evaluate(det, &test).error();
+            let model: &dyn evax_nn::detector::Detector = det;
+            let tpr = Confusion::evaluate_model(det, model, &attack_only).tpr();
+            let err = Confusion::evaluate_model(det, model, &test).error();
             (tpr, err)
         };
         let (p_tpr, p_err) = triple(&perspectron);

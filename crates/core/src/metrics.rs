@@ -26,6 +26,46 @@ impl Confusion {
         Self::evaluate_par(det, ds, Parallelism::Auto)
     }
 
+    /// Evaluates any trait-level model over a dataset: `transform` maps
+    /// each sample's base features into the model's extended input space
+    /// (see [`Detector::transform_into`]), and the verdict comes from the
+    /// model's own [`evax_nn::detector::Detector::decide`]. With
+    /// `model = transform` (the concrete detector's own trait impl) this is
+    /// bit-identical to [`Confusion::evaluate`]; counts are integer sums,
+    /// so the result is identical at any thread count.
+    pub fn evaluate_model(
+        transform: &Detector,
+        model: &dyn evax_nn::detector::Detector,
+        ds: &Dataset,
+    ) -> Confusion {
+        const CHUNK: usize = 256;
+        let chunks: Vec<&[crate::dataset::Sample]> = ds.samples.chunks(CHUNK).collect();
+        let partials = par::map(Parallelism::Auto, &chunks, |chunk| {
+            let mut c = Confusion::default();
+            let mut extended = Vec::new();
+            let mut scratch = evax_nn::DetectorScratch::new();
+            for s in *chunk {
+                transform.transform_into(&s.features, &mut extended);
+                let verdict = model.classify(&extended, &mut scratch);
+                match (s.malicious, verdict) {
+                    (true, true) => c.tp += 1,
+                    (true, false) => c.fn_ += 1,
+                    (false, true) => c.fp += 1,
+                    (false, false) => c.tn += 1,
+                }
+            }
+            c
+        });
+        partials
+            .into_iter()
+            .fold(Confusion::default(), |a, b| Confusion {
+                tp: a.tp + b.tp,
+                tn: a.tn + b.tn,
+                fp: a.fp + b.fp,
+                fn_: a.fn_ + b.fn_,
+            })
+    }
+
     /// [`Confusion::evaluate`] with an explicit thread policy.
     pub fn evaluate_par(det: &Detector, ds: &Dataset, parallelism: Parallelism) -> Confusion {
         // Coarse chunks: scoring one sample is cheap, so per-sample work

@@ -271,6 +271,78 @@ pub struct Vaccination {
     pub detector: Detector,
 }
 
+impl Vaccination {
+    /// The deployed linear model as a trait-level object (see
+    /// [`Detector::to_model`]).
+    pub fn model(&self) -> evax_nn::ThresholdedPerceptron {
+        self.detector.to_model()
+    }
+
+    /// The deployed model hardened with seeded inference-time
+    /// weight/threshold jitter (see [`Detector::harden_stochastic`]).
+    pub fn harden_stochastic(&self, seed: u64, jitter: f32) -> evax_nn::StochasticDetector {
+        self.detector.harden_stochastic(seed, jitter)
+    }
+}
+
+/// [`vaccinate`] plus a majority-vote committee: trains `members - 1`
+/// additional detectors on *independent* AM-GAN augmentation draws (each
+/// member sees the same real data but different generated hard samples and
+/// a different weight init — the diversity source for the vote) and returns
+/// the base vaccination together with an [`evax_nn::Ensemble`] whose first
+/// member is the base detector's deployed model.
+///
+/// Every member is sensitivity-tuned on the real data exactly like the base
+/// detector. The base `Vaccination` is bit-identical to calling
+/// [`vaccinate`] with the same `rng` — the extra members draw from RNG
+/// streams derived *after* the base sequence completes.
+///
+/// # Panics
+/// Panics if `members == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn vaccinate_ensemble<R: Rng>(
+    train: &Dataset,
+    gan_cfg: &AmGanConfig,
+    det_cfg: &TrainConfig,
+    augment_per_class: usize,
+    augment_benign: usize,
+    members: usize,
+    rng: &mut R,
+    timings: &mut StageTimings,
+) -> (Vaccination, evax_nn::Ensemble) {
+    assert!(members > 0, "an ensemble needs at least one member");
+    let vac = vaccinate(
+        train,
+        gan_cfg,
+        det_cfg,
+        augment_per_class,
+        augment_benign,
+        rng,
+        timings,
+    );
+    let mut committee: Vec<Box<dyn evax_nn::Detector>> = vec![Box::new(vac.model())];
+    for _ in 1..members {
+        // One derived stream per member: augmentation draw + weight init.
+        let mut member_rng = StdRng::seed_from_u64(rng.gen());
+        let stage_start = std::time::Instant::now();
+        let augmented = vac
+            .gan
+            .augment(train, augment_per_class, augment_benign, &mut member_rng);
+        let mut det = Detector::train(
+            DetectorKind::Evax,
+            &augmented,
+            vac.engineered.clone(),
+            det_cfg,
+            &mut member_rng,
+        );
+        det.tune_above_benign(train, 0.9995, 0.05);
+        timings.vaccinate_secs += stage_start.elapsed().as_secs_f64();
+        committee.push(Box::new(det.to_model()));
+    }
+    let ensemble = evax_nn::Ensemble::new(committee);
+    (vac, ensemble)
+}
+
 /// Trains a vaccinated EVAX detector for one training split — the single
 /// `AM-GAN → engineer → augment → train → tune` sequence shared by the
 /// offline pipeline and every leave-one-out fold.

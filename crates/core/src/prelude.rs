@@ -25,8 +25,15 @@ pub use crate::featurize::{
 };
 pub use crate::io::{
     read_csv, read_featurizer, read_featurizer_file, read_model, read_model_file, write_csv,
-    write_featurizer, write_featurizer_file, write_model, write_model_file, ModelBundle,
+    write_featurizer, write_featurizer_file, write_model, write_model_file,
+    write_model_with_hardened, ModelBundle,
 };
 pub use crate::par::Parallelism;
-pub use crate::pipeline::{EvaxConfig, EvaxPipeline, HoldoutReport};
+pub use crate::pipeline::{
+    vaccinate, vaccinate_ensemble, EvaxConfig, EvaxPipeline, HoldoutReport, Vaccination,
+};
+pub use evax_nn::{
+    load_detector, Detector as ModelDetector, DetectorScratch, Ensemble, StochasticDetector,
+    ThresholdedPerceptron,
+};
 pub use evax_obs::{MetricsSink, Registry};

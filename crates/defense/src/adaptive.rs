@@ -10,7 +10,8 @@
 //! there is no deployment-side copy of the featurization to drift.
 
 use evax_core::prelude::{
-    Detector, FaultInjector, Normalizer, ProgramSource, RawWindow, WindowSink, WindowSource,
+    Detector, DetectorScratch, FaultInjector, ModelDetector, Normalizer, ProgramSource, RawWindow,
+    WindowSink, WindowSource,
 };
 use evax_obs::MetricsSink;
 use evax_sim::{CpuConfig, MitigationMode, Program, RunResult};
@@ -252,12 +253,18 @@ impl AdaptiveRun {
 #[derive(Debug)]
 pub struct AdaptiveController<'a> {
     detector: &'a Detector,
+    /// Optional hardened deployment model (stochastic, ensemble, quantized —
+    /// any [`ModelDetector`]) substituted for the detector's own linear
+    /// model. The feature transform stays the detector's.
+    model: Option<&'a dyn ModelDetector>,
     normalizer: &'a Normalizer,
     cfg: &'a AdaptiveConfig,
     /// One features buffer reused across every sampling window.
     features: Vec<f32>,
     /// Extended-feature scratch for the allocation-free scoring path.
     extended: Vec<f32>,
+    /// Trait-level inference scratch (quantized/network model buffers).
+    nn_scratch: DetectorScratch,
     state: SecureModeState,
     ipc_series: Vec<(u64, f64)>,
     faults: FaultInjector,
@@ -274,14 +281,36 @@ impl<'a> AdaptiveController<'a> {
     ) -> Self {
         AdaptiveController {
             detector,
+            model: None,
             normalizer,
             cfg,
             features: vec![0.0f32; normalizer.dim()],
             extended: Vec::with_capacity(detector.extended_dim()),
+            nn_scratch: DetectorScratch::new(),
             state: SecureModeState::default(),
             ipc_series: Vec::new(),
             faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Substitutes a hardened deployment model for the detector's own
+    /// linear model. Windows are still featurized through the detector's
+    /// engineered transform; only the scoring/verdict step dispatches to
+    /// `model` (its [`ModelDetector::decide`] — so integer-domain, jittered
+    /// and majority-vote decision rules all stay exact). Without this call
+    /// the controller's verdicts are bit-identical to the pre-trait path.
+    ///
+    /// # Panics
+    /// Panics if `model` consumes a different feature dimension than the
+    /// detector's extended space.
+    pub fn with_model(mut self, model: &'a dyn ModelDetector) -> Self {
+        assert_eq!(
+            model.n_features(),
+            self.detector.extended_dim(),
+            "hardened model and detector disagree on the extended feature dimension"
+        );
+        self.model = Some(model);
+        self
     }
 
     /// Routes the detector's raw score through a fault injector (chaos
@@ -329,18 +358,23 @@ impl WindowSink for AdaptiveController<'_> {
             return self.state.fail_secure(self.cfg);
         }
         self.normalizer.normalize_into(w.values, &mut self.features);
+        // Score/verdict through the unified trait: the detector's own trait
+        // impl reproduces the historical `score_with_scratch` chain bit for
+        // bit, and a hardened model substituted via `with_model` brings its
+        // own exact decision rule (integer compare, jittered threshold,
+        // majority vote) along through `decide`.
+        self.detector
+            .transform_into(&self.features, &mut self.extended);
+        let model = self.model.unwrap_or(self.detector as &dyn ModelDetector);
+        let (raw, malicious) = model.decide(&self.extended, &mut self.nn_scratch);
         // Fail-secure gate #2: a non-finite detector score (faulted model,
         // injected inference fault) compares false against any threshold —
         // naive `score >= threshold` would fail *open*. Route non-finite
         // scores to secure mode instead.
-        let score = self.faults.corrupt_score(
-            self.detector
-                .score_with_scratch(&self.features, &mut self.extended),
-        );
+        let score = self.faults.corrupt_score(raw);
         if !score.is_finite() {
             return self.state.fail_secure(self.cfg);
         }
-        let malicious = score >= self.detector.threshold();
         self.state.apply_verdict(malicious, w.cycle, self.cfg)
     }
 }
@@ -373,6 +407,25 @@ pub fn run_adaptive(
     max_instrs: u64,
 ) -> AdaptiveRun {
     let mut controller = AdaptiveController::new(detector, normalizer, cfg);
+    let result = ProgramSource::new(program, cpu_cfg, cfg.sample_interval, max_instrs)
+        .stream(&mut controller);
+    controller.finish(result)
+}
+
+/// [`run_adaptive`] with a hardened deployment model substituted for the
+/// detector's own linear model (see [`AdaptiveController::with_model`]):
+/// the arms-race deployment path for [`evax_nn::StochasticDetector`] /
+/// [`evax_nn::Ensemble`] / [`evax_nn::QuantLinear`] variants.
+pub fn run_adaptive_with_model(
+    cpu_cfg: &CpuConfig,
+    program: &Program,
+    detector: &Detector,
+    model: &dyn ModelDetector,
+    normalizer: &Normalizer,
+    cfg: &AdaptiveConfig,
+    max_instrs: u64,
+) -> AdaptiveRun {
+    let mut controller = AdaptiveController::new(detector, normalizer, cfg).with_model(model);
     let result = ProgramSource::new(program, cpu_cfg, cfg.sample_interval, max_instrs)
         .stream(&mut controller);
     controller.finish(result)
@@ -545,6 +598,47 @@ mod tests {
         let run = run_adaptive(&CpuConfig::default(), &attack, &det, &norm, &cfg, 20_000);
         assert!(run.flags > 0, "detector must flag the attack");
         assert!(run.secure_instructions > 0);
+    }
+
+    #[test]
+    fn trait_model_path_matches_plain_run_bitwise() {
+        let (det, norm) = trained_detector(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let attack = evax_attacks::build_attack(
+            evax_attacks::AttackClass::SpectrePht,
+            &evax_attacks::KernelParams::default(),
+            &mut rng,
+        );
+        let cfg = AdaptiveConfig {
+            sample_interval: 200,
+            secure_window: 2_000,
+            ..Default::default()
+        };
+        let cpu = CpuConfig::default();
+        let plain = run_adaptive(&cpu, &attack, &det, &norm, &cfg, 20_000);
+
+        // The detector's deployed linear model through explicit trait
+        // dispatch must reproduce the plain run exactly.
+        let linear = det.to_model();
+        let via_model = run_adaptive_with_model(&cpu, &attack, &det, &linear, &norm, &cfg, 20_000);
+        assert_eq!(plain, via_model, "trait dispatch must be bitwise invisible");
+
+        // Zero-jitter stochastic hardening is bitwise the base model too.
+        let frozen = det.harden_stochastic(42, 0.0);
+        let via_frozen = run_adaptive_with_model(&cpu, &attack, &det, &frozen, &norm, &cfg, 20_000);
+        assert_eq!(plain, via_frozen, "jitter=0 must be the identity");
+
+        // Hardened variants still catch the attack.
+        let stochastic = det.harden_stochastic(42, 0.05);
+        let run_s = run_adaptive_with_model(&cpu, &attack, &det, &stochastic, &norm, &cfg, 20_000);
+        assert!(run_s.flags > 0, "stochastic detector must flag the attack");
+        let ensemble = evax_nn::Ensemble::new(vec![
+            Box::new(det.to_model()),
+            Box::new(det.harden_stochastic(7, 0.03)),
+            Box::new(det.quantize_linear()),
+        ]);
+        let run_e = run_adaptive_with_model(&cpu, &attack, &det, &ensemble, &norm, &cfg, 20_000);
+        assert!(run_e.flags > 0, "ensemble must flag the attack");
     }
 
     #[test]

@@ -42,7 +42,7 @@ use std::time::Instant;
 
 use evax_core::par::{self, round_robin_shards, Parallelism};
 use evax_core::prelude::{Detector, Featurizer, WindowBatch};
-use evax_nn::QuantLinear;
+use evax_nn::detector::{Detector as ModelDetector, DetectorScratch};
 use evax_sim::{hpc_dim, Cpu, CpuConfig, Program, RunResult, SampledCursor, SampledStep};
 use rand::SeedableRng;
 
@@ -57,7 +57,8 @@ pub enum InferenceMode {
     /// Cross-stream batched f32 scoring through the threaded evax-nn
     /// kernel. Verdicts are bit-identical to per-window scoring.
     BatchedF32,
-    /// Cross-stream batched 9-bit integer scoring ([`QuantLinear`]).
+    /// Cross-stream batched 9-bit integer scoring
+    /// ([`evax_nn::QuantLinear`]).
     /// Verdicts may differ from f32 only inside the kernel's provable
     /// ambiguity band around the threshold.
     BatchedQuant,
@@ -377,21 +378,20 @@ fn build_stream(id: usize, cfg: &FleetConfig, cpu_cfg: &CpuConfig, pool: &WarmPo
 struct DrainScratch {
     scores: Vec<f32>,
     verdicts: Vec<bool>,
-    q_scores: Vec<i64>,
-    xq: Vec<u8>,
+    nn: DetectorScratch,
 }
 
-/// Drains every pending window in `batch` through the configured kernel and
+/// Drains every pending window in `batch` through the shard's model — any
+/// [`ModelDetector`], so the same drain serves the f32 perceptron, the
+/// 9-bit integer kernel, and hardened (stochastic/ensemble) variants — and
 /// applies each verdict to its stream's secure-mode state (fail-secure on a
-/// non-finite f32 score). `full` selects the threaded batch kernel; the
-/// tail path scores row-by-row through the in-place (allocation-free)
-/// per-window primitives instead.
-#[allow(clippy::too_many_arguments)]
+/// non-finite f32 score). `full` drains through the threaded batch kernel;
+/// the tail path runs the same adapter single-threaded, which every adapter
+/// pins bit-identical to its threaded reduction.
 fn drain_batch(
     batch: &mut WindowBatch<(usize, u64, Instant)>,
     streams: &mut [FleetStream],
-    detector: &Detector,
-    quant: Option<&QuantLinear>,
+    model: &dyn ModelDetector,
     cfg: &FleetConfig,
     scratch: &mut DrainScratch,
     latencies: &mut Vec<u64>,
@@ -401,58 +401,21 @@ fn drain_batch(
     if n == 0 {
         return;
     }
-    let dim = batch.dim();
     scratch.scores.clear();
     scratch.scores.resize(n, 0.0);
     scratch.verdicts.clear();
     scratch.verdicts.resize(n, false);
-    match quant {
-        Some(q) => {
-            scratch.q_scores.clear();
-            scratch.q_scores.resize(n, 0);
-            if full {
-                scratch.xq.clear();
-                scratch.xq.resize(n * dim, 0);
-                QuantLinear::quantize_input_into(batch.rows(), &mut scratch.xq);
-                q.score_rows_q_into(&scratch.xq, cfg.kernel_threads, &mut scratch.q_scores);
-            } else {
-                // Tail path: quantize the whole slab in one pass (hoisted
-                // out of the scoring loop), then score row-at-a-time through
-                // the same integer kernel.
-                scratch.xq.clear();
-                scratch.xq.resize(n * dim, 0);
-                QuantLinear::quantize_input_into(batch.rows(), &mut scratch.xq);
-                for (i, xq_row) in scratch.xq.chunks(dim).enumerate() {
-                    scratch.q_scores[i] = q.score_q(xq_row);
-                }
-            }
-            for (v, &s) in scratch.verdicts.iter_mut().zip(scratch.q_scores.iter()) {
-                *v = s >= q.threshold_q();
-            }
-            // Integer scores are always finite; keep the f32 mirror for the
-            // shared fail-secure check below.
-            for (f, &s) in scratch.scores.iter_mut().zip(scratch.q_scores.iter()) {
-                *f = q.dequantize(s);
-            }
-        }
-        None if full => {
-            detector.classify_rows_into(
-                batch.rows(),
-                cfg.kernel_threads,
-                &mut scratch.scores,
-                &mut scratch.verdicts,
-            );
-        }
-        None => {
-            // Tail path: the in-place per-row primitive — bit-identical to
-            // the batched kernel's per-row reduction.
-            for (i, row) in batch.rows().chunks(dim).enumerate() {
-                let s = detector.perceptron().score(row);
-                scratch.scores[i] = s;
-                scratch.verdicts[i] = s >= detector.threshold();
-            }
-        }
-    }
+    // Tail flushes are small partial batches: they take the single-threaded
+    // reduction (no fan-out cost), which each adapter keeps bit-identical
+    // to the threaded full-batch kernel.
+    let threads = if full { cfg.kernel_threads } else { 1 };
+    model.classify_rows_into(
+        batch.rows(),
+        threads,
+        &mut scratch.nn,
+        &mut scratch.scores,
+        &mut scratch.verdicts,
+    );
     for (i, &(slot, cycle, t0)) in batch.tags().iter().enumerate() {
         let s = &mut streams[slot];
         let mode = if !scratch.scores[i].is_finite() {
@@ -481,7 +444,7 @@ fn run_shard(
     cpu_cfg: &CpuConfig,
     detector: &Detector,
     featurizer: &Featurizer,
-    quant: Option<&QuantLinear>,
+    model: &dyn ModelDetector,
     pool: &WarmPool,
 ) -> (Vec<StreamOutcome>, Vec<u64>, u64, u64, u64, u64) {
     let mut streams: Vec<FleetStream> = indices
@@ -496,8 +459,7 @@ fn run_shard(
     let mut scratch = DrainScratch {
         scores: Vec::new(),
         verdicts: Vec::new(),
-        q_scores: Vec::new(),
-        xq: Vec::new(),
+        nn: DetectorScratch::new(),
     };
     let mut latencies: Vec<u64> = Vec::new();
     let mut full_flushes = 0u64;
@@ -558,8 +520,7 @@ fn run_shard(
                             drain_batch(
                                 &mut batch,
                                 &mut streams,
-                                detector,
-                                quant,
+                                model,
                                 cfg,
                                 &mut scratch,
                                 &mut latencies,
@@ -583,8 +544,7 @@ fn run_shard(
             drain_batch(
                 &mut batch,
                 &mut streams,
-                detector,
-                quant,
+                model,
                 cfg,
                 &mut scratch,
                 &mut latencies,
@@ -639,6 +599,34 @@ pub fn run_fleet(
     featurizer: &Featurizer,
     parallelism: Parallelism,
 ) -> FleetReport {
+    let quant = match cfg.inference {
+        InferenceMode::BatchedQuant => Some(detector.quantize_linear()),
+        _ => None,
+    };
+    let model: &dyn ModelDetector = match quant.as_ref() {
+        Some(q) => q,
+        None => detector,
+    };
+    run_fleet_with_model(cfg, cpu_cfg, detector, featurizer, model, parallelism)
+}
+
+/// [`run_fleet`] with an explicit batch-drain model: any [`ModelDetector`]
+/// whose feature dimension matches the featurizer — including hardened
+/// variants ([`evax_nn::StochasticDetector`], [`evax_nn::Ensemble`]) that
+/// have no [`InferenceMode`] of their own. The `PerWindow` baseline path
+/// and fail-secure gates still run through the concrete `detector`.
+///
+/// # Panics
+/// Panics on a degenerate configuration or a featurizer/detector/model
+/// dimension mismatch.
+pub fn run_fleet_with_model(
+    cfg: &FleetConfig,
+    cpu_cfg: &CpuConfig,
+    detector: &Detector,
+    featurizer: &Featurizer,
+    model: &dyn ModelDetector,
+    parallelism: Parallelism,
+) -> FleetReport {
     assert!(cfg.n_streams > 0, "fleet needs at least one stream");
     assert!(cfg.batch_windows > 0, "batch must hold at least one window");
     assert!(
@@ -650,10 +638,11 @@ pub fn run_fleet(
         detector.extended_dim(),
         "featurizer and detector must share one engineered-feature chain"
     );
-    let quant = match cfg.inference {
-        InferenceMode::BatchedQuant => Some(detector.quantize_linear()),
-        _ => None,
-    };
+    assert_eq!(
+        model.n_features(),
+        detector.extended_dim(),
+        "drain model must score the detector's extended feature rows"
+    );
     // Warm the per-program snapshot pool sequentially before the fan-out:
     // every shard forks tenant cores from the same snapshots, so warm-start
     // runs stay bit-identical at any thread count.
@@ -664,15 +653,7 @@ pub fn run_fleet(
     };
     let shards = round_robin_shards(cfg.n_streams, cfg.n_shards.max(1));
     let shard_results = par::map(parallelism, &shards, |indices| {
-        run_shard(
-            indices,
-            cfg,
-            cpu_cfg,
-            detector,
-            featurizer,
-            quant.as_ref(),
-            &pool,
-        )
+        run_shard(indices, cfg, cpu_cfg, detector, featurizer, model, &pool)
     });
     let mut outcomes: Vec<StreamOutcome> = Vec::with_capacity(cfg.n_streams);
     let mut latencies: Vec<u64> = Vec::new();
@@ -888,5 +869,66 @@ mod tests {
             q_report.flagged_attack_streams() > 0,
             "quantized detector must still flag attacks"
         );
+    }
+
+    /// Hardened variants ride the same drain: a zero-jitter stochastic
+    /// wrapper is byte-identical to the plain f32 fleet, and a mixed
+    /// committee still flags attacks under the thread-count contract.
+    #[test]
+    fn hardened_models_drive_the_fleet_drain() {
+        let (det, norm) = trained(5);
+        let feat = Featurizer::new(norm, det.engineered().to_vec());
+        let cfg = small_cfg(InferenceMode::BatchedF32);
+        let cpu_cfg = CpuConfig::default();
+        let base = run_fleet(&cfg, &cpu_cfg, &det, &feat, Parallelism::Fixed(2));
+
+        // jitter = 0 pins the stochastic wrapper to the base perceptron
+        // bitwise (w * (1 + 0*eps) == w exactly in IEEE 754).
+        let frozen = det.harden_stochastic(0xD1CE, 0.0);
+        let via_frozen =
+            run_fleet_with_model(&cfg, &cpu_cfg, &det, &feat, &frozen, Parallelism::Fixed(2));
+        assert_eq!(
+            base.deterministic_json(),
+            via_frozen.deterministic_json(),
+            "zero-jitter stochastic drain must match the plain fleet byte-for-byte"
+        );
+
+        // A mixed committee (f32 + jittered + 9-bit integer member) has no
+        // InferenceMode of its own but drains through the same kernel.
+        let committee = evax_nn::Ensemble::new(vec![
+            Box::new(det.to_model()),
+            Box::new(det.harden_stochastic(7, 0.02)),
+            Box::new(det.quantize_linear()),
+        ]);
+        let ens = run_fleet_with_model(
+            &cfg,
+            &cpu_cfg,
+            &det,
+            &feat,
+            &committee,
+            Parallelism::Fixed(1),
+        );
+        assert_eq!(ens.outcomes.len(), cfg.n_streams);
+        assert_eq!(ens.windows(), base.windows());
+        assert!(
+            ens.flagged_attack_streams() > 0,
+            "the committee must still flag attack streams"
+        );
+        for threads in [4usize, 16] {
+            let r = run_fleet_with_model(
+                &cfg,
+                &cpu_cfg,
+                &det,
+                &feat,
+                &committee,
+                Parallelism::Fixed(threads),
+            );
+            assert_eq!(
+                ens.deterministic_json(),
+                r.deterministic_json(),
+                "committee verdicts must not depend on thread count ({} threads)",
+                threads
+            );
+        }
     }
 }

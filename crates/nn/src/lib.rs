@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod detector;
 pub mod gan;
 pub mod init;
 pub mod layer;
@@ -55,6 +56,9 @@ pub mod quant;
 pub mod tensor;
 
 pub use activation::Activation;
+pub use detector::{
+    load_detector, Detector, DetectorScratch, Ensemble, StochasticDetector, ThresholdedPerceptron,
+};
 pub use gan::{CondGan, GanConfig, GanStats};
 pub use layer::Dense;
 pub use loss::Loss;

@@ -121,6 +121,57 @@ impl QuantLinear {
         self.threshold_q
     }
 
+    /// The pre-scaled integer bias folded into every score.
+    pub fn bias_q(&self) -> i64 {
+        self.bias_q
+    }
+
+    /// The f32-weight → integer scale factor `S = WEIGHT_LEVELS / max|w|`.
+    pub fn w_scale(&self) -> f32 {
+        self.w_scale
+    }
+
+    /// Rebuilds a kernel from previously serialized parts (the inverse of
+    /// reading the accessors; see `detector::load_detector`). The
+    /// `error_bound` is carried through verbatim because it is a function
+    /// of the *original* f32 weights, which quantization already discarded.
+    ///
+    /// # Errors
+    /// Rejects weights outside the 9-bit range, an empty weight vector, and
+    /// non-finite or non-positive scale/bound values.
+    pub fn from_parts(
+        weights: Vec<i16>,
+        bias_q: i64,
+        threshold_q: i64,
+        w_scale: f32,
+        error_bound: f32,
+    ) -> Result<Self, String> {
+        if weights.is_empty() {
+            return Err("quantized kernel with zero weights".to_string());
+        }
+        if let Some(&w) = weights
+            .iter()
+            .find(|w| (w.unsigned_abs() as i64) > WEIGHT_LEVELS)
+        {
+            return Err(format!(
+                "weight {w} outside the 9-bit range ±{WEIGHT_LEVELS}"
+            ));
+        }
+        if !(w_scale.is_finite() && w_scale > 0.0) {
+            return Err(format!("implausible weight scale {w_scale}"));
+        }
+        if !(error_bound.is_finite() && error_bound >= 0.0) {
+            return Err(format!("implausible error bound {error_bound}"));
+        }
+        Ok(QuantLinear {
+            weights,
+            bias_q,
+            threshold_q,
+            w_scale,
+            error_bound,
+        })
+    }
+
     /// Closed-form bound on the dequantized-score error vs. the f32 oracle,
     /// valid for inputs in `[0, 1]`.
     pub fn score_error_bound(&self) -> f32 {

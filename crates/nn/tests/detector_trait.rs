@@ -1,0 +1,290 @@
+//! Golden equivalence for the unified [`Detector`] trait: every adapter's
+//! trait-path output is **bit-identical** to the concrete type's direct
+//! API at 1, 4 and 16 kernel threads, plus property tests for the two
+//! hardened wrappers (same-seed stochastic determinism, ensemble verdicts
+//! independent of batch composition).
+
+use evax_nn::{
+    load_detector, Activation, Dense, Detector, DetectorScratch, Ensemble, HwPerceptron, Matrix,
+    Network, QuantLinear, StochasticDetector, ThresholdedPerceptron,
+};
+use proptest::prelude::*;
+
+const THREAD_SWEEP: [usize; 3] = [1, 4, 16];
+
+/// Deterministic pseudo-random values in roughly [-2, 2] (LCG, no RNG
+/// crate needed so the golden inputs are frozen in this file).
+fn vals(n: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 40) as f32 / (1u64 << 22) as f32) - 2.0
+        })
+        .collect()
+}
+
+fn perceptron(dim: usize, seed: u64) -> HwPerceptron {
+    HwPerceptron::from_parts(vals(dim, seed), 0.125)
+}
+
+/// Flat row-major batch plus the row count.
+fn batch(dim: usize, rows: usize, seed: u64) -> Vec<f32> {
+    vals(dim * rows, seed.wrapping_mul(0x9E37_79B9))
+}
+
+fn trait_scores(det: &dyn Detector, rows: &[f32], n_rows: usize, threads: usize) -> Vec<f32> {
+    let mut scratch = DetectorScratch::new();
+    let mut out = vec![0.0f32; n_rows];
+    det.score_rows_into(rows, threads, &mut scratch, &mut out);
+    out
+}
+
+fn trait_verdicts(
+    det: &dyn Detector,
+    rows: &[f32],
+    n_rows: usize,
+    threads: usize,
+) -> (Vec<f32>, Vec<bool>) {
+    let mut scratch = DetectorScratch::new();
+    let mut scores = vec![0.0f32; n_rows];
+    let mut verdicts = vec![false; n_rows];
+    det.classify_rows_into(rows, threads, &mut scratch, &mut scores, &mut verdicts);
+    (scores, verdicts)
+}
+
+#[test]
+fn hw_perceptron_trait_matches_direct_bitwise_across_threads() {
+    let (dim, n_rows) = (133, 57);
+    let p = perceptron(dim, 7);
+    let rows = batch(dim, n_rows, 11);
+    let direct: Vec<f32> = rows.chunks_exact(dim).map(|r| p.score(r)).collect();
+    for threads in THREAD_SWEEP {
+        let got = trait_scores(&p, &rows, n_rows, threads);
+        for (i, (g, d)) in got.iter().zip(direct.iter()).enumerate() {
+            assert_eq!(g.to_bits(), d.to_bits(), "row {i} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn thresholded_perceptron_trait_matches_direct_bitwise_across_threads() {
+    let (dim, n_rows) = (133, 57);
+    let p = perceptron(dim, 13);
+    let thr = 0.05f32;
+    let det = ThresholdedPerceptron::new(p.clone(), thr);
+    let rows = batch(dim, n_rows, 17);
+    let direct: Vec<(f32, bool)> = rows
+        .chunks_exact(dim)
+        .map(|r| {
+            let s = p.score(r);
+            (s, s >= thr)
+        })
+        .collect();
+    for threads in THREAD_SWEEP {
+        let (scores, verdicts) = trait_verdicts(&det, &rows, n_rows, threads);
+        for i in 0..n_rows {
+            assert_eq!(
+                scores[i].to_bits(),
+                direct[i].0.to_bits(),
+                "score row {i} at {threads} threads"
+            );
+            assert_eq!(
+                verdicts[i], direct[i].1,
+                "verdict row {i} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn quant_linear_trait_matches_integer_direct_bitwise_across_threads() {
+    let (dim, n_rows) = (133, 57);
+    let w = vals(dim, 23);
+    let q = QuantLinear::from_f32(&w, 0.125, 0.05);
+    let rows: Vec<f32> = batch(dim, n_rows, 29)
+        .into_iter()
+        .map(|v| (v + 2.0) / 4.0) // quantizer domain is [0, 1]
+        .collect();
+    // Direct integer path: quantize each row, score in i64, compare in the
+    // integer domain, dequantize for the report.
+    let mut xq = vec![0u8; dim];
+    let direct: Vec<(f32, bool)> = rows
+        .chunks_exact(dim)
+        .map(|r| {
+            QuantLinear::quantize_input_into(r, &mut xq);
+            let sq = q.score_q(&xq);
+            (q.dequantize(sq), sq >= q.threshold_q())
+        })
+        .collect();
+    for threads in THREAD_SWEEP {
+        let (scores, verdicts) = trait_verdicts(&q, &rows, n_rows, threads);
+        for i in 0..n_rows {
+            assert_eq!(
+                scores[i].to_bits(),
+                direct[i].0.to_bits(),
+                "score row {i} at {threads} threads"
+            );
+            assert_eq!(
+                verdicts[i], direct[i].1,
+                "verdict row {i} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn network_trait_matches_direct_forward_bitwise_across_threads() {
+    let (dim, n_rows) = (24, 31);
+    let net = Network::new(vec![
+        Dense::from_parts(
+            Matrix::from_vec(dim, 8, vals(dim * 8, 31)),
+            vals(8, 37),
+            Activation::Relu,
+        ),
+        Dense::from_parts(
+            Matrix::from_vec(8, 1, vals(8, 41)),
+            vals(1, 43),
+            Activation::Sigmoid,
+        ),
+    ]);
+    let rows = batch(dim, n_rows, 47);
+    // Direct path: one-row forward per row — the trait contract is
+    // per-row purity, so batched trait scores must match this exactly.
+    let direct: Vec<f32> = rows
+        .chunks_exact(dim)
+        .map(|r| net.forward(&Matrix::from_vec(1, dim, r.to_vec())).get(0, 0))
+        .collect();
+    for threads in THREAD_SWEEP {
+        let got = trait_scores(&net, &rows, n_rows, threads);
+        for (i, (g, d)) in got.iter().zip(direct.iter()).enumerate() {
+            assert_eq!(g.to_bits(), d.to_bits(), "row {i} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn zero_jitter_stochastic_is_bitwise_the_thresholded_perceptron() {
+    let (dim, n_rows) = (133, 57);
+    let p = perceptron(dim, 53);
+    let thr = 0.05f32;
+    let plain = ThresholdedPerceptron::new(p.clone(), thr);
+    let zero = StochasticDetector::new(p, thr, 0xD1CE, 0.0);
+    let rows = batch(dim, n_rows, 59);
+    for threads in THREAD_SWEEP {
+        let (ps, pv) = trait_verdicts(&plain, &rows, n_rows, threads);
+        let (zs, zv) = trait_verdicts(&zero, &rows, n_rows, threads);
+        assert_eq!(pv, zv, "{threads} threads");
+        for i in 0..n_rows {
+            assert_eq!(
+                ps[i].to_bits(),
+                zs[i].to_bits(),
+                "row {i} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_kind_roundtrips_through_save_and_load_with_identical_verdicts() {
+    let dim = 16;
+    let p = perceptron(dim, 61);
+    let members: Vec<Box<dyn Detector>> = vec![
+        Box::new(ThresholdedPerceptron::new(p.clone(), 0.05)),
+        Box::new(StochasticDetector::new(p.clone(), 0.05, 99, 0.03)),
+        Box::new(QuantLinear::from_f32(p.weights(), p.bias(), 0.05)),
+    ];
+    let dets: Vec<Box<dyn Detector>> = vec![
+        Box::new(p.clone()),
+        Box::new(ThresholdedPerceptron::new(p.clone(), 0.05)),
+        Box::new(StochasticDetector::new(p.clone(), 0.05, 99, 0.03)),
+        Box::new(QuantLinear::from_f32(p.weights(), p.bias(), 0.05)),
+        Box::new(Ensemble::new(members)),
+    ];
+    let rows = batch(dim, 23, 67);
+    for det in &dets {
+        let loaded = load_detector(det.kind(), &det.save_bytes())
+            .unwrap_or_else(|e| panic!("{} roundtrip: {e}", det.kind()));
+        let (s0, v0) = trait_verdicts(det.as_ref(), &rows, 23, 1);
+        let (s1, v1) = trait_verdicts(loaded.as_ref(), &rows, 23, 1);
+        assert_eq!(v0, v1, "{} verdicts", det.kind());
+        for i in 0..23 {
+            assert_eq!(s0[i].to_bits(), s1[i].to_bits(), "{} score {i}", det.kind());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed ⇒ same verdicts, bit-identical scores, at any thread
+    /// count and under cloning — the stochastic defense is deterministic
+    /// per run, only unpredictable to an attacker who lacks the seed.
+    #[test]
+    fn stochastic_same_seed_is_deterministic(
+        seed in any::<u64>(),
+        jitter in 0.0f32..0.25,
+        wseed in 1u64..9999,
+        rseed in 1u64..9999,
+        n_rows in 1usize..24,
+    ) {
+        let dim = 19;
+        let p = perceptron(dim, wseed);
+        let a = StochasticDetector::new(p.clone(), 0.05, seed, jitter);
+        let b = a.clone_box();
+        let rows = batch(dim, n_rows, rseed);
+        for threads in THREAD_SWEEP {
+            let (sa, va) = trait_verdicts(&a, &rows, n_rows, threads);
+            let (sb, vb) = trait_verdicts(b.as_ref(), &rows, n_rows, threads);
+            prop_assert_eq!(&va, &vb, "verdicts at {} threads", threads);
+            for i in 0..n_rows {
+                prop_assert_eq!(sa[i].to_bits(), sb[i].to_bits(), "row {} at {} threads", i, threads);
+            }
+        }
+    }
+
+    /// Committee verdicts are a pure function of the row: scoring a row in
+    /// any batch, at any position, under any thread count gives exactly the
+    /// single-row `decide` result.
+    #[test]
+    fn ensemble_verdicts_ignore_batch_composition(
+        wseed in 1u64..9999,
+        rseed in 1u64..9999,
+        n_rows in 2usize..24,
+        pivot in 0usize..24,
+    ) {
+        let dim = 19;
+        let p = perceptron(dim, wseed);
+        let committee = Ensemble::new(vec![
+            Box::new(ThresholdedPerceptron::new(p.clone(), 0.05)) as Box<dyn Detector>,
+            Box::new(StochasticDetector::new(p.clone(), 0.05, 7, 0.02)),
+            Box::new(QuantLinear::from_f32(p.weights(), p.bias(), 0.05)),
+        ]);
+        let rows = batch(dim, n_rows, rseed);
+        let mut scratch = DetectorScratch::new();
+        let solo: Vec<(f32, bool)> = rows
+            .chunks_exact(dim)
+            .map(|r| committee.decide(r, &mut scratch))
+            .collect();
+        // Full batch, every thread count.
+        for threads in THREAD_SWEEP {
+            let (s, v) = trait_verdicts(&committee, &rows, n_rows, threads);
+            for i in 0..n_rows {
+                prop_assert_eq!(s[i].to_bits(), solo[i].0.to_bits(), "row {} at {} threads", i, threads);
+                prop_assert_eq!(v[i], solo[i].1, "row {} at {} threads", i, threads);
+            }
+        }
+        // Rotated batch: same rows, different neighbors and positions.
+        let pivot = (pivot % n_rows) * dim;
+        let mut rotated = rows[pivot..].to_vec();
+        rotated.extend_from_slice(&rows[..pivot]);
+        let (rs, rv) = trait_verdicts(&committee, &rotated, n_rows, 4);
+        for i in 0..n_rows {
+            let j = (i + pivot / dim) % n_rows;
+            prop_assert_eq!(rs[i].to_bits(), solo[j].0.to_bits(), "rotated row {}", i);
+            prop_assert_eq!(rv[i], solo[j].1, "rotated row {}", i);
+        }
+    }
+}

@@ -36,13 +36,22 @@ fn run_outcome(
     scheduler: SchedulerKind,
     mitigation: MitigationMode,
     max_instrs: u64,
-    mut on_sample: impl FnMut(usize, &HpcSample) -> Option<MitigationMode>,
+    on_sample: impl FnMut(usize, &HpcSample) -> Option<MitigationMode>,
 ) -> Outcome {
     let cfg = CpuConfig {
         scheduler,
         mitigation,
         ..Default::default()
     };
+    run_outcome_cfg(program, cfg, max_instrs, on_sample)
+}
+
+fn run_outcome_cfg(
+    program: &Program,
+    cfg: CpuConfig,
+    max_instrs: u64,
+    mut on_sample: impl FnMut(usize, &HpcSample) -> Option<MitigationMode>,
+) -> Outcome {
     let mut cpu = Cpu::new(cfg);
     cpu.memory_mut()
         .write_u64(evax::attacks::mds::KERNEL_SECRET_ADDR, 5);
@@ -226,6 +235,51 @@ fn adaptive_mode_switching_is_bit_identical_across_schedulers() {
             switcher,
         );
         assert_identical(&format!("adaptive {label}"), &scan, &event);
+    }
+}
+
+/// Pipeline-width sweep: scheduler equivalence must hold off the default
+/// config too. Widths stress different scheduling regimes — width 1 is a
+/// strict in-order-issue-rate machine (maximal structural stalls), width 8
+/// saturates the wakeup logic with simultaneous completions — and both
+/// schedulers must agree bit for bit in each regime.
+#[test]
+fn pipeline_width_sweep_is_bit_identical_across_schedulers() {
+    let programs = [
+        (
+            "spectre_pht",
+            attack_program(AttackClass::SpectrePht, 0x31D7),
+        ),
+        (
+            "flush_reload",
+            attack_program(AttackClass::FlushReload, 0x31D7),
+        ),
+        ("rowhammer", attack_program(AttackClass::Rowhammer, 0x31D7)),
+        (
+            "compression",
+            benign_program(BenignKind::Compression, 0x31D7),
+        ),
+    ];
+    for width in [1usize, 2, 8] {
+        for (label, program) in &programs {
+            let with_width = |scheduler| CpuConfig {
+                scheduler,
+                fetch_width: width,
+                issue_width: width,
+                commit_width: width,
+                ..Default::default()
+            };
+            let scan = run_outcome_cfg(program, with_width(SchedulerKind::Scan), 60_000, |_, _| {
+                None
+            });
+            let event = run_outcome_cfg(
+                program,
+                with_width(SchedulerKind::EventDriven),
+                60_000,
+                |_, _| None,
+            );
+            assert_identical(&format!("{label} at width {width}"), &scan, &event);
+        }
     }
 }
 
