@@ -24,14 +24,14 @@
 //! seed)` — the same determinism contract as [`crate::registry`] — so an
 //! arms-race harness replays identically at any thread count.
 //!
-//! The victim weights arrive as a plain `&[f32]` aligned with
-//! [`evax_sim::hpc_names`] (any engineered-feature tail beyond the base
-//! HPC vector is ignored): this crate sits below the detector crates, so
-//! the adversary sees exactly what a real one could dump from a stolen
+//! The victim weights arrive as a plain `&[f32]` aligned with the victim's
+//! [`evax_sim::FeatureSchema`] (any engineered-feature tail beyond the
+//! sensor columns is ignored): this crate sits below the detector crates,
+//! so the adversary sees exactly what a real one could dump from a stolen
 //! model file — numbers, not types.
 
-use evax_sim::hpc_names;
 use evax_sim::isa::{Program, ProgramBuilder};
+use evax_sim::FeatureSchema;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -94,15 +94,26 @@ pub struct WeightProfile {
 }
 
 impl WeightProfile {
-    /// Buckets `weights` by the canonical HPC name at the same index.
+    /// Buckets `weights` by the counter name at the same index.
     ///
-    /// `weights` is read positionally against [`hpc_names`]; a shorter
-    /// slice profiles a prefix, and entries past the base HPC vector
-    /// (engineered features) are ignored — their provenance is opaque to
-    /// the adversary.
+    /// `weights` is read positionally against the baseline
+    /// [`FeatureSchema`] ([`WeightProfile::from_weights_with_schema`]
+    /// takes an explicit schema); a shorter slice profiles a prefix, and
+    /// entries past the schema's sensor columns (engineered features) are
+    /// ignored — their provenance is opaque to the adversary.
     pub fn from_weights(weights: &[f32]) -> WeightProfile {
+        WeightProfile::from_weights_with_schema(weights, &FeatureSchema::baseline())
+    }
+
+    /// [`WeightProfile::from_weights`] against an explicit schema (e.g. an
+    /// energy-enabled sensor configuration, whose `energy.*` columns
+    /// bucket with the structures they meter).
+    pub fn from_weights_with_schema(weights: &[f32], schema: &FeatureSchema) -> WeightProfile {
         let mut p = WeightProfile::default();
-        for (&name, &w) in hpc_names().iter().zip(weights.iter()) {
+        for ((name, modality), &w) in schema.columns().zip(weights.iter()) {
+            if modality == evax_sim::Modality::Engineered {
+                continue;
+            }
             let mass = if w.is_finite() { w.abs() } else { 0.0 };
             let group = name.split('.').next().unwrap_or("");
             let bucket = match group {
@@ -347,11 +358,11 @@ pub fn generate_evasive_programs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use evax_sim::{hpc_dim, Cpu, CpuConfig};
+    use evax_sim::{Cpu, CpuConfig, HPC_BASE_DIM};
 
     fn fake_weights(heavy: &str) -> Vec<f32> {
-        hpc_names()
-            .iter()
+        FeatureSchema::baseline()
+            .names()
             .map(|n| if n.starts_with(heavy) { 1.0 } else { 0.01 })
             .collect()
     }
@@ -367,7 +378,7 @@ mod tests {
         let mut extended = fake_weights("dcache");
         extended.extend([100.0; 7]);
         assert_eq!(WeightProfile::from_weights(&extended), p);
-        assert_eq!(extended.len(), hpc_dim() + 7);
+        assert_eq!(extended.len(), HPC_BASE_DIM + 7);
     }
 
     #[test]

@@ -411,7 +411,8 @@ impl ArmsRaceReport {
             .collect();
         format!(
             "{{\n  \"seed\": {}, \"rounds\": {}, \"programs_per_strategy\": {}, \
-             \"members\": {}, \"jitter\": {}, \"smoke\": {},\n  \
+             \"members\": {}, \"jitter\": {}, \"smoke\": {}, \
+             \"cores\": {}, \"threads\": [1, 4, 16],\n  \
              \"strategies\": [\"benign_padding\", \"rate_modulation\", \"weight_guided\"],\n  \
              \"clean\": {},\n  \"clean_false_positives\": {},\n  \"race\": [\n{}\n  ],\n  \
              \"acceptance\": {{\"round1_baseline_drop\": {:.4}, \
@@ -428,6 +429,7 @@ impl ArmsRaceReport {
             self.config.members,
             self.config.jitter,
             self.config.smoke,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
             variant_json(&self.clean),
             variant_json(&self.clean_fp),
             rounds.join(",\n"),

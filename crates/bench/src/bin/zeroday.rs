@@ -1,0 +1,162 @@
+//! Zero-day benchmark driver: trains the unsupervised anomaly scorer on
+//! benign windows only and evaluates it on held-out attack categories,
+//! writing `BENCH_zeroday.json`.
+//!
+//! ```text
+//! zeroday [--seed N] [--instrs N] [--runs N] [--fpr F] [--topk K] [--bar F]
+//!         [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` is the CI setting: one run per program over a short
+//! instruction budget, enough to prove the pipeline runs end-to-end and
+//! the artifact is well-formed. Exits non-zero if fewer than 3 of the 4
+//! held-out categories are detected at the target false-positive rate, or
+//! — on full-size runs — if adding the `energy.*` features does not
+//! improve mean held-out detection over HPC-only features (smoke corpora
+//! are too small to resolve that margin).
+
+use std::process::ExitCode;
+
+use evax_bench::zeroday_bench::{run_zeroday, ZerodayConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ZerodayConfig::default();
+    let mut out = String::from("BENCH_zeroday.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                cfg.seed = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--seed requires an integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--instrs" => {
+                i += 1;
+                cfg.max_instrs = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1000 => n,
+                    _ => {
+                        eprintln!("--instrs requires an integer >= 1000");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--runs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => {
+                        cfg.benign_runs = n;
+                        cfg.attack_runs = n;
+                    }
+                    _ => {
+                        eprintln!("--runs requires a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--fpr" => {
+                i += 1;
+                cfg.fpr = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(f) if (0.0..=0.5).contains(&f) => f,
+                    _ => {
+                        eprintln!("--fpr requires a fraction in [0, 0.5]");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--topk" => {
+                i += 1;
+                cfg.top_k = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(k) => k,
+                    None => {
+                        eprintln!("--topk requires an integer (0 = all dims)");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--bar" => {
+                i += 1;
+                cfg.detect_bar = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(b) if (0.0..=1.0).contains(&b) => b,
+                    _ => {
+                        eprintln!("--bar requires a fraction in [0, 1]");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--smoke" => {
+                let seed = cfg.seed;
+                let (top_k, bar) = (cfg.top_k, cfg.detect_bar);
+                cfg = ZerodayConfig::smoke(seed);
+                cfg.top_k = top_k;
+                cfg.detect_bar = bar;
+            }
+            "--out" => {
+                i += 1;
+                out = match args.get(i) {
+                    Some(p) => p.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!(
+                    "usage: zeroday [--seed N] [--instrs N] [--runs N] [--fpr F] \
+                     [--topk K] [--bar F] [--smoke] [--out PATH]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let report = run_zeroday(&cfg);
+    let json = report.to_json();
+    print!("{json}");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[zeroday] {}/4 categories detected with energy (hpc-only {}/4); \
+         mean TPR {:.3} vs {:.3}; held-out FPR {:.4} vs {:.4}",
+        report.detected_energy(),
+        report.detected_hpc(),
+        report.mean_tpr_energy(),
+        report.mean_tpr_hpc(),
+        report.fpr_energy,
+        report.fpr_hpc,
+    );
+    if report.detected_energy() < 3 {
+        eprintln!(
+            "error: only {}/4 held-out categories detected (need >= 3)",
+            report.detected_energy()
+        );
+        return ExitCode::FAILURE;
+    }
+    if report.fpr_energy > cfg.fpr || report.fpr_hpc > cfg.fpr {
+        eprintln!(
+            "error: held-out benign FPR {:.4} (hpc {:.4}) exceeds target {:.4}",
+            report.fpr_energy, report.fpr_hpc, cfg.fpr
+        );
+        return ExitCode::FAILURE;
+    }
+    if !cfg.smoke && report.mean_tpr_energy() <= report.mean_tpr_hpc() {
+        eprintln!(
+            "error: energy features did not improve mean held-out TPR \
+             ({:.4} vs {:.4})",
+            report.mean_tpr_energy(),
+            report.mean_tpr_hpc()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -36,6 +36,7 @@ pub mod harness;
 pub mod obs_pass;
 pub mod obs_report;
 pub mod stream_bench;
+pub mod zeroday_bench;
 
 pub use harness::{ExperimentScale, Harness};
 

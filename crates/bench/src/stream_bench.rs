@@ -60,7 +60,7 @@ pub fn corpus(repeat: usize) -> Vec<(usize, Program)> {
 /// window matrix.
 pub fn collect_streaming(corpus: &[(usize, Program)], parallelism: Parallelism) -> Dataset {
     let cpu_cfg = CpuConfig::default();
-    let dim = evax_sim::hpc_dim();
+    let dim = evax_sim::HPC_BASE_DIM;
     let per_run = par::map(parallelism, corpus, |(_, program)| {
         let mut stats = StreamStats::new(dim);
         ProgramSource::new(program, &cpu_cfg, INTERVAL, MAX_INSTRS).stream(&mut stats);
@@ -93,7 +93,7 @@ pub fn collect_materialized(corpus: &[(usize, Program)], parallelism: Parallelis
         ProgramSource::new(program, &cpu_cfg, INTERVAL, MAX_INSTRS).stream(&mut sink);
         (*class, sink.into_windows())
     });
-    let mut norm = Normalizer::new(evax_sim::hpc_dim());
+    let mut norm = Normalizer::new(evax_sim::HPC_BASE_DIM);
     for (_, windows) in &per_run {
         for w in windows {
             norm.observe(w);

@@ -13,6 +13,8 @@ fn armsrace_smoke_artifact_is_well_formed_and_reproducible() {
     let json = report.to_json();
     for key in [
         "\"strategies\"",
+        "\"cores\"",
+        "\"threads\"",
         "\"clean\"",
         "\"clean_false_positives\"",
         "\"race\"",

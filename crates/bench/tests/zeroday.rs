@@ -1,0 +1,102 @@
+//! The zero-day contract: a detector trained on benign windows only
+//! produces a well-formed, reproducible `BENCH_zeroday.json`, and on
+//! full-size runs detects at least 3 of the 4 held-out attack categories
+//! at a held-out benign FPR within the 5% target, with the `energy.*`
+//! tail strictly improving mean detection over HPC-only features. The
+//! full-size evaluation is gated behind `EVAX_SLOW_TESTS=1` like the
+//! other heavyweight suites.
+
+use evax_bench::zeroday_bench::{run_zeroday, ZerodayConfig, CATEGORIES};
+
+#[test]
+fn zeroday_smoke_artifact_is_well_formed_and_reproducible() {
+    let report = run_zeroday(&ZerodayConfig::smoke(42));
+    let json = report.to_json();
+    for key in [
+        "\"bench\": \"zeroday\"",
+        "\"cores\"",
+        "\"threads\"",
+        "\"dim_hpc\": 133",
+        "\"dim_energy\": 142",
+        "\"benign_windows\"",
+        "\"fpr_hpc\"",
+        "\"fpr_energy\"",
+        "\"mean_tpr_hpc\"",
+        "\"mean_tpr_energy\"",
+        "\"detected_hpc\"",
+        "\"detected_energy\"",
+        "\"energy_improves\"",
+        "\"pass\"",
+        "\"categories\"",
+    ] {
+        assert!(json.contains(key), "{key} missing from artifact:\n{json}");
+    }
+    for (name, _) in CATEGORIES {
+        assert!(
+            json.contains(&format!("\"name\": \"{name}\"")),
+            "{name} missing"
+        );
+    }
+    assert_eq!(report.categories.len(), 4);
+    assert_eq!(
+        report
+            .categories
+            .iter()
+            .map(|c| c.classes.len())
+            .sum::<usize>(),
+        21,
+        "categories must cover the full attack registry"
+    );
+    for pool in report.benign_windows {
+        assert!(pool > 0, "a benign pool collected no windows");
+    }
+
+    // Same seed + same config ⇒ byte-identical artifact.
+    let again = run_zeroday(&ZerodayConfig::smoke(42));
+    assert_eq!(json, again.to_json(), "same-seed zeroday run diverged");
+}
+
+#[test]
+fn zeroday_smoke_holds_the_false_positive_budget() {
+    let report = run_zeroday(&ZerodayConfig::smoke(42));
+    assert!(
+        report.fpr_hpc <= report.config.fpr,
+        "held-out HPC-only FPR {:.4} exceeds target {:.4}",
+        report.fpr_hpc,
+        report.config.fpr
+    );
+    assert!(
+        report.fpr_energy <= report.config.fpr,
+        "held-out energy FPR {:.4} exceeds target {:.4}",
+        report.fpr_energy,
+        report.config.fpr
+    );
+    assert!(report.passes(), "smoke acceptance gates failed");
+}
+
+#[test]
+fn zeroday_full_evaluation_slow() {
+    if std::env::var("EVAX_SLOW_TESTS").is_err() {
+        eprintln!("skipping zeroday_full_evaluation_slow; set EVAX_SLOW_TESTS=1");
+        return;
+    }
+    // The committed BENCH_zeroday.json shape: default config, seed 42.
+    let report = run_zeroday(&ZerodayConfig::default());
+    assert!(
+        report.detected_energy() >= 3,
+        "only {}/4 held-out categories detected",
+        report.detected_energy()
+    );
+    assert!(
+        report.fpr_energy <= report.config.fpr && report.fpr_hpc <= report.config.fpr,
+        "held-out FPR over target: hpc {:.4}, energy {:.4}",
+        report.fpr_hpc,
+        report.fpr_energy
+    );
+    assert!(
+        report.mean_tpr_energy() > report.mean_tpr_hpc(),
+        "energy features did not improve mean held-out TPR ({:.4} vs {:.4})",
+        report.mean_tpr_energy(),
+        report.mean_tpr_hpc()
+    );
+}

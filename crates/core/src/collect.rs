@@ -48,6 +48,12 @@ pub struct CollectConfig {
     /// `warmup_instrs` fast-forwards between sampling windows for large
     /// corpus-throughput gains at the cost of approximate windows.
     pub schedule: SampleSchedule,
+    /// Simulated core configuration for every run. The default is
+    /// bit-compatible with the historical hard-coded
+    /// `CpuConfig::default()`; enabling the energy sensor here widens the
+    /// collected windows (the dataset dimension follows
+    /// `FeatureSchema::for_config(&cpu)`).
+    pub cpu: CpuConfig,
 }
 
 impl Default for CollectConfig {
@@ -60,6 +66,7 @@ impl Default for CollectConfig {
             benign_scale: 12_000,
             parallelism: Parallelism::Auto,
             schedule: SampleSchedule::default(),
+            cpu: CpuConfig::default(),
         }
     }
 }
@@ -155,9 +162,9 @@ pub fn collect_dataset_stats_with(
     seed: u64,
     metrics: &MetricsSink,
 ) -> (Dataset, StreamStats) {
-    let cpu_cfg = CpuConfig::default();
+    let cpu_cfg = cfg.cpu.clone();
     let runs = run_specs(cfg, seed);
-    let dim = evax_sim::hpc_dim();
+    let dim = evax_sim::dim_for(&cpu_cfg);
 
     // Fit pass: stream every run's windows into per-stream statistics.
     // Memory per worker: one in-flight window vector plus O(dim) stats.
@@ -219,7 +226,7 @@ pub fn collect_program(
     cfg: &CollectConfig,
     norm: &Normalizer,
 ) -> Vec<Sample> {
-    let cpu_cfg = CpuConfig::default();
+    let cpu_cfg = cfg.cpu.clone();
     let mut sink = DatasetSink::new(norm, class);
     ProgramSource::new(program, &cpu_cfg, cfg.interval, cfg.max_instrs)
         .with_schedule(cfg.schedule)

@@ -45,7 +45,9 @@
 //! how many raw windows the corpus contains.
 
 use evax_obs::MetricsSink;
-use evax_sim::{Cpu, CpuConfig, MitigationMode, Program, RunResult, SampleSchedule};
+use evax_sim::{
+    Cpu, CpuConfig, FeatureSchema, MitigationMode, Modality, Program, RunResult, SampleSchedule,
+};
 
 use crate::dataset::{Dataset, Normalizer, Sample};
 use crate::detector::Detector;
@@ -422,8 +424,17 @@ impl WindowSink for StreamStats {
 /// Persisting this with the model (see [`crate::io::write_featurizer`])
 /// guarantees deployment-time featurization is the one the detector was
 /// trained with — there is no ad-hoc reconstruction to drift.
+///
+/// The featurizer owns the [`FeatureSchema`] describing its columns: the
+/// sensor columns it consumes (raw window order) followed by the
+/// engineered columns it appends. Serving paths negotiate window width
+/// through the schema ([`Featurizer::check_config`]) instead of assuming
+/// the fixed baseline width, so a featurizer fitted against one sensor
+/// configuration refuses — with a typed [`EvaxError::Config`](crate::error::EvaxError) — to consume
+/// windows from another.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Featurizer {
+    schema: FeatureSchema,
     normalizer: Normalizer,
     engineered: Vec<EngineeredFeature>,
 }
@@ -431,16 +442,124 @@ pub struct Featurizer {
 impl Featurizer {
     /// Creates a featurizer from a fitted normalizer and the mined
     /// engineered features (empty for baseline detectors).
+    ///
+    /// The schema is inferred: a normalizer of the baseline width gets the
+    /// named baseline-133 schema (bit- and fingerprint-compatible with
+    /// pre-schema artifacts), any other width gets anonymous `f{i}`
+    /// columns. Prefer [`Featurizer::with_schema`] when the true schema is
+    /// known (e.g. an energy-enabled sensor configuration).
     pub fn new(normalizer: Normalizer, engineered: Vec<EngineeredFeature>) -> Self {
+        let base = if normalizer.dim() == evax_sim::HPC_BASE_DIM {
+            FeatureSchema::baseline()
+        } else {
+            FeatureSchema::anonymous(normalizer.dim())
+        };
+        let schema = base.with_engineered(engineered.iter().map(|f| f.name.clone()));
         Featurizer {
+            schema,
             normalizer,
             engineered,
         }
     }
 
+    /// Creates a featurizer against an explicit sensor schema (the columns
+    /// of the raw windows the normalizer was fitted on).
+    ///
+    /// # Errors
+    /// [`EvaxError::Config`](crate::error::EvaxError) when the schema width does not match the
+    /// normalizer's, or when the schema already contains engineered
+    /// columns (those are appended here, from `engineered`).
+    pub fn with_schema(
+        base_schema: FeatureSchema,
+        normalizer: Normalizer,
+        engineered: Vec<EngineeredFeature>,
+    ) -> crate::error::Result<Self> {
+        use crate::error::EvaxError;
+        if base_schema.dim() != normalizer.dim() {
+            return Err(EvaxError::config(
+                "featurizer",
+                format!(
+                    "schema width {} does not match normalizer width {}",
+                    base_schema.dim(),
+                    normalizer.dim()
+                ),
+            ));
+        }
+        if base_schema.count(Modality::Engineered) != 0 {
+            return Err(EvaxError::config(
+                "featurizer",
+                "base schema must not contain engineered columns",
+            ));
+        }
+        let schema = base_schema.with_engineered(engineered.iter().map(|f| f.name.clone()));
+        Ok(Featurizer {
+            schema,
+            normalizer,
+            engineered,
+        })
+    }
+
     /// A featurizer with no engineered stage (baseline HPCs only).
     pub fn baseline(normalizer: Normalizer) -> Self {
         Featurizer::new(normalizer, Vec::new())
+    }
+
+    /// The full feature schema: sensor columns (what
+    /// [`featurize_into`](Self::featurize_into) consumes, in raw-window
+    /// order) followed by the engineered columns it appends. Its
+    /// fingerprint identifies this featurizer's feature space in
+    /// versioned artifacts.
+    pub fn schema(&self) -> &FeatureSchema {
+        &self.schema
+    }
+
+    /// The sensor (pre-engineering) portion of the schema — the columns of
+    /// the raw windows this featurizer consumes.
+    pub fn base_schema(&self) -> FeatureSchema {
+        FeatureSchema::from_columns(
+            self.schema
+                .columns()
+                .take(self.base_dim())
+                .map(|(n, m)| (n.to_string(), m))
+                .collect(),
+        )
+    }
+
+    /// Checks that raw windows produced by a CPU built from `cfg` are what
+    /// this featurizer consumes: same width, same column names and
+    /// modalities (by schema fingerprint). Anonymous-schema featurizers
+    /// (legacy artifacts) are checked by width only.
+    ///
+    /// # Errors
+    /// [`EvaxError::Config`](crate::error::EvaxError) describing the mismatch.
+    pub fn check_config(&self, cfg: &evax_sim::CpuConfig) -> crate::error::Result<()> {
+        use crate::error::EvaxError;
+        let produced = FeatureSchema::for_config(cfg);
+        if produced.dim() != self.base_dim() {
+            return Err(EvaxError::config(
+                "featurizer",
+                format!(
+                    "configuration produces {}-wide windows but the featurizer \
+                     was fitted on {}-wide windows",
+                    produced.dim(),
+                    self.base_dim()
+                ),
+            ));
+        }
+        let base = self.base_schema();
+        let anonymous = FeatureSchema::anonymous(self.base_dim());
+        if base != anonymous && base.fingerprint() != produced.fingerprint() {
+            return Err(EvaxError::config(
+                "featurizer",
+                format!(
+                    "schema fingerprint mismatch: configuration produces \
+                     {:016x} but the featurizer was fitted on {:016x}",
+                    produced.fingerprint(),
+                    base.fingerprint()
+                ),
+            ));
+        }
+        Ok(())
     }
 
     /// The normalization stage.
@@ -718,18 +837,18 @@ mod tests {
         assert!(result.committed_instructions > 0);
         let windows = sink.into_windows();
         assert!(windows.len() >= 5, "got {} windows", windows.len());
-        assert!(windows.iter().all(|w| w.len() == evax_sim::hpc_dim()));
+        assert!(windows.iter().all(|w| w.len() == evax_sim::HPC_BASE_DIM));
     }
 
     #[test]
     fn stream_stats_max_matches_two_pass_bitwise() {
         let program = spectre_program(2);
         let cfg = CpuConfig::default();
-        let mut stats = StreamStats::new(evax_sim::hpc_dim());
+        let mut stats = StreamStats::new(evax_sim::HPC_BASE_DIM);
         ProgramSource::new(&program, &cfg, 200, 3_000).stream(&mut stats);
         let mut collect = CollectingSink::new();
         ProgramSource::new(&program, &cfg, 200, 3_000).stream(&mut collect);
-        let mut two_pass = Normalizer::new(evax_sim::hpc_dim());
+        let mut two_pass = Normalizer::new(evax_sim::HPC_BASE_DIM);
         for w in collect.into_windows() {
             two_pass.observe(&w);
         }
@@ -862,7 +981,7 @@ mod tests {
 
     #[test]
     fn window_ipc_reads_the_counters() {
-        let dim = evax_sim::hpc_dim();
+        let dim = evax_sim::HPC_BASE_DIM;
         let mut values = vec![0.0f64; dim];
         values[evax_sim::hpc_index("cycles").unwrap()] = 200.0;
         values[evax_sim::hpc_index("commit.CommittedInsts").unwrap()] = 100.0;
@@ -872,5 +991,94 @@ mod tests {
             cycle: 200,
         };
         assert!((w.ipc() - 0.5).abs() < 1e-12);
+    }
+
+    fn energy_cfg() -> evax_sim::CpuConfig {
+        evax_sim::CpuConfig {
+            sensor: evax_sim::SensorConfig::builder()
+                .energy(true)
+                .build()
+                .unwrap(),
+            ..evax_sim::CpuConfig::default()
+        }
+    }
+
+    #[test]
+    fn new_infers_baseline_schema_at_baseline_width() {
+        let f = Featurizer::baseline(Normalizer::new(evax_sim::HPC_BASE_DIM));
+        assert_eq!(f.base_schema(), FeatureSchema::baseline());
+        let f = Featurizer::baseline(Normalizer::new(7));
+        assert_eq!(f.base_schema(), FeatureSchema::anonymous(7));
+    }
+
+    #[test]
+    fn with_schema_appends_engineered_columns() {
+        let cfg = energy_cfg();
+        let schema = FeatureSchema::for_config(&cfg);
+        let eng = vec![EngineeredFeature {
+            name: "sec_x".into(),
+            components: vec![0, 1],
+        }];
+        let f =
+            Featurizer::with_schema(schema.clone(), Normalizer::new(schema.dim()), eng).unwrap();
+        assert_eq!(f.base_dim(), schema.dim());
+        assert_eq!(f.feature_dim(), schema.dim() + 1);
+        assert_eq!(f.schema().name(schema.dim()), "sec_x");
+        assert_eq!(f.schema().count(Modality::Energy), evax_sim::ENERGY_DIM);
+        assert_eq!(f.base_schema(), schema);
+    }
+
+    #[test]
+    fn with_schema_rejects_width_mismatch_with_config_error() {
+        let err =
+            Featurizer::with_schema(FeatureSchema::baseline(), Normalizer::new(7), Vec::new())
+                .unwrap_err();
+        match err {
+            crate::error::EvaxError::Config { what, reason } => {
+                assert_eq!(what, "featurizer");
+                assert!(reason.contains("width"), "{reason}");
+            }
+            other => panic!("expected Config, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_schema_rejects_pre_engineered_base() {
+        let base = FeatureSchema::baseline().with_engineered(["already"]);
+        let err = Featurizer::with_schema(base.clone(), Normalizer::new(base.dim()), Vec::new())
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::error::EvaxError::Config { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn check_config_negotiates_window_width() {
+        let baseline = Featurizer::baseline(Normalizer::new(evax_sim::HPC_BASE_DIM));
+        baseline
+            .check_config(&evax_sim::CpuConfig::default())
+            .unwrap();
+        // An energy-enabled core produces wider windows: typed refusal.
+        let err = baseline.check_config(&energy_cfg()).unwrap_err();
+        match err {
+            crate::error::EvaxError::Config { what, reason } => {
+                assert_eq!(what, "featurizer");
+                assert!(reason.contains("wide windows"), "{reason}");
+            }
+            other => panic!("expected Config, got {other:?}"),
+        }
+        // And an energy-fitted featurizer refuses a baseline core.
+        let cfg = energy_cfg();
+        let schema = FeatureSchema::for_config(&cfg);
+        let wide =
+            Featurizer::with_schema(schema.clone(), Normalizer::new(schema.dim()), Vec::new())
+                .unwrap();
+        wide.check_config(&cfg).unwrap();
+        assert!(wide.check_config(&evax_sim::CpuConfig::default()).is_err());
+        // Legacy anonymous featurizers are checked by width only.
+        let legacy = Featurizer::baseline(Normalizer::new(schema.dim()));
+        assert_eq!(legacy.base_schema(), FeatureSchema::anonymous(schema.dim()));
+        legacy.check_config(&cfg).unwrap();
     }
 }

@@ -183,20 +183,96 @@ pub fn read_normalizer<R: Read>(r: R) -> Result<Normalizer> {
     Ok(norm)
 }
 
-/// Magic first line of the featurizer text format.
+/// Magic first line of the legacy (pre-schema) featurizer text format.
 const FEATURIZER_HEADER: &str = "evax-featurizer v1";
-/// Magic first line of the bundled model format.
+/// Magic first line of the schema-versioned featurizer text format.
+const FEATURIZER_HEADER_V2: &str = "evax-featurizer v2";
+/// Magic first line of the legacy (pre-schema) bundled model format.
 const MODEL_HEADER: &str = "evax-model v1";
+/// Magic first line of the schema-versioned bundled model format.
+const MODEL_HEADER_V2: &str = "evax-model v2";
+
+/// Renders a featurizer's sensor schema as the v2 `schema` row:
+/// `schema <fingerprint:016x> <name>:<tag>,...` using
+/// [`Modality::tag`](evax_sim::Modality::tag) characters.
+///
+/// # Errors
+/// Rejects column names containing the row's `:` / `,` / whitespace
+/// delimiters (none of the canonical counter names do).
+fn write_schema_row<W: Write>(schema: &evax_sim::FeatureSchema, mut w: W) -> Result<()> {
+    write!(w, "schema {:016x} ", schema.fingerprint())?;
+    for (i, (name, modality)) in schema.columns().enumerate() {
+        if name.contains([':', ',']) || name.chars().any(char::is_whitespace) {
+            return Err(EvaxError::parse(
+                0,
+                format!("schema column name {name:?} contains a delimiter"),
+            ));
+        }
+        if i > 0 {
+            write!(w, ",")?;
+        }
+        write!(w, "{}:{}", name, modality.tag())?;
+    }
+    writeln!(w)?;
+    Ok(())
+}
+
+/// Parses the v2 `schema` row written by [`write_schema_row`], verifying
+/// the recorded fingerprint against one recomputed from the parsed
+/// columns (a digit flipped anywhere in the row surfaces as corruption).
+fn parse_schema_row(row: &str, ln: usize) -> Result<evax_sim::FeatureSchema> {
+    let rest = row
+        .trim_end()
+        .strip_prefix("schema ")
+        .ok_or_else(|| EvaxError::parse(ln, "expected 'schema <fingerprint> <columns>' row"))?;
+    let (fp_hex, cols) = rest
+        .split_once(' ')
+        .ok_or_else(|| EvaxError::parse(ln, "schema row missing column list"))?;
+    let fingerprint = u64::from_str_radix(fp_hex, 16)
+        .map_err(|e| EvaxError::parse(ln, format!("bad schema fingerprint '{fp_hex}': {e}")))?;
+    let columns: Vec<(String, evax_sim::Modality)> = cols
+        .split(',')
+        .map(|c| {
+            let (name, tag) = c
+                .rsplit_once(':')
+                .ok_or_else(|| EvaxError::parse(ln, format!("bad schema column '{c}'")))?;
+            let tag_char = match tag.chars().next() {
+                Some(t) if tag.len() == 1 => t,
+                _ => return Err(EvaxError::parse(ln, format!("bad modality tag '{tag}'"))),
+            };
+            let modality = evax_sim::Modality::from_tag(tag_char)
+                .ok_or_else(|| EvaxError::parse(ln, format!("unknown modality tag '{tag}'")))?;
+            Ok((name.to_string(), modality))
+        })
+        .collect::<Result<_>>()?;
+    let schema = evax_sim::FeatureSchema::from_columns(columns);
+    if schema.fingerprint() != fingerprint {
+        return Err(EvaxError::corrupt(
+            "schema fingerprint",
+            format!("{fingerprint:016x} (recorded in the header)"),
+            format!(
+                "{:016x} (recomputed from the columns)",
+                schema.fingerprint()
+            ),
+        ));
+    }
+    Ok(schema)
+}
 
 /// Writes a [`Featurizer`] — the deployable window→feature transform — as a
-/// small text document: header, dimensions, the normalizer maxima row, and
-/// one `name|i,j,...` line per engineered security HPC.
+/// small text document: header, the sensor-schema row (fingerprint plus
+/// named, modality-tagged columns), dimensions, the normalizer maxima row,
+/// and one `name|i,j,...` line per engineered security HPC.
+///
+/// Always writes the v2 (schema-versioned) format; [`read_featurizer`]
+/// still accepts pre-schema v1 artifacts.
 ///
 /// # Errors
 /// Propagates writer failures, or rejects a featurizer whose engineered
 /// names contain the `|` / newline delimiters.
 pub fn write_featurizer<W: Write>(f: &Featurizer, mut w: W) -> Result<()> {
-    writeln!(w, "{FEATURIZER_HEADER}")?;
+    writeln!(w, "{FEATURIZER_HEADER_V2}")?;
+    write_schema_row(&f.base_schema(), &mut w)?;
     writeln!(w, "{},{}", f.base_dim(), f.engineered().len())?;
     write_normalizer(f.normalizer(), &mut w)?;
     for e in f.engineered() {
@@ -231,13 +307,23 @@ where
     };
 
     let (_, header) = next("header")?;
-    if header.trim() != FEATURIZER_HEADER {
-        return Err(EvaxError::corrupt(
-            "featurizer header",
-            format!("'{FEATURIZER_HEADER}'"),
-            format!("'{}'", header.trim()),
-        ));
-    }
+    let versioned = match header.trim() {
+        FEATURIZER_HEADER => false,
+        FEATURIZER_HEADER_V2 => true,
+        other => {
+            return Err(EvaxError::corrupt(
+                "featurizer header",
+                format!("'{FEATURIZER_HEADER_V2}' (or legacy '{FEATURIZER_HEADER}')"),
+                format!("'{other}'"),
+            ))
+        }
+    };
+    let base_schema = if versioned {
+        let (ln, row) = next("schema row")?;
+        Some(parse_schema_row(row, ln)?)
+    } else {
+        None
+    };
     let (ln, dims) = next("dimension row")?;
     let (base_dim, n_eng) = dims
         .trim()
@@ -302,7 +388,23 @@ where
             components,
         });
     }
-    Ok(Featurizer::new(Normalizer::from_maxima(maxima), engineered))
+    let normalizer = Normalizer::from_maxima(maxima);
+    match base_schema {
+        Some(schema) => {
+            if schema.dim() != base_dim {
+                return Err(EvaxError::corrupt(
+                    "featurizer schema row",
+                    format!("{base_dim} columns (per the dimension row)"),
+                    format!("{}", schema.dim()),
+                ));
+            }
+            Featurizer::with_schema(schema, normalizer, engineered)
+        }
+        // Legacy v1 artifacts carry no schema: infer it from the width
+        // (baseline-133 gets the canonical named schema, so pre-redesign
+        // artifacts keep their exact pre-redesign feature identity).
+        None => Ok(Featurizer::new(normalizer, engineered)),
+    }
 }
 
 /// Reads a featurizer written by [`write_featurizer`]. The round trip is
@@ -371,7 +473,7 @@ pub fn write_model_with_hardened<W: Write>(
     hardened: Option<&dyn evax_nn::Detector>,
     mut w: W,
 ) -> Result<()> {
-    writeln!(w, "{MODEL_HEADER}")?;
+    writeln!(w, "{MODEL_HEADER_V2}")?;
     write_featurizer(featurizer, &mut w)?;
     let blob = DetectorPatch::from_detector(detector, featurizer.base_dim(), revision).to_bytes();
     write!(w, "patch ")?;
@@ -418,10 +520,10 @@ pub fn read_model<R: Read>(mut r: R) -> Result<ModelBundle> {
     let (_, header) = lines
         .next()
         .ok_or_else(|| EvaxError::parse(1, "empty model file"))?;
-    if header.trim() != MODEL_HEADER {
+    if header.trim() != MODEL_HEADER_V2 && header.trim() != MODEL_HEADER {
         return Err(EvaxError::corrupt(
             "model header",
-            format!("'{MODEL_HEADER}'"),
+            format!("'{MODEL_HEADER_V2}' (or legacy '{MODEL_HEADER}')"),
             format!("'{}'", header.trim()),
         ));
     }
@@ -815,14 +917,178 @@ mod tests {
     #[test]
     fn bad_model_header_reports_expected_and_got() {
         let (_, _, text) = sample_model_text();
-        let bad = text.replacen(MODEL_HEADER, "evax-model v9", 1);
+        let bad = text.replacen(MODEL_HEADER_V2, "evax-model v9", 1);
         match read_model(bad.as_bytes()) {
             Err(EvaxError::Corrupt { expected, got, .. }) => {
-                assert!(expected.contains(MODEL_HEADER));
+                assert!(expected.contains(MODEL_HEADER_V2));
                 assert!(got.contains("evax-model v9"));
             }
             other => panic!("expected Corrupt, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn v2_featurizer_embeds_and_verifies_the_schema() {
+        let f = sample_featurizer();
+        let mut buf = Vec::new();
+        write_featurizer(&f, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with(FEATURIZER_HEADER_V2), "{text}");
+        let fp = f.base_schema().fingerprint();
+        assert!(text.contains(&format!("schema {fp:016x} ")), "{text}");
+        let back = read_featurizer(text.as_bytes()).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.schema().fingerprint(), f.schema().fingerprint());
+    }
+
+    #[test]
+    fn v2_schema_fingerprint_mismatch_is_corruption() {
+        let f = sample_featurizer();
+        let mut buf = Vec::new();
+        write_featurizer(&f, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Rename a column without updating the recorded fingerprint: the
+        // recomputed fingerprint disagrees → Corrupt naming both values.
+        let poked = text.replacen("f0:h", "fX:h", 1);
+        assert_ne!(poked, text);
+        match read_featurizer(poked.as_bytes()) {
+            Err(EvaxError::Corrupt { what, .. }) => assert_eq!(what, "schema fingerprint"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Flip a digit of the recorded fingerprint itself: same detection.
+        let fp = f.base_schema().fingerprint();
+        let poked = text.replacen(
+            &format!("schema {fp:016x}"),
+            &format!("schema {:016x}", fp ^ 1),
+            1,
+        );
+        assert_ne!(poked, text);
+        match read_featurizer(poked.as_bytes()) {
+            Err(EvaxError::Corrupt { what, .. }) => assert_eq!(what, "schema fingerprint"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_schema_row_malformations_are_parse_errors() {
+        let f = sample_featurizer();
+        let mut buf = Vec::new();
+        write_featurizer(&f, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let fp = format!("{:016x}", f.base_schema().fingerprint());
+        for (from, to) in [
+            ("schema ", "schemo "),           // wrong row keyword
+            ("f1:h", "f1#h"),                 // column missing the ':' separator
+            ("f2:h", "f2:z"),                 // unknown modality tag
+            (fp.as_str(), "nothexadecimal0"), // unparsable fingerprint
+        ] {
+            let poked = text.replacen(from, to, 1);
+            assert_ne!(poked, text, "{from} must appear in the fixture");
+            let err = read_featurizer(poked.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, EvaxError::Parse { line: 2, .. }),
+                "{from} -> {to}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_schema_width_must_match_dimension_row() {
+        let f = sample_featurizer();
+        let mut buf = Vec::new();
+        write_featurizer(&f, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Drop one column from the schema row (fingerprint updated so the
+        // width disagreement is what surfaces, not the fingerprint).
+        let narrower = evax_sim::FeatureSchema::from_columns(
+            f.base_schema()
+                .columns()
+                .take(3)
+                .map(|(n, m)| (n.to_string(), m))
+                .collect(),
+        );
+        let mut row = Vec::new();
+        write_schema_row(&narrower, &mut row).unwrap();
+        let old_fp = f.base_schema().fingerprint();
+        let poked = text.replacen(
+            &format!("schema {old_fp:016x} f0:h,f1:h,f2:h,f3:h\n"),
+            std::str::from_utf8(&row).unwrap(),
+            1,
+        );
+        assert_ne!(poked, text);
+        match read_featurizer(poked.as_bytes()) {
+            Err(EvaxError::Corrupt { what, .. }) => assert_eq!(what, "featurizer schema row"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    /// Golden fixture: a pre-redesign (v1, schema-less) baseline-133
+    /// artifact, byte-for-byte as `write_featurizer` used to emit it. It
+    /// must keep loading, and must come back with the canonical named
+    /// baseline schema — not an anonymous one — so old deployments keep
+    /// their exact feature identity under the schema redesign.
+    #[test]
+    fn golden_v1_baseline_artifact_still_loads() {
+        use evax_sim::HPC_BASE_DIM;
+        let maxima: Vec<String> = (0..HPC_BASE_DIM)
+            .map(|i| format!("{}", (i as f64 + 1.0) * 0.5))
+            .collect();
+        let v1 = format!(
+            "evax-featurizer v1\n{},2\n{}\nsec_a|0,5\nsec_b|7,12,31\n",
+            HPC_BASE_DIM,
+            maxima.join(",")
+        );
+        let f = read_featurizer(v1.as_bytes()).unwrap();
+        assert_eq!(f.base_dim(), HPC_BASE_DIM);
+        assert_eq!(f.engineered().len(), 2);
+        assert_eq!(f.base_schema(), evax_sim::FeatureSchema::baseline());
+        assert_eq!(f.schema().name(0), "cycles");
+        assert_eq!(f.schema().name(HPC_BASE_DIM), "sec_a");
+        // Re-saving upgrades to v2 with the baseline fingerprint embedded;
+        // the upgraded artifact round-trips to the identical featurizer.
+        let mut buf = Vec::new();
+        write_featurizer(&f, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with(FEATURIZER_HEADER_V2));
+        let fp = evax_sim::FeatureSchema::baseline().fingerprint();
+        assert!(
+            text.contains(&format!("schema {fp:016x} cycles:h,")),
+            "{text}"
+        );
+        assert_eq!(read_featurizer(text.as_bytes()).unwrap(), f);
+    }
+
+    /// Same guarantee for bundles: a v1 model (v1 header + v1 featurizer
+    /// block + patch row) written before the redesign still loads.
+    #[test]
+    fn golden_v1_model_bundle_still_loads() {
+        let (_, featurizer, v2_text) = sample_model_text();
+        // Reconstruct the pre-redesign rendering of this bundle: v1
+        // headers, no schema row. (The patch row encoding is unchanged.)
+        let fp = featurizer.base_schema().fingerprint();
+        let v1_text = v2_text
+            .replacen(MODEL_HEADER_V2, MODEL_HEADER, 1)
+            .replacen(FEATURIZER_HEADER_V2, FEATURIZER_HEADER, 1)
+            .lines()
+            .filter(|l| !l.starts_with(&format!("schema {fp:016x}")))
+            .map(|l| format!("{l}\n"))
+            .collect::<String>();
+        assert_ne!(v1_text, v2_text);
+        let bundle = read_model(v1_text.as_bytes()).unwrap();
+        assert_eq!(bundle.revision, 3);
+        assert_eq!(bundle.featurizer, featurizer);
+    }
+
+    #[test]
+    fn schema_row_rejects_delimiter_names() {
+        let schema = evax_sim::FeatureSchema::from_columns(vec![(
+            "bad:name".into(),
+            evax_sim::Modality::Hpc,
+        )]);
+        let mut buf = Vec::new();
+        let err = write_schema_row(&schema, &mut buf).unwrap_err();
+        assert!(matches!(err, EvaxError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("delimiter"), "{err}");
     }
 
     #[test]

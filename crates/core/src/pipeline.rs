@@ -398,14 +398,8 @@ pub fn vaccinate_with_metrics<R: Rng>(
     //    fixed features ... we retrain the weights at each fold" — the
     //    mining arity/count is fixed).
     let stage_start = std::time::Instant::now();
-    let names = evax_sim::hpc_names();
-    let dim = train.feature_dim();
-    let engineered = engineer_features(
-        gan.generator(),
-        N_ENGINEERED,
-        2,
-        &names[..names.len().min(dim.max(1))],
-    );
+    let schema = evax_sim::FeatureSchema::for_dim(train.feature_dim());
+    let engineered = engineer_features(gan.generator(), N_ENGINEERED, 2, &schema.names_vec());
     timings.engineer_secs += stage_start.elapsed().as_secs_f64();
 
     // 3. Vaccinate: augment with generated samples, train the detector on

@@ -28,7 +28,8 @@ pub struct Region {
 /// Partitions the canonical HPC space into pipeline regions by counter name
 /// prefix — the "different positions in the pipeline" of the paper.
 pub fn pipeline_regions() -> Vec<Region> {
-    let names = evax_sim::hpc_names();
+    let schema = evax_sim::FeatureSchema::baseline();
+    let names = schema.names_vec();
     let groups: &[(&str, &[&str])] = &[
         ("front-end", &["fetch.", "bp.", "icache.", "itlb."]),
         ("rename-issue", &["rename.", "iq.", "spec."]),

@@ -392,6 +392,29 @@ impl WindowSink for IpcTrace {
     }
 }
 
+/// Negotiates the controller's window width against the core's sensor
+/// configuration before any window is sampled: a normalizer fitted on one
+/// schema refuses a core producing another width up front, with
+/// [`evax_core::error::EvaxError::Config`] context, instead of a bare
+/// slice-length panic mid-run.
+///
+/// # Panics
+/// Panics (with the typed error's message) on a width disagreement.
+fn check_window_width(cpu_cfg: &CpuConfig, normalizer: &Normalizer) {
+    let produced = evax_sim::dim_for(cpu_cfg);
+    if normalizer.dim() != produced {
+        let err = evax_core::error::EvaxError::config(
+            "adaptive",
+            format!(
+                "configuration produces {produced}-wide windows but the \
+                 normalizer was fitted on {}-wide windows",
+                normalizer.dim()
+            ),
+        );
+        panic!("{err}");
+    }
+}
+
 /// Runs `program` under the adaptive architecture: performance mode until
 /// the detector flags, then `secure_window` instructions of the policy's
 /// mitigation.
@@ -406,6 +429,7 @@ pub fn run_adaptive(
     cfg: &AdaptiveConfig,
     max_instrs: u64,
 ) -> AdaptiveRun {
+    check_window_width(cpu_cfg, normalizer);
     let mut controller = AdaptiveController::new(detector, normalizer, cfg);
     let result = ProgramSource::new(program, cpu_cfg, cfg.sample_interval, max_instrs)
         .stream(&mut controller);
@@ -425,6 +449,7 @@ pub fn run_adaptive_with_model(
     cfg: &AdaptiveConfig,
     max_instrs: u64,
 ) -> AdaptiveRun {
+    check_window_width(cpu_cfg, normalizer);
     let mut controller = AdaptiveController::new(detector, normalizer, cfg).with_model(model);
     let result = ProgramSource::new(program, cpu_cfg, cfg.sample_interval, max_instrs)
         .stream(&mut controller);
@@ -482,6 +507,7 @@ pub fn run_adaptive_with_metrics(
     label: &str,
     is_attack: bool,
 ) -> AdaptiveRun {
+    check_window_width(cpu_cfg, normalizer);
     let mut controller = AdaptiveController::new(detector, normalizer, cfg);
     let result = ProgramSource::new(program, cpu_cfg, cfg.sample_interval, max_instrs)
         .with_metrics(metrics.clone())
@@ -579,6 +605,29 @@ mod tests {
             MitigationMode::InvisiSpecFuturistic
         );
         assert!(!Policy::FenceFuturistic.name().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wide windows")]
+    fn adaptive_refuses_mismatched_window_width() {
+        let (det, norm) = trained_detector(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let attack = evax_attacks::build_attack(
+            evax_attacks::AttackClass::SpectrePht,
+            &evax_attacks::KernelParams::default(),
+            &mut rng,
+        );
+        let cfg = AdaptiveConfig::default();
+        // Baseline-fitted normalizer against an energy-enabled core: the
+        // width negotiation fails up front with Config context.
+        let cpu_cfg = CpuConfig {
+            sensor: evax_sim::SensorConfig::builder()
+                .energy(true)
+                .build()
+                .unwrap(),
+            ..CpuConfig::default()
+        };
+        run_adaptive(&cpu_cfg, &attack, &det, &norm, &cfg, 20_000);
     }
 
     #[test]

@@ -43,7 +43,7 @@ use std::time::Instant;
 use evax_core::par::{self, round_robin_shards, Parallelism};
 use evax_core::prelude::{Detector, Featurizer, WindowBatch};
 use evax_nn::detector::{Detector as ModelDetector, DetectorScratch};
-use evax_sim::{hpc_dim, Cpu, CpuConfig, Program, RunResult, SampledCursor, SampledStep};
+use evax_sim::{Cpu, CpuConfig, Program, RunResult, SampledCursor, SampledStep};
 use rand::SeedableRng;
 
 use crate::adaptive::{AdaptiveConfig, SecureModeState};
@@ -454,7 +454,7 @@ fn run_shard(
     let ext_dim = detector.extended_dim();
     let mut batch: WindowBatch<(usize, u64, Instant)> =
         WindowBatch::new(ext_dim, cfg.batch_windows);
-    let mut raw = vec![0.0f64; hpc_dim()];
+    let mut raw = vec![0.0f64; evax_sim::dim_for(cpu_cfg)];
     let mut base = vec![0.0f32; featurizer.base_dim()];
     let mut scratch = DrainScratch {
         scores: Vec::new(),
@@ -638,6 +638,12 @@ pub fn run_fleet_with_model(
         detector.extended_dim(),
         "featurizer and detector must share one engineered-feature chain"
     );
+    // Schema negotiation: the featurizer refuses windows from a core whose
+    // sensor configuration produces a different counter schema (typed
+    // `EvaxError::Config` context instead of a slice-length panic mid-run).
+    if let Err(e) = featurizer.check_config(cpu_cfg) {
+        panic!("fleet schema negotiation failed: {e}");
+    }
     assert_eq!(
         model.n_features(),
         detector.extended_dim(),
@@ -746,6 +752,30 @@ mod tests {
                 threads
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "schema negotiation")]
+    fn fleet_refuses_mismatched_sensor_schema() {
+        let (det, norm) = trained(5);
+        let feat = Featurizer::new(norm, det.engineered().to_vec());
+        // The featurizer was fitted on baseline-133 windows; an
+        // energy-enabled core produces a wider schema and must be refused
+        // up front (typed Config context), not by a slice panic mid-run.
+        let cpu_cfg = CpuConfig {
+            sensor: evax_sim::SensorConfig::builder()
+                .energy(true)
+                .build()
+                .unwrap(),
+            ..CpuConfig::default()
+        };
+        run_fleet(
+            &small_cfg(InferenceMode::PerWindow),
+            &cpu_cfg,
+            &det,
+            &feat,
+            Parallelism::Fixed(1),
+        );
     }
 
     #[test]

@@ -180,21 +180,21 @@ impl Clone for Box<dyn Detector> {
 // Little-endian byte-blob helpers shared by the serialization hooks.
 // ---------------------------------------------------------------------------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f32(out: &mut Vec<u8>, v: f32) {
+pub(crate) fn put_f32(out: &mut Vec<u8>, v: f32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Cursor { bytes, pos: 0 }
     }
 
@@ -213,7 +213,7 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, String> {
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
@@ -229,7 +229,7 @@ impl<'a> Cursor<'a> {
         Ok(self.u64()? as i64)
     }
 
-    fn f32(&mut self) -> Result<f32, String> {
+    pub(crate) fn f32(&mut self) -> Result<f32, String> {
         Ok(f32::from_bits(self.u32()?))
     }
 
@@ -238,7 +238,7 @@ impl<'a> Cursor<'a> {
         Ok(i16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn f32_vec(&mut self, n: usize) -> Result<Vec<f32>, String> {
+    pub(crate) fn f32_vec(&mut self, n: usize) -> Result<Vec<f32>, String> {
         let mut v = Vec::with_capacity(n);
         for _ in 0..n {
             v.push(self.f32()?);
@@ -246,7 +246,7 @@ impl<'a> Cursor<'a> {
         Ok(v)
     }
 
-    fn done(&self) -> Result<(), String> {
+    pub(crate) fn done(&self) -> Result<(), String> {
         if self.pos == self.bytes.len() {
             Ok(())
         } else {
@@ -262,7 +262,7 @@ impl<'a> Cursor<'a> {
 /// from corrupted blobs before they drive an allocation.
 const MAX_SERIALIZED_DIM: u32 = 1 << 24;
 
-fn checked_dim(n: u32, what: &str) -> Result<usize, String> {
+pub(crate) fn checked_dim(n: u32, what: &str) -> Result<usize, String> {
     if n == 0 || n > MAX_SERIALIZED_DIM {
         return Err(format!("implausible {what} dimension {n}"));
     }
@@ -958,6 +958,7 @@ pub fn load_detector(kind: &str, bytes: &[u8]) -> Result<Box<dyn Detector>, Stri
         "network" => Ok(Box::new(load_network(bytes)?)),
         "stochastic" => Ok(Box::new(load_stochastic(bytes)?)),
         "ensemble" => Ok(Box::new(load_ensemble(bytes)?)),
+        "anomaly" => Ok(Box::new(crate::anomaly::load_anomaly(bytes)?)),
         other => Err(format!("unknown detector kind '{other}'")),
     }
 }

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod anomaly;
 pub mod detector;
 pub mod gan;
 pub mod init;
@@ -56,6 +57,7 @@ pub mod quant;
 pub mod tensor;
 
 pub use activation::Activation;
+pub use anomaly::AnomalyScorer;
 pub use detector::{
     load_detector, Detector, DetectorScratch, Ensemble, StochasticDetector, ThresholdedPerceptron,
 };

@@ -188,6 +188,12 @@ pub struct CpuConfig {
     /// Scheduling core (event-driven vs. the reference scan scheduler).
     /// Results are bit-identical either way; only throughput differs.
     pub scheduler: SchedulerKind,
+    /// Sensing modalities beyond the baseline HPCs (the per-structure
+    /// energy model). Disabled by default and bitwise-invisible when
+    /// disabled; enabling it appends `energy.*` counters to the exported
+    /// vector (see `crate::schema::FeatureSchema::for_config`).
+    #[serde(default)]
+    pub sensor: crate::energy::SensorConfig,
 }
 
 impl Default for CpuConfig {
@@ -240,6 +246,7 @@ impl Default for CpuConfig {
             rdrand_latency: 40,
             syscall_latency: 100,
             scheduler: SchedulerKind::EventDriven,
+            sensor: crate::energy::SensorConfig::default(),
         }
     }
 }
@@ -266,6 +273,7 @@ impl CpuConfig {
         self.l1d.validate().map_err(|e| format!("l1d: {e}"))?;
         self.l2.validate().map_err(|e| format!("l2: {e}"))?;
         self.dram.validate().map_err(|e| format!("dram: {e}"))?;
+        self.sensor.validate().map_err(|e| format!("sensor: {e}"))?;
         Ok(())
     }
 
@@ -358,6 +366,18 @@ mod tests {
         let t = CpuConfig::default().to_table();
         assert!(t.contains("ROBEntries=192"));
         assert!(t.contains("Tournament"));
+    }
+
+    #[test]
+    fn sensor_default_disabled_and_validated() {
+        let c = CpuConfig::default();
+        assert!(!c.sensor.energy);
+        assert!(c.validate().is_ok());
+        let mut bad = CpuConfig::default();
+        bad.sensor.energy = true;
+        bad.sensor.weights.dram_activate = crate::energy::MAX_ENERGY_WEIGHT + 1;
+        let err = bad.validate().unwrap_err();
+        assert!(err.starts_with("sensor:"), "{err}");
     }
 
     #[test]

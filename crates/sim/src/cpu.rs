@@ -128,7 +128,8 @@ pub struct HpcSample {
     pub instructions: u64,
     /// Cycle at the end of the window.
     pub cycle: u64,
-    /// Per-counter deltas, ordered as [`crate::hpc::hpc_names`].
+    /// Per-counter deltas, ordered as the configuration's
+    /// [`FeatureSchema`](crate::schema::FeatureSchema).
     pub values: Vec<f64>,
 }
 
@@ -179,8 +180,9 @@ pub struct SampledCursor {
 /// Outcome of one [`SampledCursor::next_window_into`] step.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SampledStep {
-    /// A sampling window closed. Per-counter **deltas** (ordered as
-    /// [`crate::hpc::hpc_names`]) were written into the caller's buffer.
+    /// A sampling window closed. Per-counter **deltas** (ordered as the
+    /// configuration's [`FeatureSchema`](crate::schema::FeatureSchema))
+    /// were written into the caller's buffer.
     Window {
         /// Committed instructions at the end of the window.
         instructions: u64,
@@ -198,8 +200,8 @@ pub enum SampledStep {
 
 impl SampledCursor {
     /// Advances the core until the next sampling window closes (writing
-    /// the counter deltas into `values`, which must be `hpc_dim()` long)
-    /// or the run ends.
+    /// the counter deltas into `values`, which must be
+    /// `dim_for(cpu.config())` long) or the run ends.
     ///
     /// The step sequence — loop-condition check, `step_cycle`, window
     /// check — is exactly the one the original monolithic `run_sampled`
@@ -300,9 +302,15 @@ impl SampledCursor {
         }
     }
 
-    /// Rebuilds a cursor from a snapshot word stream. Returns `None` on a
-    /// truncated or malformed stream.
-    pub(crate) fn load_state(w: &mut std::slice::Iter<'_, u64>) -> Option<SampledCursor> {
+    /// Rebuilds a cursor from a snapshot word stream. `expected_dim` is the
+    /// counter width of the restoring configuration
+    /// (`crate::hpc::dim_for`); a cursor recorded against a different
+    /// schema is malformed. Returns `None` on a truncated or malformed
+    /// stream.
+    pub(crate) fn load_state(
+        w: &mut std::slice::Iter<'_, u64>,
+        expected_dim: usize,
+    ) -> Option<SampledCursor> {
         let start_committed = *w.next()?;
         let start_cycle = *w.next()?;
         let cycle_budget = *w.next()?;
@@ -317,7 +325,7 @@ impl SampledCursor {
             _ => return None,
         };
         let n = usize::try_from(*w.next()?).ok()?;
-        if n != crate::hpc::hpc_dim() {
+        if n != expected_dim {
             return None;
         }
         let mut prev_vec = Vec::with_capacity(n);
@@ -636,7 +644,7 @@ impl Cpu {
         mut on_sample: impl FnMut(HpcSample) -> Option<MitigationMode>,
     ) -> RunResult {
         let mut cursor = self.begin_sampled(max_instrs, sample_interval);
-        let dim = crate::hpc::hpc_dim();
+        let dim = crate::hpc::dim_for(self.config());
         loop {
             // The retained delta row is the window's only allocation:
             // counters are read straight into it, then converted to
@@ -692,7 +700,7 @@ impl Cpu {
         let start_committed = self.stats.committed_insts;
         self.arch_pc = 0;
         self.reset_front_end_at(0);
-        let dim = crate::hpc::hpc_dim();
+        let dim = crate::hpc::dim_for(self.config());
         let mut prev_vec = vec![0.0f64; dim];
         crate::hpc::hpc_vector_into(self, &mut prev_vec);
         self.committed_since_sample = 0;
@@ -724,7 +732,7 @@ impl Cpu {
         mut on_sample: impl FnMut(HpcSample) -> Option<MitigationMode>,
     ) -> RunResult {
         let mut cursor = self.begin_sampled_with_schedule(max_instrs, sample_interval, schedule);
-        let dim = crate::hpc::hpc_dim();
+        let dim = crate::hpc::dim_for(self.config());
         loop {
             let mut values = vec![0.0f64; dim];
             match cursor.next_window_into(self, program, &mut values) {
@@ -2689,9 +2697,11 @@ impl Cpu {
             what: "snapshot has no cursor section",
         })?;
         let mut w = cursor_words.iter();
-        let cursor = SampledCursor::load_state(&mut w).ok_or(SnapshotError::Malformed {
-            what: "cursor state words",
-        })?;
+        let expected_dim = crate::hpc::dim_for(cpu.config());
+        let cursor =
+            SampledCursor::load_state(&mut w, expected_dim).ok_or(SnapshotError::Malformed {
+                what: "cursor state words",
+            })?;
         if w.next().is_some() {
             return Err(SnapshotError::Malformed {
                 what: "trailing cursor state words",

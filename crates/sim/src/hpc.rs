@@ -12,22 +12,51 @@
 //! [`for_each_hpc`] is the single source of truth for the counter order;
 //! everything else (names, allocation-free [`hpc_vector_into`], the
 //! `Vec`-returning conveniences) derives from it, so the name table and the
-//! value fill can never drift apart.
+//! value fill can never drift apart. When the configuration enables the
+//! energy sensor (`crate::energy`), the visitor appends the `energy.*`
+//! counters after the baseline 133 — a disabled sensor is bitwise-invisible
+//! (golden tests pin this). The counter list a given configuration exports
+//! is described by [`crate::schema::FeatureSchema`]; prefer
+//! `FeatureSchema::for_config(cfg).dim()` over the deprecated fixed-width
+//! [`hpc_dim`]/[`hpc_names`] accessors.
 
 use std::sync::OnceLock;
 
 use crate::cache::CacheStats;
+use crate::config::CpuConfig;
 use crate::cpu::Cpu;
 use crate::tlb::TlbStats;
 
-/// Number of baseline HPC features (pre-engineering).
+/// Number of baseline HPC features (pre-engineering, pre-sensor).
 pub const HPC_BASE_DIM: usize = 133;
 
-/// Visits every baseline HPC as a `(name, value)` pair, in canonical order.
+/// Width of the counter vector a CPU built from `cfg` exports: the 133
+/// baseline HPCs, plus the `energy.*` tail when the energy sensor is
+/// enabled. Equals `FeatureSchema::for_config(cfg).dim()` without building
+/// the schema (this is the sampling hot path's sizing primitive).
+pub fn dim_for(cfg: &CpuConfig) -> usize {
+    HPC_BASE_DIM + cfg.sensor.extra_dim()
+}
+
+/// Visits every exported counter as a `(name, value)` pair, in canonical
+/// order: the 133 baseline HPCs, then (only when the configuration enables
+/// the energy sensor) the `energy.*` counters.
 ///
 /// This is the sampling hot path's primitive: it reads counters straight off
 /// the simulator with no intermediate allocation.
 pub fn for_each_hpc(cpu: &Cpu, mut f: impl FnMut(&'static str, f64)) {
+    for_each_base_hpc(cpu, &mut f);
+    let sensor = &cpu.config().sensor;
+    if sensor.energy {
+        let e = crate::energy::energy_counters(cpu, &sensor.weights);
+        for (name, val) in crate::energy::ENERGY_NAMES.iter().zip(e) {
+            f(name, val as f64);
+        }
+    }
+}
+
+/// The baseline-133 portion of [`for_each_hpc`].
+fn for_each_base_hpc(cpu: &Cpu, f: &mut impl FnMut(&'static str, f64)) {
     let p = cpu.stats();
 
     // ---- global ----
@@ -137,13 +166,13 @@ pub fn for_each_hpc(cpu: &Cpu, mut f: impl FnMut(&'static str, f64)) {
     f("syscalls", p.syscalls as f64);
 
     // ---- caches ----
-    visit_cache(&mut f, "icache", cpu.icache().stats());
-    visit_cache(&mut f, "dcache", cpu.dcache().stats());
-    visit_cache(&mut f, "l2", cpu.l2().stats());
+    visit_cache(f, "icache", cpu.icache().stats());
+    visit_cache(f, "dcache", cpu.dcache().stats());
+    visit_cache(f, "l2", cpu.l2().stats());
 
     // ---- TLBs ----
-    visit_tlb(&mut f, "dtlb", cpu.dtlb().stats());
-    visit_tlb(&mut f, "itlb", cpu.itlb().stats());
+    visit_tlb(f, "dtlb", cpu.dtlb().stats());
+    visit_tlb(f, "itlb", cpu.itlb().stats());
 
     // ---- DRAM ----
     let d = cpu.dram().stats();
@@ -296,40 +325,46 @@ fn visit_tlb(f: &mut impl FnMut(&'static str, f64), which: &'static str, s: &Tlb
     }
 }
 
-/// Dimension of the baseline HPC vector (what [`hpc_vector_into`] expects).
+/// Dimension of the **baseline** HPC vector.
+#[deprecated(
+    since = "0.9.0",
+    note = "window width is configuration-dependent now; use \
+            `FeatureSchema::for_config(cfg).dim()` (or `hpc::dim_for`) \
+            instead of assuming the fixed baseline width"
+)]
 pub fn hpc_dim() -> usize {
     HPC_BASE_DIM
 }
 
-/// Fills `out` with the baseline HPC feature vector, allocation-free.
+/// Fills `out` with the counter vector for this CPU's configuration,
+/// allocation-free.
 ///
 /// # Panics
-/// Panics if `out.len() != HPC_BASE_DIM`.
+/// Panics if `out.len() != dim_for(cpu.config())`.
 pub fn hpc_vector_into(cpu: &Cpu, out: &mut [f64]) {
-    assert_eq!(out.len(), HPC_BASE_DIM, "HPC output slice has wrong length");
+    let dim = dim_for(cpu.config());
+    assert_eq!(out.len(), dim, "HPC output slice has wrong length");
     let mut i = 0usize;
     for_each_hpc(cpu, |_, val| {
         out[i] = val;
         i += 1;
     });
-    debug_assert_eq!(i, HPC_BASE_DIM, "HPC vector drifted from HPC_BASE_DIM");
+    debug_assert_eq!(i, dim, "HPC vector drifted from the config's schema");
 }
 
-/// `(name, value)` pairs for every baseline HPC, in canonical order.
+/// `(name, value)` pairs for every exported counter, in canonical order.
 /// Convenience wrapper over [`for_each_hpc`] (allocates; tests/reporting).
 pub fn hpc_pairs(cpu: &Cpu) -> Vec<(&'static str, f64)> {
-    let mut v: Vec<(&'static str, f64)> = Vec::with_capacity(HPC_BASE_DIM);
+    let dim = dim_for(cpu.config());
+    let mut v: Vec<(&'static str, f64)> = Vec::with_capacity(dim);
     for_each_hpc(cpu, |name, val| v.push((name, val)));
-    debug_assert_eq!(
-        v.len(),
-        HPC_BASE_DIM,
-        "HPC vector drifted from HPC_BASE_DIM"
-    );
+    debug_assert_eq!(v.len(), dim, "HPC vector drifted from the config's schema");
     v
 }
 
-/// Canonical HPC names, in the same order as [`hpc_vector`]. Computed once.
-pub fn hpc_names() -> &'static [&'static str] {
+/// The baseline-133 counter names, in canonical order. Computed once;
+/// backs [`crate::schema::FeatureSchema::baseline`].
+pub(crate) fn base_hpc_names() -> &'static [&'static str] {
     static NAMES: OnceLock<Vec<&'static str>> = OnceLock::new();
     NAMES.get_or_init(|| {
         let cpu = Cpu::new(crate::config::CpuConfig::default());
@@ -339,23 +374,45 @@ pub fn hpc_names() -> &'static [&'static str] {
     })
 }
 
-/// The baseline HPC feature vector (order matches [`hpc_names`]).
+/// Canonical **baseline** HPC names.
+#[deprecated(
+    since = "0.9.0",
+    note = "the counter list is configuration-dependent now; use \
+            `FeatureSchema::for_config(cfg)` for names + modality tags"
+)]
+pub fn hpc_names() -> &'static [&'static str] {
+    base_hpc_names()
+}
+
+/// The counter vector for this CPU's configuration (order matches
+/// `FeatureSchema::for_config(cpu.config())`).
 /// Convenience wrapper; the sampling hot path uses [`hpc_vector_into`].
 pub fn hpc_vector(cpu: &Cpu) -> Vec<f64> {
-    let mut v = vec![0.0f64; HPC_BASE_DIM];
+    let mut v = vec![0.0f64; dim_for(cpu.config())];
     hpc_vector_into(cpu, &mut v);
     v
 }
 
-/// Index of a named HPC in the vector, if present.
+/// Index of a named HPC in the **baseline** vector, if present. For
+/// configuration-dependent schemas use
+/// [`FeatureSchema::index`](crate::schema::FeatureSchema::index).
 pub fn hpc_index(name: &str) -> Option<usize> {
-    hpc_names().iter().position(|&n| n == name)
+    base_hpc_names().iter().position(|&n| n == name)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::CpuConfig;
+    use crate::energy::{SensorConfig, ENERGY_DIM};
+
+    fn energy_cfg() -> CpuConfig {
+        CpuConfig {
+            sensor: SensorConfig::builder().energy(true).build().unwrap(),
+            ..CpuConfig::default()
+        }
+    }
 
     #[test]
     fn vector_matches_base_dim() {
@@ -363,6 +420,27 @@ mod tests {
         assert_eq!(hpc_vector(&cpu).len(), HPC_BASE_DIM);
         assert_eq!(hpc_names().len(), HPC_BASE_DIM);
         assert_eq!(hpc_dim(), HPC_BASE_DIM);
+        assert_eq!(dim_for(&CpuConfig::default()), HPC_BASE_DIM);
+    }
+
+    #[test]
+    fn energy_sensor_appends_tail() {
+        let cfg = energy_cfg();
+        assert_eq!(dim_for(&cfg), HPC_BASE_DIM + ENERGY_DIM);
+        let cpu = Cpu::new(cfg);
+        let pairs = hpc_pairs(&cpu);
+        assert_eq!(pairs.len(), HPC_BASE_DIM + ENERGY_DIM);
+        assert_eq!(pairs[HPC_BASE_DIM].0, "energy.core");
+        assert_eq!(pairs.last().unwrap().0, "energy.total");
+        assert_eq!(hpc_vector(&cpu).len(), HPC_BASE_DIM + ENERGY_DIM);
+    }
+
+    #[test]
+    fn disabled_sensor_emits_exactly_baseline() {
+        let cpu = Cpu::new(CpuConfig::default());
+        let pairs = hpc_pairs(&cpu);
+        assert_eq!(pairs.len(), HPC_BASE_DIM);
+        assert!(pairs.iter().all(|(n, _)| !n.starts_with("energy.")));
     }
 
     #[test]

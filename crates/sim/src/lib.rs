@@ -50,9 +50,11 @@ pub mod branch;
 pub mod cache;
 pub mod config;
 pub mod cpu;
+pub mod energy;
 pub mod hpc;
 pub mod isa;
 pub mod memory;
+pub mod schema;
 pub mod snapshot;
 pub mod stats;
 pub mod tlb;
@@ -60,9 +62,11 @@ pub mod tlb;
 pub use cache::Cache;
 pub use config::{CacheConfig, CpuConfig, MitigationMode, SchedulerKind};
 pub use cpu::{Cpu, HpcSample, RunResult, SampleSchedule, SampledCursor, SampledStep};
-pub use hpc::{
-    for_each_hpc, hpc_dim, hpc_index, hpc_names, hpc_vector, hpc_vector_into, HPC_BASE_DIM,
-};
+pub use energy::{EnergyWeights, SensorConfig, SensorConfigBuilder, ENERGY_DIM, ENERGY_NAMES};
+pub use hpc::{dim_for, for_each_hpc, hpc_index, hpc_vector, hpc_vector_into, HPC_BASE_DIM};
+#[allow(deprecated)]
+pub use hpc::{hpc_dim, hpc_names};
 pub use isa::{Program, ProgramBuilder};
+pub use schema::{FeatureSchema, Modality};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::PipelineStats;

@@ -22,8 +22,8 @@ use evax::core::collect::{collect_dataset, CollectConfig};
 use evax::core::prelude::{Detector, DetectorKind, EvaxError, Featurizer, TrainConfig};
 use evax::sim::isa::Program;
 use evax::sim::{
-    hpc_dim, Cpu, CpuConfig, MitigationMode, PipelineStats, SampleSchedule, SampledCursor,
-    SampledStep, Snapshot, SnapshotError,
+    Cpu, CpuConfig, MitigationMode, PipelineStats, SampleSchedule, SampledCursor, SampledStep,
+    Snapshot, SnapshotError, HPC_BASE_DIM,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -82,7 +82,7 @@ fn drive(
     windows: &mut Vec<WindowRec>,
     switch: &Option<(usize, MitigationMode)>,
 ) -> evax::sim::RunResult {
-    let mut values = vec![0.0f64; hpc_dim()];
+    let mut values = vec![0.0f64; HPC_BASE_DIM];
     loop {
         match cursor.next_window_into(cpu, program, &mut values) {
             SampledStep::Window {
@@ -118,7 +118,7 @@ fn interrupted_vs_resumed(
     let mut cpu = fresh_cpu();
     let mut cursor = cpu.begin_sampled_with_schedule(MAX_INSTRS, INTERVAL, schedule);
     let mut prefix = Vec::new();
-    let mut values = vec![0.0f64; hpc_dim()];
+    let mut values = vec![0.0f64; HPC_BASE_DIM];
     let mut prefix_result = None;
     while prefix.len() < split_after {
         match cursor.next_window_into(&mut cpu, program, &mut values) {

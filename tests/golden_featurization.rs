@@ -63,7 +63,7 @@ fn oracle_collect(corpus: &[(usize, Program)], max_instrs: u64) -> (Dataset, Nor
         });
         all.push((*class, windows));
     }
-    let mut norm = Normalizer::new(evax::sim::hpc_dim());
+    let mut norm = Normalizer::new(evax::sim::HPC_BASE_DIM);
     for (_, windows) in &all {
         for w in windows {
             norm.observe(w);
@@ -86,7 +86,7 @@ fn streaming_collect(
     parallelism: Parallelism,
 ) -> (Dataset, StreamStats) {
     let cpu_cfg = CpuConfig::default();
-    let dim = evax::sim::hpc_dim();
+    let dim = evax::sim::HPC_BASE_DIM;
     let per_run = par::map(parallelism, corpus, |(_, program)| {
         let mut stats = StreamStats::new(dim);
         ProgramSource::new(program, &cpu_cfg, INTERVAL, max_instrs).stream(&mut stats);
