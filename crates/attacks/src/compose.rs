@@ -5,6 +5,7 @@
 //! switching in the simulator.
 
 use evax_sim::isa::{Op, Program};
+use evax_sim::NUM_IRQ_VECTORS;
 
 /// Errors composing programs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +20,16 @@ pub enum ComposeError {
         /// Index of the conflicting segment.
         second: usize,
     },
+    /// More than one segment installs a service routine for the same IRQ
+    /// vector; a composite program has one handler per vector.
+    MultipleIrqHandlers {
+        /// The contested vector.
+        vector: usize,
+        /// Index of the first segment with a handler on that vector.
+        first: usize,
+        /// Index of the conflicting segment.
+        second: usize,
+    },
 }
 
 impl std::fmt::Display for ComposeError {
@@ -28,6 +39,15 @@ impl std::fmt::Display for ComposeError {
             ComposeError::MultipleFaultHandlers { first, second } => write!(
                 f,
                 "segments {first} and {second} both declare fault handlers; only one is allowed"
+            ),
+            ComposeError::MultipleIrqHandlers {
+                vector,
+                first,
+                second,
+            } => write!(
+                f,
+                "segments {first} and {second} both install IRQ vector {vector} handlers; \
+                 only one per vector is allowed"
             ),
         }
     }
@@ -39,10 +59,15 @@ impl std::error::Error for ComposeError {}
 /// by fall-through into the next segment (the final segment keeps its
 /// terminator), and every control-flow target is rebased.
 ///
+/// Fault and IRQ handlers are rebased along with the code: a carrier
+/// segment's interrupt service routines keep working across the whole
+/// composite stream, including while a later attack segment executes.
+///
 /// # Errors
 /// [`ComposeError::Empty`] for an empty slice;
 /// [`ComposeError::MultipleFaultHandlers`] when two segments both declare a
-/// fault handler.
+/// fault handler; [`ComposeError::MultipleIrqHandlers`] when two segments
+/// install a service routine on the same IRQ vector.
 ///
 /// # Example
 /// ```
@@ -64,6 +89,7 @@ pub fn compose(programs: &[Program]) -> Result<Program, ComposeError> {
     }
     let mut instrs: Vec<Op> = Vec::new();
     let mut fault_handler: Option<(usize, usize)> = None; // (segment, absolute target)
+    let mut irq_handlers: [Option<(usize, usize)>; NUM_IRQ_VECTORS] = [None; NUM_IRQ_VECTORS];
     let last = programs.len() - 1;
     let mut name = String::new();
     for (k, p) in programs.iter().enumerate() {
@@ -77,6 +103,18 @@ pub fn compose(programs: &[Program]) -> Result<Program, ComposeError> {
                 return Err(ComposeError::MultipleFaultHandlers { first, second: k });
             }
             fault_handler = Some((k, h + offset));
+        }
+        for (vector, h) in p.irq_handlers().into_iter().enumerate() {
+            if let Some(h) = h {
+                if let Some((first, _)) = irq_handlers[vector] {
+                    return Err(ComposeError::MultipleIrqHandlers {
+                        vector,
+                        first,
+                        second: k,
+                    });
+                }
+                irq_handlers[vector] = Some((k, h + offset));
+            }
         }
         let mut body: Vec<Op> = p
             .instructions()
@@ -112,6 +150,9 @@ pub fn compose(programs: &[Program]) -> Result<Program, ComposeError> {
     }
     let mut out = Program::from_instructions(name, instrs);
     out.set_fault_handler(fault_handler.map(|(_, h)| h));
+    for (vector, h) in irq_handlers.into_iter().enumerate() {
+        out.set_irq_handler(vector, h.map(|(_, h)| h));
+    }
     Ok(out)
 }
 
@@ -208,5 +249,54 @@ mod tests {
     #[test]
     fn empty_composition_rejected() {
         assert_eq!(compose(&[]).unwrap_err(), ComposeError::Empty);
+    }
+
+    #[test]
+    fn irq_handlers_are_rebased_and_stay_live_across_segments() {
+        use evax_sim::DeviceConfig;
+        let r = |i| Reg::new(i);
+        // Segment A installs a vector-0 tick handler; segment B is a plain
+        // busy loop. The handler must keep servicing fires while B runs.
+        let mut a = ProgramBuilder::new("carrier");
+        a.li(r(1), 0);
+        a.halt();
+        let h = a.label();
+        a.alu_imm(AluOp::Add, r(31), r(31), 1);
+        a.iret();
+        a.on_irq(0, h);
+        let mut b = ProgramBuilder::new("busy");
+        b.li(r(2), 0);
+        b.li(r(3), 4_000);
+        let top = b.label();
+        b.alu_imm(AluOp::Add, r(2), r(2), 1);
+        b.branch(Cond::Lt, r(2), r(3), top);
+        b.halt();
+        let (pa, pb) = (a.build(), b.build());
+        let expected = pa.irq_handler(0).unwrap();
+        let p = compose(&[pa.clone(), pb]).unwrap();
+        assert_eq!(p.irq_handler(0), Some(expected), "handler target rebased");
+        let cfg = evax_sim::CpuConfig {
+            devices: DeviceConfig::builder()
+                .enabled(true)
+                .timer_period(300)
+                .build()
+                .unwrap(),
+            ..evax_sim::CpuConfig::default()
+        };
+        let mut cpu = Cpu::new(cfg);
+        let res = cpu.run(&p, 100_000);
+        assert!(res.halted);
+        assert_eq!(res.regs[2], 4_000, "segment B completed");
+        assert!(res.regs[31] > 0, "handler serviced fires during segment B");
+        // Two segments claiming the same vector conflict.
+        let err = compose(&[pa.clone(), pa]).unwrap_err();
+        assert_eq!(
+            err,
+            ComposeError::MultipleIrqHandlers {
+                vector: 0,
+                first: 0,
+                second: 1
+            }
+        );
     }
 }

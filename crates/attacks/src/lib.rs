@@ -37,6 +37,7 @@
 
 pub mod benign;
 pub mod cache_attacks;
+pub mod carriers;
 pub mod common;
 pub mod compose;
 pub mod covert;
@@ -46,6 +47,9 @@ pub mod mds;
 pub mod registry;
 pub mod spectre;
 
+pub use carriers::{
+    build_carrier, build_carrier_attack, CarrierAttack, CarrierKind, CARRIER_ATTACKS, CARRIER_KINDS,
+};
 pub use common::KernelParams;
 pub use evasion::{
     build_evasive_attack, evasive_params, generate_evasive_programs, EvasionStrategy,

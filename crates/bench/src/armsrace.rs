@@ -16,12 +16,27 @@
 //! Each evaluation runs at 1, 4 and 16 kernel threads and asserts
 //! identical counts; the report's `verdict_digest` folds every pair in
 //! canonical order, so two runs with the same seed are byte-comparable.
+//!
+//! Round 0 additionally confronts the deployed stack with **interleaved
+//! multi-tenant traces** ([`evax_attacks::carriers`]): benign
+//! interrupt/timer/DMA-driven carriers and composed attacks riding them,
+//! simulated under each carrier's device configuration. The detectors were
+//! trained on quiet 133-column windows, so the device counter tail is
+//! truncated — what the `carrier_interleaved` rates measure is the
+//! *behavioral* noise (port steals, delivery flushes, handler code)
+//! bleeding into the baseline counters, not the new columns.
 
-use evax_attacks::{generate_evasive_programs, EVASION_STRATEGIES};
+use evax_attacks::benign::Scale;
+use evax_attacks::{
+    build_carrier, build_carrier_attack, generate_evasive_programs, KernelParams, CARRIER_ATTACKS,
+    CARRIER_KINDS, EVASION_STRATEGIES,
+};
 use evax_core::collect::{collect_dataset, collect_program, CollectConfig};
+use evax_core::featurize::{CollectingSink, ProgramSource, WindowSource};
 use evax_core::gan::AmGanConfig;
 use evax_core::par::{self, Parallelism};
 use evax_core::pipeline::StageTimings;
+use evax_core::prelude::Sample;
 use evax_core::prelude::{
     vaccinate_ensemble, Dataset, DetectorScratch, Ensemble, ModelDetector, Normalizer,
     StochasticDetector, TrainConfig, Vaccination,
@@ -142,6 +157,11 @@ pub struct ArmsRaceReport {
     pub clean: PerVariant<Rate>,
     /// False positives on the clean benign corpus, round 0.
     pub clean_fp: PerVariant<Rate>,
+    /// Detection on composed attacks riding busy carriers (interleaved
+    /// traces under device noise), round 0.
+    pub carrier: PerVariant<Rate>,
+    /// False positives on benign busy-carrier traces, round 0.
+    pub carrier_fp: PerVariant<Rate>,
     /// Per-round detection trajectories.
     pub rounds: Vec<RoundReport>,
     /// FNV-1a over every `(hits, total)` pair in canonical order —
@@ -268,6 +288,70 @@ fn small_collect(smoke: bool) -> CollectConfig {
     }
 }
 
+/// Collects the interleaved multi-tenant corpus: one benign trace per
+/// carrier kind (class 0) and one composed trace per carrier attack (its
+/// spliced attack's class), each simulated under the carrier's device
+/// configuration. Windows carry the 10 `dma.*`/`irq.*` tail columns; they
+/// are truncated to the deployed detectors' quiet-trace dimension before
+/// normalization. Simulation fans out per program and merges in canonical
+/// order.
+fn carrier_corpus(collect: &CollectConfig, norm: &Normalizer, seed: u64) -> Dataset {
+    let dim = norm.dim();
+    enum Spec {
+        Benign(usize),
+        Composed(usize),
+    }
+    let specs: Vec<Spec> = (0..CARRIER_KINDS.len())
+        .map(Spec::Benign)
+        .chain((0..CARRIER_ATTACKS.len()).map(Spec::Composed))
+        .collect();
+    let per_program = par::map(Parallelism::Auto, &specs, |spec| {
+        let (program, kind, class, budget) = match *spec {
+            Spec::Benign(k) => {
+                let kind = CARRIER_KINDS[k];
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(k as u64 * 0x9E37_79B9));
+                let program = build_carrier(kind, Scale(collect.benign_scale), &mut rng);
+                (program, kind, 0usize, collect.max_instrs)
+            }
+            Spec::Composed(w) => {
+                let which = CARRIER_ATTACKS[w];
+                let mut rng =
+                    StdRng::seed_from_u64(seed.wrapping_add(0xC0_DE + w as u64 * 0x5DEE_CE66));
+                let program = build_carrier_attack(
+                    which,
+                    Scale(collect.benign_scale),
+                    &KernelParams::default(),
+                    &mut rng,
+                );
+                (
+                    program,
+                    which.carrier(),
+                    which.attack_class().label(),
+                    collect.max_instrs.saturating_mul(3),
+                )
+            }
+        };
+        let cpu = evax_sim::CpuConfig {
+            devices: kind.device_config(),
+            ..collect.cpu.clone()
+        };
+        let mut sink = CollectingSink::new();
+        ProgramSource::new(&program, &cpu, collect.interval, budget).stream(&mut sink);
+        let mut samples = Vec::new();
+        let mut row = vec![0.0f32; dim];
+        for w in sink.into_windows() {
+            norm.normalize_into(&w[..dim], &mut row);
+            samples.push(Sample::new(row.clone(), class));
+        }
+        samples
+    });
+    let mut ds = Dataset::new();
+    for s in per_program.into_iter().flatten() {
+        ds.push(s);
+    }
+    ds
+}
+
 /// Simulates one round's evasive corpus against the deployed baseline's
 /// (stolen) weight vector. Program generation is serial and canonical;
 /// simulation fans out per program and merges back in order.
@@ -315,9 +399,17 @@ pub fn run_arms_race(cfg: &ArmsRaceConfig) -> ArmsRaceReport {
     let mut deploy = Deployment::train(&train, cfg, 0);
     let clean = deploy.measure(&clean_eval, true);
     let clean_fp = deploy.measure(&clean_eval, false);
+
+    eprintln!("[armsrace] round 0: interleaved busy-carrier evaluation...");
+    let carrier_eval = carrier_corpus(&collect, &norm, cfg.seed ^ 0xCA44_1E45);
+    let carrier = deploy.measure(&carrier_eval, true);
+    let carrier_fp = deploy.measure(&carrier_eval, false);
+
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
     fnv1a(&mut digest, &clean);
     fnv1a(&mut digest, &clean_fp);
+    fnv1a(&mut digest, &carrier);
+    fnv1a(&mut digest, &carrier_fp);
 
     let mut accumulated = train.clone();
     let mut rounds = Vec::with_capacity(cfg.rounds);
@@ -353,6 +445,8 @@ pub fn run_arms_race(cfg: &ArmsRaceConfig) -> ArmsRaceReport {
         config: cfg.clone(),
         clean,
         clean_fp,
+        carrier,
+        carrier_fp,
         rounds,
         verdict_digest: format!("{digest:016x}"),
     }
@@ -414,7 +508,9 @@ impl ArmsRaceReport {
              \"members\": {}, \"jitter\": {}, \"smoke\": {}, \
              \"cores\": {}, \"threads\": [1, 4, 16],\n  \
              \"strategies\": [\"benign_padding\", \"rate_modulation\", \"weight_guided\"],\n  \
-             \"clean\": {},\n  \"clean_false_positives\": {},\n  \"race\": [\n{}\n  ],\n  \
+             \"clean\": {},\n  \"clean_false_positives\": {},\n  \
+             \"carrier_interleaved\": {},\n  \"carrier_false_positives\": {},\n  \
+             \"race\": [\n{}\n  ],\n  \
              \"acceptance\": {{\"round1_baseline_drop\": {:.4}, \
              \"final_best_hardened_gap\": {:.4}}},\n  \
              \"verdict_digest\": \"{}\",\n  \
@@ -432,6 +528,8 @@ impl ArmsRaceReport {
             std::thread::available_parallelism().map_or(1, |n| n.get()),
             variant_json(&self.clean),
             variant_json(&self.clean_fp),
+            variant_json(&self.carrier),
+            variant_json(&self.carrier_fp),
             rounds.join(",\n"),
             self.round1_baseline_drop(),
             self.final_best_hardened_gap(),

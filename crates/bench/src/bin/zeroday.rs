@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! zeroday [--seed N] [--instrs N] [--runs N] [--fpr F] [--topk K] [--bar F]
-//!         [--smoke] [--out PATH]
+//!         [--carrier-bar F] [--threads N] [--smoke] [--out PATH]
 //! ```
 //!
 //! `--smoke` is the CI setting: one run per program over a short
@@ -12,12 +12,15 @@
 //! the artifact is well-formed. Exits non-zero if fewer than 3 of the 4
 //! held-out categories are detected at the target false-positive rate, or
 //! — on full-size runs — if adding the `energy.*` features does not
-//! improve mean held-out detection over HPC-only features (smoke corpora
-//! are too small to resolve that margin).
+//! improve mean held-out detection over HPC-only features, if fewer than
+//! 3 of the 4 busy-carrier composed attacks clear the carrier bar, or if
+//! the benign-carrier false-positive rate exceeds the target (smoke
+//! corpora are too small to resolve those margins).
 
 use std::process::ExitCode;
 
 use evax_bench::zeroday_bench::{run_zeroday, ZerodayConfig};
+use evax_core::par::Parallelism;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -89,12 +92,35 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--carrier-bar" => {
+                i += 1;
+                cfg.carrier_bar = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(b) if (0.0..=1.0).contains(&b) => b,
+                    _ => {
+                        eprintln!("--carrier-bar requires a fraction in [0, 1]");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--threads" => {
+                i += 1;
+                cfg.parallelism = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => Parallelism::Fixed(n),
+                    _ => {
+                        eprintln!("--threads requires a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--smoke" => {
                 let seed = cfg.seed;
-                let (top_k, bar) = (cfg.top_k, cfg.detect_bar);
+                let (top_k, bar, carrier_bar) = (cfg.top_k, cfg.detect_bar, cfg.carrier_bar);
+                let parallelism = cfg.parallelism;
                 cfg = ZerodayConfig::smoke(seed);
                 cfg.top_k = top_k;
                 cfg.detect_bar = bar;
+                cfg.carrier_bar = carrier_bar;
+                cfg.parallelism = parallelism;
             }
             "--out" => {
                 i += 1;
@@ -110,7 +136,8 @@ fn main() -> ExitCode {
                 eprintln!("unknown argument '{other}'");
                 eprintln!(
                     "usage: zeroday [--seed N] [--instrs N] [--runs N] [--fpr F] \
-                     [--topk K] [--bar F] [--smoke] [--out PATH]"
+                     [--topk K] [--bar F] [--carrier-bar F] [--threads N] \
+                     [--smoke] [--out PATH]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -135,6 +162,14 @@ fn main() -> ExitCode {
         report.fpr_energy,
         report.fpr_hpc,
     );
+    eprintln!(
+        "[zeroday] carriers: {}/4 composed attacks detected with device columns \
+         (device-blind {}/4); benign-carrier FPR {:.4} (delta vs clean {:+.4})",
+        report.carrier.detected_full(cfg.carrier_bar),
+        report.carrier.detected_hpc(cfg.carrier_bar),
+        report.carrier.fpr_full,
+        report.carrier.fpr_full - report.fpr_energy,
+    );
     if report.detected_energy() < 3 {
         eprintln!(
             "error: only {}/4 held-out categories detected (need >= 3)",
@@ -157,6 +192,22 @@ fn main() -> ExitCode {
             report.mean_tpr_hpc()
         );
         return ExitCode::FAILURE;
+    }
+    if !cfg.smoke {
+        if report.carrier.detected_full(cfg.carrier_bar) < 3 {
+            eprintln!(
+                "error: only {}/4 busy-carrier composed attacks detected (need >= 3)",
+                report.carrier.detected_full(cfg.carrier_bar)
+            );
+            return ExitCode::FAILURE;
+        }
+        if report.carrier.fpr_full > cfg.fpr {
+            eprintln!(
+                "error: benign-carrier FPR {:.4} exceeds target {:.4}",
+                report.carrier.fpr_full, cfg.fpr
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -16,10 +16,23 @@
 //! the `energy.*` tail enabled, so the marginal value of the energy
 //! modality is an apples-to-apples column ablation rather than a separate
 //! simulation run.
+//!
+//! A second, harder experiment repeats the whole protocol on **busy
+//! carriers** ([`evax_attacks::carriers`]): the scorer is trained on benign
+//! interrupt/timer/DMA-driven traces (run under each carrier's device
+//! configuration) and then confronted with composed attacks spliced
+//! mid-stream into those carriers. The report records the carrier-noise
+//! TPR/FPR deltas against the quiet-trace baseline — the cost of
+//! multi-tenant noise — and ablates the `irq.*`/`dma.*` device columns the
+//! same way the clean section ablates the energy tail.
 
 use evax_attacks::benign::Scale;
-use evax_attacks::{build_attack, build_benign, AttackClass, KernelParams, BENIGN_KINDS};
+use evax_attacks::{
+    build_attack, build_benign, build_carrier, build_carrier_attack, AttackClass, CarrierAttack,
+    KernelParams, BENIGN_KINDS, CARRIER_ATTACKS, CARRIER_KINDS,
+};
 use evax_core::featurize::{CollectingSink, ProgramSource, WindowSource};
+use evax_core::par::{self, Parallelism};
 use evax_core::Normalizer;
 use evax_nn::{AnomalyScorer, Detector, DetectorScratch};
 use evax_sim::{CpuConfig, SensorConfig, HPC_BASE_DIM};
@@ -86,6 +99,14 @@ pub struct ZerodayConfig {
     pub detect_bar: f64,
     /// Top-k dimensions scored by the [`AnomalyScorer`] (0 = all).
     pub top_k: usize,
+    /// Pooled alarm rate at or above which a composed carrier trace counts
+    /// as detected. Lower than [`detect_bar`](Self::detect_bar) because the
+    /// attack phase occupies a minority of the interleaved trace: the
+    /// benign prefix and tail windows dilute the pooled rate.
+    pub carrier_bar: f64,
+    /// Worker threads for the simulation fan-out (results are
+    /// bit-deterministic at any setting).
+    pub parallelism: Parallelism,
     /// Smoke preset marker (recorded in the artifact).
     pub smoke: bool,
 }
@@ -101,6 +122,8 @@ impl Default for ZerodayConfig {
             fpr: 0.05,
             detect_bar: 0.5,
             top_k: 0,
+            carrier_bar: 0.15,
+            parallelism: Parallelism::Auto,
             smoke: false,
         }
     }
@@ -146,6 +169,55 @@ pub struct CategoryResult {
     pub tpr_energy: f64,
 }
 
+/// Result for one composed attack riding a busy carrier.
+#[derive(Debug, Clone)]
+pub struct CarrierTraceResult {
+    /// Composition name (`<attack>@<carrier>`).
+    pub name: &'static str,
+    /// The clean [`CATEGORIES`] entry the spliced attack belongs to, for
+    /// the noise-delta comparison.
+    pub clean_category: &'static str,
+    /// Windows the interleaved trace produced (benign phases included).
+    pub windows: u64,
+    /// Windows flagged by the device-blind (133-column) variant.
+    pub hits_hpc: u64,
+    /// Windows flagged by the full energy + device vector variant.
+    pub hits_full: u64,
+}
+
+/// The busy-carrier half of the evaluation: scorers trained on benign
+/// interrupt/timer/DMA-driven traces, evaluated on composed attacks.
+#[derive(Debug, Clone)]
+pub struct CarrierSection {
+    /// Benign carrier windows in each pool (fit / calibrate / test).
+    pub benign_windows: [u64; 3],
+    /// Held-out benign-carrier false-positive rate, HPC-only columns.
+    pub fpr_hpc: f64,
+    /// Held-out benign-carrier false-positive rate, full vector (HPC +
+    /// energy + device columns).
+    pub fpr_full: f64,
+    /// Per-composition results.
+    pub traces: Vec<CarrierTraceResult>,
+}
+
+impl CarrierSection {
+    /// Compositions whose pooled alarm rate clears `bar`, full vector.
+    pub fn detected_full(&self, bar: f64) -> usize {
+        self.traces
+            .iter()
+            .filter(|t| rate(t.hits_full, t.windows) >= bar)
+            .count()
+    }
+
+    /// Compositions whose pooled alarm rate clears `bar`, device-blind.
+    pub fn detected_hpc(&self, bar: f64) -> usize {
+        self.traces
+            .iter()
+            .filter(|t| rate(t.hits_hpc, t.windows) >= bar)
+            .count()
+    }
+}
+
 /// The full zero-day evaluation artifact.
 #[derive(Debug, Clone)]
 pub struct ZerodayReport {
@@ -159,6 +231,8 @@ pub struct ZerodayReport {
     pub fpr_energy: f64,
     /// Per-category results.
     pub categories: Vec<CategoryResult>,
+    /// Busy-carrier evaluation.
+    pub carrier: CarrierSection,
 }
 
 impl ZerodayReport {
@@ -188,11 +262,22 @@ impl ZerodayReport {
         mean(self.categories.iter().map(|c| c.tpr_energy))
     }
 
+    /// Clean-trace energy-variant TPR of the category a carrier trace's
+    /// spliced attack belongs to (the noise-delta reference point).
+    pub fn clean_tpr_for(&self, trace: &CarrierTraceResult) -> f64 {
+        self.categories
+            .iter()
+            .find(|c| c.name == trace.clean_category)
+            .map_or(0.0, |c| c.tpr_energy)
+    }
+
     /// Acceptance: >= 3 of 4 categories detected by the energy variant at
     /// the target FPR, and — on full-size runs — the energy modality
-    /// strictly improves the mean held-out TPR over HPC-only features.
-    /// Smoke runs skip the improvement gate: a one-run corpus is too small
-    /// to resolve the marginal windows where the energy tail matters.
+    /// strictly improves the mean held-out TPR over HPC-only features,
+    /// plus the busy-carrier gates: >= 3 of 4 composed attacks detected at
+    /// the carrier bar with the benign-carrier FPR still at or under
+    /// target. Smoke runs skip the improvement and carrier gates: a
+    /// one-run corpus is too small to resolve those margins.
     pub fn passes(&self) -> bool {
         let gates = self.detected_energy() >= 3
             && self.fpr_energy <= self.config.fpr
@@ -200,7 +285,10 @@ impl ZerodayReport {
         if self.config.smoke {
             gates
         } else {
-            gates && self.mean_tpr_energy() > self.mean_tpr_hpc()
+            gates
+                && self.mean_tpr_energy() > self.mean_tpr_hpc()
+                && self.carrier.detected_full(self.config.carrier_bar) >= 3
+                && self.carrier.fpr_full <= self.config.fpr
         }
     }
 
@@ -237,19 +325,64 @@ impl ZerodayReport {
                 classes,
             ));
         }
+        let threads = match self.config.parallelism {
+            Parallelism::Fixed(n) => n.to_string(),
+            _ => "\"auto\"".to_string(),
+        };
+        let mut traces = String::new();
+        for (i, t) in self.carrier.traces.iter().enumerate() {
+            if i > 0 {
+                traces.push_str(", ");
+            }
+            let tpr_full = rate(t.hits_full, t.windows);
+            traces.push_str(&format!(
+                "{{\"name\": \"{}\", \"clean_category\": \"{}\", \"windows\": {}, \
+                 \"tpr_hpc\": {:.6}, \"tpr_full\": {:.6}, \
+                 \"tpr_delta_vs_clean\": {:.6}, \"detected\": {}}}",
+                t.name,
+                t.clean_category,
+                t.windows,
+                rate(t.hits_hpc, t.windows),
+                tpr_full,
+                tpr_full - self.clean_tpr_for(t),
+                tpr_full >= self.config.carrier_bar,
+            ));
+        }
+        let carrier = format!(
+            "{{\n    \"carriers\": {}, \"composed_attacks\": {}, \"carrier_bar\": {:.6}, \
+             \"dim_full\": {},\n    \"benign_windows\": [{}, {}, {}],\n    \
+             \"carrier_fpr_hpc\": {:.6}, \"carrier_fpr_full\": {:.6}, \
+             \"carrier_fpr_delta_vs_clean\": {:.6},\n    \
+             \"carrier_detected_hpc\": {}, \"carrier_detected_full\": {},\n    \
+             \"traces\": [{}]\n  }}",
+            CARRIER_KINDS.len(),
+            CARRIER_ATTACKS.len(),
+            self.config.carrier_bar,
+            HPC_BASE_DIM + evax_sim::ENERGY_DIM + evax_sim::DEVICE_DIM,
+            self.carrier.benign_windows[0],
+            self.carrier.benign_windows[1],
+            self.carrier.benign_windows[2],
+            self.carrier.fpr_hpc,
+            self.carrier.fpr_full,
+            self.carrier.fpr_full - self.fpr_energy,
+            self.carrier.detected_hpc(self.config.carrier_bar),
+            self.carrier.detected_full(self.config.carrier_bar),
+            traces,
+        );
         format!(
             "{{\n  \"bench\": \"zeroday\",\n  \"seed\": {},\n  \"smoke\": {},\n  \
-             \"cores\": {},\n  \"threads\": 1,\n  \"interval\": {},\n  \
+             \"cores\": {},\n  \"threads\": {},\n  \"interval\": {},\n  \
              \"max_instrs\": {},\n  \"fpr_target\": {:.6},\n  \"detect_bar\": {:.6},\n  \
              \"top_k\": {},\n  \"dim_hpc\": {},\n  \"dim_energy\": {},\n  \
              \"benign_windows\": [{}, {}, {}],\n  \"fpr_hpc\": {:.6},\n  \
              \"fpr_energy\": {:.6},\n  \"mean_tpr_hpc\": {:.6},\n  \
              \"mean_tpr_energy\": {:.6},\n  \"detected_hpc\": {},\n  \
              \"detected_energy\": {},\n  \"energy_improves\": {},\n  \"pass\": {},\n  \
-             \"categories\": [{}]\n}}\n",
+             \"categories\": [{}],\n  \"carrier\": {}\n}}\n",
             self.config.seed,
             self.config.smoke,
             std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads,
             self.config.interval,
             self.config.max_instrs,
             self.config.fpr,
@@ -269,6 +402,7 @@ impl ZerodayReport {
             self.mean_tpr_energy() > self.mean_tpr_hpc(),
             self.passes(),
             cats,
+            carrier,
         )
     }
 }
@@ -380,23 +514,76 @@ fn stream_rng(seed: u64, domain: u64, a: u64, b: u64) -> StdRng {
     StdRng::seed_from_u64(x)
 }
 
-fn collect(program: &evax_sim::Program, cpu_cfg: &CpuConfig, cfg: &ZerodayConfig) -> Vec<Vec<f64>> {
+fn collect_budget(
+    program: &evax_sim::Program,
+    cpu_cfg: &CpuConfig,
+    cfg: &ZerodayConfig,
+    budget: u64,
+) -> Vec<Vec<f64>> {
     let mut sink = CollectingSink::new();
-    ProgramSource::new(program, cpu_cfg, cfg.interval, cfg.max_instrs).stream(&mut sink);
+    ProgramSource::new(program, cpu_cfg, cfg.interval, budget).stream(&mut sink);
     sink.into_windows()
 }
 
-/// Collects one benign pool (`pool` = 0 fit, 1 calibrate, 2 test).
+fn collect(program: &evax_sim::Program, cpu_cfg: &CpuConfig, cfg: &ZerodayConfig) -> Vec<Vec<f64>> {
+    collect_budget(program, cpu_cfg, cfg, cfg.max_instrs)
+}
+
+/// Collects one benign pool (`pool` = 0 fit, 1 calibrate, 2 test). The
+/// simulation fans out over `cfg.parallelism`; merge order is canonical,
+/// so the pool is bit-identical at any thread count.
 fn benign_pool(cfg: &ZerodayConfig, cpu_cfg: &CpuConfig, pool: u64) -> Vec<Vec<f64>> {
-    let mut windows = Vec::new();
-    for (k, &kind) in BENIGN_KINDS.iter().enumerate() {
-        for run in 0..cfg.benign_runs {
-            let mut rng = stream_rng(cfg.seed, pool, k as u64, run as u64);
-            let program = build_benign(kind, Scale(cfg.max_instrs), &mut rng);
-            windows.extend(collect(&program, cpu_cfg, cfg));
-        }
+    let specs: Vec<(u64, u64)> = (0..BENIGN_KINDS.len() as u64)
+        .flat_map(|k| (0..cfg.benign_runs as u64).map(move |run| (k, run)))
+        .collect();
+    let per_run = par::map(cfg.parallelism, &specs, |&(k, run)| {
+        let mut rng = stream_rng(cfg.seed, pool, k, run);
+        let program = build_benign(BENIGN_KINDS[k as usize], Scale(cfg.max_instrs), &mut rng);
+        collect(&program, cpu_cfg, cfg)
+    });
+    per_run.into_iter().flatten().collect()
+}
+
+/// Simulated core for a carrier: energy sensor on, the carrier's device
+/// configuration active. Every carrier produces the same width (the
+/// device tail length is independent of which sources are armed).
+fn carrier_cpu_cfg(kind: evax_attacks::CarrierKind) -> CpuConfig {
+    CpuConfig {
+        sensor: SensorConfig::builder()
+            .energy(true)
+            .build()
+            .expect("default sensor weights validate"),
+        devices: kind.device_config(),
+        ..CpuConfig::default()
     }
-    windows
+}
+
+/// Collects one benign pool for a single carrier kind (`pool` = 0 fit,
+/// 1 calibrate, 2 test), simulated under that carrier's device
+/// configuration. The pools are **per-kind** on purpose: a timer carrier's
+/// benign envelope (zero `dma.*` columns) and a DMA carrier's (huge ones)
+/// are different tenants — pooling them inflates the fitted variance until
+/// attacks hide inside it. Training one profile per carrier mirrors a
+/// per-tenant deployment.
+fn carrier_pool(cfg: &ZerodayConfig, k: usize, pool: u64) -> Vec<Vec<f64>> {
+    let runs: Vec<u64> = (0..cfg.benign_runs as u64).collect();
+    let kind = CARRIER_KINDS[k];
+    let per_run = par::map(cfg.parallelism, &runs, |&run| {
+        let mut rng = stream_rng(cfg.seed, 300 + pool, k as u64, run);
+        let program = build_carrier(kind, Scale(cfg.max_instrs), &mut rng);
+        collect(&program, &carrier_cpu_cfg(kind), cfg)
+    });
+    per_run.into_iter().flatten().collect()
+}
+
+/// The clean [`CATEGORIES`] entry a composed carrier attack belongs to.
+fn clean_category(which: CarrierAttack) -> &'static str {
+    let class = which.attack_class();
+    CATEGORIES
+        .iter()
+        .find(|(_, classes)| classes.contains(&class))
+        .map(|(name, _)| *name)
+        .expect("every attack class is categorized")
 }
 
 /// Runs the full benign-only training + held-out category evaluation.
@@ -429,17 +616,17 @@ pub fn run_zeroday(cfg: &ZerodayConfig) -> ZerodayReport {
         let mut results = Vec::new();
         let (mut pooled_h, mut pooled_e, mut pooled_n) = (0u64, 0u64, 0u64);
         for (c, &class) in classes.iter().enumerate() {
-            let mut windows = Vec::new();
-            for run in 0..cfg.attack_runs {
-                let mut rng = stream_rng(cfg.seed, 100 + c as u64, class as u64, run as u64);
+            let runs: Vec<u64> = (0..cfg.attack_runs as u64).collect();
+            let per_run = par::map(cfg.parallelism, &runs, |&run| {
+                let mut rng = stream_rng(cfg.seed, 100 + c as u64, class as u64, run);
                 let program = build_attack(class, &KernelParams::default(), &mut rng);
-                windows.extend(collect(&program, &cpu_cfg, cfg));
+                let mut windows = collect(&program, &cpu_cfg, cfg);
                 // Evasive variant: decoys and rate modulation dilute the
                 // per-window discrete footprint (the hard zero-day case —
                 // aggregate activity, which the energy tail integrates,
                 // stays elevated while individual counters sink back into
                 // the benign envelope).
-                let mut rng = stream_rng(cfg.seed, 200 + c as u64, class as u64, run as u64);
+                let mut rng = stream_rng(cfg.seed, 200 + c as u64, class as u64, run);
                 let evasive = KernelParams {
                     decoy_ops: rng.gen_range(48..128),
                     delay_ops: rng.gen_range(128..384),
@@ -449,7 +636,9 @@ pub fn run_zeroday(cfg: &ZerodayConfig) -> ZerodayReport {
                 };
                 let program = build_attack(class, &evasive, &mut rng);
                 windows.extend(collect(&program, &cpu_cfg, cfg));
-            }
+                windows
+            });
+            let windows: Vec<Vec<f64>> = per_run.into_iter().flatten().collect();
             let (h, n) = hpc.alarm_rate(&windows);
             let (e, _) = energy.alarm_rate(&windows);
             pooled_h += h;
@@ -470,12 +659,85 @@ pub fn run_zeroday(cfg: &ZerodayConfig) -> ZerodayReport {
         });
     }
 
+    // Busy-carrier section: retrain from scratch on benign carrier traces,
+    // one scorer pair **per carrier kind** (the per-tenant profile — see
+    // [`carrier_pool`]), then confront each carrier's scorers with composed
+    // attacks spliced into that carrier. `full` sees the energy + device
+    // tails; `hpc` is the device-blind ablation.
+    let carrier_dim = evax_sim::dim_for(&carrier_cpu_cfg(CARRIER_KINDS[0]));
+    let mut per_kind = Vec::with_capacity(CARRIER_KINDS.len());
+    let (mut c_fit_n, mut c_calib_n) = (0u64, 0u64);
+    let (mut cfp_h, mut cfp_f, mut c_n_test) = (0u64, 0u64, 0u64);
+    for k in 0..CARRIER_KINDS.len() {
+        let fit = carrier_pool(cfg, k, 0);
+        let calib = carrier_pool(cfg, k, 1);
+        let test = carrier_pool(cfg, k, 2);
+        assert!(
+            !fit.is_empty() && !calib.is_empty() && !test.is_empty(),
+            "carrier pools must be non-empty (raise max_instrs or lower interval)"
+        );
+        let c_hpc = Variant::fit(HPC_BASE_DIM, cfg.top_k, cfg.fpr, &fit, &calib);
+        let c_full = Variant::fit(carrier_dim, cfg.top_k, cfg.fpr, &fit, &calib);
+        let (h, n) = c_hpc.alarm_rate(&test);
+        let (f, _) = c_full.alarm_rate(&test);
+        cfp_h += h;
+        cfp_f += f;
+        c_n_test += n;
+        c_fit_n += fit.len() as u64;
+        c_calib_n += calib.len() as u64;
+        per_kind.push((c_hpc, c_full));
+    }
+
+    let mut traces = Vec::new();
+    for (w, &which) in CARRIER_ATTACKS.iter().enumerate() {
+        let runs: Vec<u64> = (0..cfg.attack_runs as u64).collect();
+        let per_run = par::map(cfg.parallelism, &runs, |&run| {
+            let mut rng = stream_rng(cfg.seed, 400 + w as u64, 0, run);
+            let program = build_carrier_attack(
+                which,
+                Scale(cfg.max_instrs),
+                &KernelParams::default(),
+                &mut rng,
+            );
+            // The composed trace is carrier prefix + attack + tail; give it
+            // headroom beyond the per-segment scale so the attack phase is
+            // actually reached and sampled.
+            collect_budget(
+                &program,
+                &carrier_cpu_cfg(which.carrier()),
+                cfg,
+                cfg.max_instrs.saturating_mul(3),
+            )
+        });
+        let windows: Vec<Vec<f64>> = per_run.into_iter().flatten().collect();
+        let kind_idx = CARRIER_KINDS
+            .iter()
+            .position(|&k| k == which.carrier())
+            .expect("composed attack rides a registered carrier");
+        let (c_hpc, c_full) = &per_kind[kind_idx];
+        let (h, n) = c_hpc.alarm_rate(&windows);
+        let (f, _) = c_full.alarm_rate(&windows);
+        traces.push(CarrierTraceResult {
+            name: which.name(),
+            clean_category: clean_category(which),
+            windows: n,
+            hits_hpc: h,
+            hits_full: f,
+        });
+    }
+
     ZerodayReport {
         config: cfg.clone(),
         benign_windows: [fit_pool.len() as u64, calib_pool.len() as u64, n_test],
         fpr_hpc: rate(fp_h, n_test),
         fpr_energy: rate(fp_e, n_test),
         categories,
+        carrier: CarrierSection {
+            benign_windows: [c_fit_n, c_calib_n, c_n_test],
+            fpr_hpc: rate(cfp_h, c_n_test),
+            fpr_full: rate(cfp_f, c_n_test),
+            traces,
+        },
     }
 }
 
@@ -513,6 +775,8 @@ mod tests {
         // Calibration bounds the *calibration-pool* FPR by construction;
         // the held-out estimate is reported but only asserted finite here.
         assert!(a.fpr_hpc.is_finite() && a.fpr_energy.is_finite());
+        assert_eq!(a.carrier.traces.len(), 4, "one trace per composition");
+        assert!(a.carrier.traces.iter().all(|t| t.windows > 0));
         for key in [
             "\"bench\": \"zeroday\"",
             "\"cores\"",
@@ -525,8 +789,37 @@ mod tests {
             "\"energy_improves\"",
             "\"pass\"",
             "\"categories\"",
+            "\"carrier\"",
+            "\"carrier_fpr_full\"",
+            "\"carrier_fpr_delta_vs_clean\"",
+            "\"carrier_detected_full\"",
+            "\"tpr_delta_vs_clean\"",
         ] {
             assert!(a.to_json().contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn report_is_identical_across_thread_counts() {
+        let mut one = ZerodayConfig::smoke(11);
+        one.parallelism = Parallelism::Fixed(1);
+        let mut four = ZerodayConfig::smoke(11);
+        four.parallelism = Parallelism::Fixed(4);
+        let a = run_zeroday(&one);
+        let b = run_zeroday(&four);
+        // The merge order is canonical, so everything but the recorded
+        // thread count is byte-identical.
+        assert_eq!(
+            a.to_json().replace("\"threads\": 1,", "\"threads\": 4,"),
+            b.to_json()
+        );
+    }
+
+    #[test]
+    fn clean_category_mapping_is_total() {
+        for which in CARRIER_ATTACKS {
+            let name = clean_category(which);
+            assert!(CATEGORIES.iter().any(|(n, _)| *n == name));
         }
     }
 

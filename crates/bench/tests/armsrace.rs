@@ -17,6 +17,8 @@ fn armsrace_smoke_artifact_is_well_formed_and_reproducible() {
         "\"threads\"",
         "\"clean\"",
         "\"clean_false_positives\"",
+        "\"carrier_interleaved\"",
+        "\"carrier_false_positives\"",
         "\"race\"",
         "\"baseline\"",
         "\"quant\"",
@@ -31,6 +33,14 @@ fn armsrace_smoke_artifact_is_well_formed_and_reproducible() {
         assert!(json.contains(key), "{key} missing from artifact:\n{json}");
     }
     assert_eq!(report.rounds.len(), 2, "smoke preset runs 2 rounds");
+    // The interleaved busy-carrier evaluation scored both benign carriers
+    // and composed attacks riding them.
+    for (name, rate) in report.carrier.named() {
+        assert!(rate.total > 0, "carrier[{name}] scored no windows");
+    }
+    for (name, rate) in report.carrier_fp.named() {
+        assert!(rate.total > 0, "carrier_fp[{name}] scored no windows");
+    }
     for round in &report.rounds {
         assert!(round.windows > 0, "round {} saw no windows", round.round);
         for (name, rate) in round.pre.named() {

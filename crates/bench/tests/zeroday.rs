@@ -28,6 +28,12 @@ fn zeroday_smoke_artifact_is_well_formed_and_reproducible() {
         "\"energy_improves\"",
         "\"pass\"",
         "\"categories\"",
+        "\"carrier\"",
+        "\"carrier_fpr_hpc\"",
+        "\"carrier_fpr_full\"",
+        "\"carrier_fpr_delta_vs_clean\"",
+        "\"carrier_detected_full\"",
+        "\"dim_full\": 152",
     ] {
         assert!(json.contains(key), "{key} missing from artifact:\n{json}");
     }
@@ -49,6 +55,13 @@ fn zeroday_smoke_artifact_is_well_formed_and_reproducible() {
     );
     for pool in report.benign_windows {
         assert!(pool > 0, "a benign pool collected no windows");
+    }
+    for pool in report.carrier.benign_windows {
+        assert!(pool > 0, "a benign carrier pool collected no windows");
+    }
+    assert_eq!(report.carrier.traces.len(), 4, "one trace per composition");
+    for t in &report.carrier.traces {
+        assert!(t.windows > 0, "{} collected no windows", t.name);
     }
 
     // Same seed + same config ⇒ byte-identical artifact.
@@ -98,5 +111,16 @@ fn zeroday_full_evaluation_slow() {
         "energy features did not improve mean held-out TPR ({:.4} vs {:.4})",
         report.mean_tpr_energy(),
         report.mean_tpr_hpc()
+    );
+    assert!(
+        report.carrier.detected_full(report.config.carrier_bar) >= 3,
+        "only {}/4 busy-carrier composed attacks detected",
+        report.carrier.detected_full(report.config.carrier_bar)
+    );
+    assert!(
+        report.carrier.fpr_full <= report.config.fpr,
+        "benign-carrier FPR {:.4} over target {:.4}",
+        report.carrier.fpr_full,
+        report.config.fpr
     );
 }

@@ -194,6 +194,13 @@ pub struct CpuConfig {
     /// vector (see `crate::schema::FeatureSchema::for_config`).
     #[serde(default)]
     pub sensor: crate::energy::SensorConfig,
+    /// Asynchronous-event devices (programmable timer, vectored interrupt
+    /// controller, cycle-stealing DMA engine). Disabled by default and
+    /// bitwise-invisible when disabled; enabling appends `irq.*`/`dma.*`
+    /// counters to the exported vector and perturbs pipeline timing
+    /// (delivery flushes, DMA port stealing).
+    #[serde(default)]
+    pub devices: crate::device::DeviceConfig,
 }
 
 impl Default for CpuConfig {
@@ -247,6 +254,7 @@ impl Default for CpuConfig {
             syscall_latency: 100,
             scheduler: SchedulerKind::EventDriven,
             sensor: crate::energy::SensorConfig::default(),
+            devices: crate::device::DeviceConfig::default(),
         }
     }
 }
@@ -274,6 +282,9 @@ impl CpuConfig {
         self.l2.validate().map_err(|e| format!("l2: {e}"))?;
         self.dram.validate().map_err(|e| format!("dram: {e}"))?;
         self.sensor.validate().map_err(|e| format!("sensor: {e}"))?;
+        self.devices
+            .validate()
+            .map_err(|e| format!("devices: {e}"))?;
         Ok(())
     }
 
@@ -378,6 +389,18 @@ mod tests {
         bad.sensor.weights.dram_activate = crate::energy::MAX_ENERGY_WEIGHT + 1;
         let err = bad.validate().unwrap_err();
         assert!(err.starts_with("sensor:"), "{err}");
+    }
+
+    #[test]
+    fn devices_default_disabled_and_validated() {
+        let c = CpuConfig::default();
+        assert!(!c.devices.enabled);
+        assert!(c.validate().is_ok());
+        let mut bad = CpuConfig::default();
+        bad.devices.enabled = true;
+        bad.devices.timer.period = 1;
+        let err = bad.validate().unwrap_err();
+        assert!(err.starts_with("devices:"), "{err}");
     }
 
     #[test]

@@ -465,6 +465,14 @@ pub struct Cpu {
     load_seqs: VecDeque<u64>,
     /// Event/ready-heap activity tallies (observability only).
     sched_counters: SchedCounters,
+    /// Asynchronous-event devices (timer / interrupt controller / DMA).
+    /// `None` when `DeviceConfig` is disabled — the device stage is then
+    /// never entered, so a disabled core is bitwise-identical to a
+    /// pre-device one by construction.
+    dev: Option<Box<crate::device::DeviceState>>,
+    /// The DMA engine stole a memory port this cycle: both issue stages
+    /// start their `mem_issued` budget at 1 instead of 0.
+    dma_stole_port: bool,
 }
 
 impl std::fmt::Debug for Cpu {
@@ -488,6 +496,10 @@ impl Cpu {
             panic!("invalid CPU config: {e}");
         }
         let ring = cfg.rob_entries.next_power_of_two();
+        let dev = cfg
+            .devices
+            .enabled
+            .then(|| Box::new(crate::device::DeviceState::new(&cfg.devices)));
         Cpu {
             mitigation: cfg.mitigation,
             cycle: 0,
@@ -538,6 +550,8 @@ impl Cpu {
             store_seqs: VecDeque::with_capacity(cfg.sq_entries),
             load_seqs: VecDeque::with_capacity(cfg.lq_entries),
             sched_counters: SchedCounters::default(),
+            dev,
+            dma_stole_port: false,
             cfg,
         }
     }
@@ -601,6 +615,12 @@ impl Cpu {
     /// depths). All zero under [`SchedulerKind::Scan`].
     pub fn sched_counters(&self) -> SchedCounters {
         self.sched_counters
+    }
+
+    /// Device-subsystem counters (timer fires, IRQ traffic, DMA activity),
+    /// or `None` when [`crate::device::DeviceConfig`] is disabled.
+    pub fn device_stats(&self) -> Option<&crate::device::DeviceStats> {
+        self.dev.as_deref().map(|d| &d.stats)
     }
 
     /// Current mitigation mode.
@@ -700,6 +720,12 @@ impl Cpu {
         let start_committed = self.stats.committed_insts;
         self.arch_pc = 0;
         self.reset_front_end_at(0);
+        if let Some(dev) = self.dev.as_deref_mut() {
+            // New program, new handler table: clear transient IRQ state and
+            // re-arm the fire times relative to now. Cumulative DeviceStats
+            // survive — sampling works on window deltas.
+            dev.reset_for_run(self.cycle, &self.cfg.devices);
+        }
         let dim = crate::hpc::dim_for(self.config());
         let mut prev_vec = vec![0.0f64; dim];
         crate::hpc::hpc_vector_into(self, &mut prev_vec);
@@ -805,6 +831,9 @@ impl Cpu {
         if !self.unresolved_ctrl.is_empty() {
             self.stats.spec_window_cycles += 1;
         }
+        if self.dev.is_some() {
+            self.device_stage(program);
+        }
         self.commit_stage(program);
         if self.halted {
             return;
@@ -821,6 +850,129 @@ impl Cpu {
         }
         self.dispatch_stage();
         self.fetch_stage(program);
+    }
+
+    // ------------------------------------------------------------------
+    // Device stage (timer / interrupt controller / DMA)
+    // ------------------------------------------------------------------
+
+    /// Advances the asynchronous devices one cycle: timer fire, DMA burst
+    /// (real memory traffic plus a stolen memory-issue port), pending
+    /// pressure, and at most one IRQ delivery. Runs at the top of
+    /// `step_cycle`, before commit, and touches only scheduler-shared state
+    /// (memory system, squash primitive), so Scan and event-driven cores
+    /// stay bit-identical with devices enabled too.
+    fn device_stage(&mut self, program: &Program) {
+        self.dma_stole_port = false;
+        let mut dev = self.dev.take().expect("device_stage requires devices");
+        if self.device_advance_events(&mut dev) {
+            self.dma_stole_port = true;
+            dev.stats.dma_port_steal_cycles += 1;
+        }
+        if let Some(handler) = Self::device_deliver(&mut dev, program, self.arch_pc) {
+            if trace_enabled() {
+                eprintln!("[{}] IRQ deliver handler={}", self.cycle, handler);
+            }
+            dev.stats.irq_squashed_insts += self.rob.len() as u64;
+            // Flush everything in flight (the return pc was latched from the
+            // architectural pc) and redirect fetch into the service routine.
+            // With an empty ROB this is a pure fetch redirect.
+            let first = self.rob.front().map_or(self.next_seq, |e| e.seq);
+            self.squash_from(first, handler, false);
+            self.arch_pc = handler;
+        }
+        self.dev = Some(dev);
+    }
+
+    /// Fires due timer/DMA events at the current cycle: raises pending
+    /// vectors and performs the DMA line copies through the real memory
+    /// system (so the engine's traffic perturbs caches and DRAM exactly
+    /// like core traffic would). Returns `true` on a DMA burst cycle —
+    /// the detailed caller charges the stolen memory port.
+    fn device_advance_events(&mut self, dev: &mut crate::device::DeviceState) -> bool {
+        if self.cycle >= dev.timer_next_fire {
+            dev.timer_next_fire = self.cycle + self.cfg.devices.timer.period;
+            dev.stats.timer_fires += 1;
+            dev.stats.irq_raised += 1;
+            dev.irq_pending |= 1;
+        }
+        if self.cycle < dev.dma_next_burst {
+            return false;
+        }
+        let dma = self.cfg.devices.dma;
+        dev.dma_next_burst = self.cycle + dma.period;
+        dev.stats.dma_bursts += 1;
+        for _ in 0..dma.burst_lines {
+            let line = dev.dma_cursor;
+            dev.dma_cursor = (dev.dma_cursor + 1) % dma.region_lines;
+            let src = crate::device::DMA_SRC_BASE + line * crate::device::DMA_LINE_BYTES;
+            let dst = crate::device::DMA_DST_BASE + line * crate::device::DMA_LINE_BYTES;
+            let v = self.mem.read_u64(src);
+            self.mem.write_u64(dst, v);
+            // The engine writes memory behind the core's back: invalidate
+            // any stale core-side copy of the destination line and charge
+            // the DRAM channel occupancy that contends with core misses.
+            self.dcache.flush_line(dst);
+            self.l2.flush_line(dst);
+            let resp = self.dram.access(dst, AccessKind::Write, self.cycle);
+            self.apply_flips_response(&resp);
+            dev.stats.dma_lines += 1;
+        }
+        if dma.irq_every != 0 {
+            dev.dma_bursts_since_irq += 1;
+            if dev.dma_bursts_since_irq >= dma.irq_every {
+                dev.dma_bursts_since_irq = 0;
+                dev.stats.irq_raised += 1;
+                dev.irq_pending |= 1 << 1;
+            }
+        }
+        true
+    }
+
+    /// Pending-pressure accounting plus at most one delivery decision per
+    /// cycle: lowest pending vector wins, delivery is masked while a
+    /// service routine runs, and a vector without an installed handler is
+    /// dropped. Returns `Some(handler_pc)` after latching the in-service
+    /// flag and the return pc; the caller redirects control.
+    fn device_deliver(
+        dev: &mut crate::device::DeviceState,
+        program: &Program,
+        arch_pc: usize,
+    ) -> Option<usize> {
+        if dev.irq_pending == 0 {
+            return None;
+        }
+        dev.stats.irq_pending_cycles += 1;
+        if dev.irq_in_service {
+            return None;
+        }
+        let vector = dev.irq_pending.trailing_zeros() as usize;
+        dev.irq_pending &= !(1u64 << vector);
+        match program.irq_handler(vector) {
+            Some(handler) => {
+                dev.stats.irq_taken += 1;
+                dev.irq_in_service = true;
+                dev.irq_return_pc = arch_pc;
+                Some(handler)
+            }
+            None => {
+                dev.stats.irq_dropped += 1;
+                None
+            }
+        }
+    }
+
+    /// Functional-path device tick for [`Cpu::fast_forward`]: identical
+    /// event logic to [`Cpu::device_stage`] minus the pipeline flush and
+    /// the port steal (the functional path has neither a pipeline nor an
+    /// issue stage).
+    fn device_tick_functional(&mut self, program: &Program) {
+        let mut dev = self.dev.take().expect("tick requires devices");
+        let _ = self.device_advance_events(&mut dev);
+        if let Some(handler) = Self::device_deliver(&mut dev, program, self.arch_pc) {
+            self.arch_pc = handler;
+        }
+        self.dev = Some(dev);
     }
 
     // ------------------------------------------------------------------
@@ -914,6 +1066,13 @@ impl Cpu {
                         }
                     }
                     ras_snap = Some(self.ras.snapshot());
+                }
+                Op::IRet => {
+                    self.stats.fetch_branches += 1;
+                    // No RAS involvement: the target is the interrupt
+                    // controller's latched return pc, resolved at commit.
+                    // Predict fall-through (almost surely wrong — the
+                    // transient window behind an interrupt return).
                 }
                 Op::Halt => {
                     // Stop fetching past a halt; commit decides if it's real.
@@ -1428,7 +1587,8 @@ impl Cpu {
     /// order, executing up to `issue_width` ready entries.
     fn issue_stage_scan(&mut self) {
         let mut issued = 0usize;
-        let mut mem_issued = 0usize;
+        // A DMA burst this cycle steals one of the four memory ports.
+        let mut mem_issued = usize::from(self.dma_stole_port);
         let mut had_waiting = false;
         let mut i = 0;
         while i < self.rob.len() && issued < self.cfg.issue_width {
@@ -1501,7 +1661,9 @@ impl Cpu {
         // stall counter condition (issued == 0) can fire.
         let had_waiting = self.num_waiting > 0;
         let mut issued = 0usize;
-        let mut mem_issued = 0usize;
+        // Same initial port budget as the scan reference: a DMA burst this
+        // cycle steals one of the four memory ports.
+        let mut mem_issued = usize::from(self.dma_stole_port);
         debug_assert!(self.ready_skipped.is_empty());
         let mut last_popped: Option<u64> = None;
         while issued < self.cfg.issue_width {
@@ -1642,8 +1804,9 @@ impl Cpu {
                 self.btb.update(pc, target);
                 self.resolve_control(idx, target, true);
             }
-            Op::Ret => {
-                // Resolved at commit against the architectural return stack.
+            Op::Ret | Op::IRet => {
+                // Resolved at commit (Ret against the architectural return
+                // stack, IRet against the interrupt controller).
             }
             Op::Load { base, offset, .. } => {
                 let addr = self
@@ -2095,15 +2258,25 @@ impl Cpu {
     /// `new_pc`. `replay` marks replay-style squashes (order violations /
     /// assists) for counter purposes.
     fn squash_younger_than(&mut self, keep_seq: u64, new_pc: usize, replay: bool) {
+        self.squash_from(keep_seq + 1, new_pc, replay);
+    }
+
+    /// Squashes every instruction with `seq >= first_squashed`, redirecting
+    /// fetch to `new_pc`. The half-open form is the primitive: faults and
+    /// IRQ delivery flush *from the head seq*, which the keep-based wrapper
+    /// cannot express when the head is seq 0. With nothing in flight at or
+    /// above `first_squashed` this reduces to a pure fetch redirect (plus
+    /// the 2-cycle penalty).
+    fn squash_from(&mut self, first_squashed: u64, new_pc: usize, replay: bool) {
         let _ = replay;
         if trace_enabled() {
             eprintln!(
-                "[{}] SQUASH keep<={} newpc={}",
-                self.cycle, keep_seq, new_pc
+                "[{}] SQUASH from>={} newpc={}",
+                self.cycle, first_squashed, new_pc
             );
         }
         while let Some(back) = self.rob.back() {
-            if back.seq <= keep_seq {
+            if back.seq < first_squashed {
                 break;
             }
             let e = self.rob.pop_back().expect("nonempty");
@@ -2137,17 +2310,17 @@ impl Cpu {
             }
             self.note_removed(&e);
         }
-        while self.load_seqs.back().is_some_and(|&s| s > keep_seq) {
+        while self.load_seqs.back().is_some_and(|&s| s >= first_squashed) {
             self.load_seqs.pop_back();
         }
-        while self.store_seqs.back().is_some_and(|&s| s > keep_seq) {
+        while self.store_seqs.back().is_some_and(|&s| s >= first_squashed) {
             self.store_seqs.pop_back();
         }
-        self.unresolved_ctrl.retain(|&s| s <= keep_seq);
+        self.unresolved_ctrl.retain(|&s| s < first_squashed);
         // Reuse squashed sequence numbers so ROB seqs stay contiguous.
-        self.next_seq = keep_seq + 1;
+        self.next_seq = first_squashed;
         // Squashed seqs will be reused by entries that are not yet clean.
-        self.clean_watermark = self.clean_watermark.min(keep_seq + 1);
+        self.clean_watermark = self.clean_watermark.min(first_squashed);
         // Rebuild the rename map from surviving entries, and prune wakeup
         // edges whose consumers were squashed (survivors' waiter lists must
         // only reference live consumers; stale ready/event heap entries are
@@ -2161,7 +2334,7 @@ impl Cpu {
             while edge != EDGE_NONE {
                 let eu = edge as usize;
                 let next = self.edge_next[eu];
-                if self.edge_consumer[eu] <= keep_seq {
+                if self.edge_consumer[eu] < first_squashed {
                     self.edge_next[eu] = self.waiter_head[slot];
                     self.waiter_head[slot] = edge;
                 } else {
@@ -2267,15 +2440,45 @@ impl Cpu {
                 }
             }
 
+            // IRet resolves at commit against the interrupt controller's
+            // latched return pc. With no service routine active (a stray
+            // IRet, or devices disabled) it falls through — a slow no-op,
+            // never undefined control flow.
+            if matches!(head_op, Op::IRet) && !head_resolved {
+                let predicted = head_predicted_next;
+                let seq = head_seq;
+                let actual = match self.dev.as_deref_mut() {
+                    Some(dev) if dev.irq_in_service => {
+                        dev.irq_in_service = false;
+                        dev.stats.irq_returns += 1;
+                        dev.irq_return_pc
+                    }
+                    _ => head_pc + 1,
+                };
+                let head_mut = self.rob.front_mut().expect("head");
+                head_mut.resolved = true;
+                // Record the return target as the (otherwise unused) result
+                // so commit can track the architectural pc.
+                head_mut.result = actual as u64;
+                self.unresolved_ctrl.retain(|&s| s != seq);
+                if predicted != actual {
+                    self.stats.iew_branch_mispredicts += 1;
+                    // Commit the iret itself, then squash everything younger
+                    // (wrong-path fall-through fetched past the handler).
+                    self.finish_commit_of_head(program);
+                    self.squash_younger_than(seq, actual, false);
+                    continue;
+                }
+            }
+
             // Faults are architectural only at commit.
             if head_fault {
                 self.stats.faults_raised += 1;
                 let handler = program.fault_handler().unwrap_or(head_pc + 1);
                 self.arch_pc = handler;
                 // Squash everything *including* the faulting instruction
-                // (its seq is greater than seq-1, so the tail squash removes
-                // it too) and redirect to the handler.
-                self.squash_younger_than(head_seq.saturating_sub(1), handler, false);
+                // and redirect to the handler.
+                self.squash_from(head_seq, handler, false);
                 debug_assert!(self.rob.is_empty(), "fault squash empties the ROB");
                 continue;
             }
@@ -2315,7 +2518,7 @@ impl Cpu {
                 }
             }
             Op::Jmp { target } | Op::Call { target } => target,
-            Op::JmpInd { .. } | Op::Ret => e.result as usize,
+            Op::JmpInd { .. } | Op::Ret | Op::IRet => e.result as usize,
             _ => e.pc + 1,
         };
         if let Some(dst) = e.op.dst() {
@@ -2358,6 +2561,10 @@ impl Cpu {
             Op::Ret => {
                 self.stats.commit_branches += 1;
                 // Stack already popped during resolution.
+            }
+            Op::IRet => {
+                self.stats.commit_branches += 1;
+                // Service-routine state already cleared during resolution.
             }
             Op::Fence | Op::RdCycle { .. } => {
                 self.stats.commit_membars += 1;
@@ -2432,6 +2639,9 @@ impl Cpu {
         let mut last_iline = u64::MAX;
         let mut retired = 0u64;
         while retired < max_instrs && !self.halted {
+            if self.dev.is_some() {
+                self.device_tick_functional(program);
+            }
             let pc = self.arch_pc;
             let Some(op) = program.fetch(pc) else {
                 // Ran off the program: architecturally there is nothing
@@ -2510,6 +2720,17 @@ impl Cpu {
                 Op::Ret => {
                     let _ = self.ras.pop();
                     next_pc = self.arch_ret_stack.pop().unwrap_or(pc + 1);
+                }
+                Op::IRet => {
+                    next_pc = match self.dev.as_deref_mut() {
+                        Some(dev) if dev.irq_in_service => {
+                            dev.irq_in_service = false;
+                            dev.stats.irq_returns += 1;
+                            dev.irq_return_pc
+                        }
+                        // Stray IRet (or devices disabled): fall through.
+                        _ => pc + 1,
+                    };
                 }
                 Op::Load { dst, base, offset } => {
                     let addr = self.arch_regs[base.index()].wrapping_add(offset as u64);
@@ -2744,6 +2965,11 @@ impl Cpu {
         self.dtlb.save_state(out);
         self.dram.save_state(out);
         self.mem.save_state(out);
+        // Device words only exist when the subsystem is enabled; the config
+        // fingerprint already separates enabled and disabled snapshots.
+        if let Some(dev) = self.dev.as_deref() {
+            dev.save_state(out);
+        }
     }
 
     /// Restores state written by [`Cpu::save_state_words`] into a freshly
@@ -2790,6 +3016,9 @@ impl Cpu {
         self.dtlb.load_state(w)?;
         self.dram.load_state(w)?;
         self.mem.load_state(w)?;
+        if let Some(dev) = self.dev.as_deref_mut() {
+            dev.load_state(w)?;
+        }
         self.arch_pc = arch_pc;
         self.reset_front_end_at(arch_pc);
         self.halted = halted;

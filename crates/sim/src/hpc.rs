@@ -14,9 +14,11 @@
 //! `Vec`-returning conveniences) derives from it, so the name table and the
 //! value fill can never drift apart. When the configuration enables the
 //! energy sensor (`crate::energy`), the visitor appends the `energy.*`
-//! counters after the baseline 133 — a disabled sensor is bitwise-invisible
-//! (golden tests pin this). The counter list a given configuration exports
-//! is described by [`crate::schema::FeatureSchema`]; prefer
+//! counters after the baseline 133; when it enables the device subsystem
+//! (`crate::device`), the `irq.*`/`dma.*` counters follow the energy tail.
+//! A disabled sensor or device subsystem is bitwise-invisible (golden tests
+//! pin this). The counter list a given configuration exports is described
+//! by [`crate::schema::FeatureSchema`]; prefer
 //! `FeatureSchema::for_config(cfg).dim()` over the deprecated fixed-width
 //! [`hpc_dim`]/[`hpc_names`] accessors.
 
@@ -32,15 +34,17 @@ pub const HPC_BASE_DIM: usize = 133;
 
 /// Width of the counter vector a CPU built from `cfg` exports: the 133
 /// baseline HPCs, plus the `energy.*` tail when the energy sensor is
+/// enabled, plus the `irq.*`/`dma.*` tail when the device subsystem is
 /// enabled. Equals `FeatureSchema::for_config(cfg).dim()` without building
 /// the schema (this is the sampling hot path's sizing primitive).
 pub fn dim_for(cfg: &CpuConfig) -> usize {
-    HPC_BASE_DIM + cfg.sensor.extra_dim()
+    HPC_BASE_DIM + cfg.sensor.extra_dim() + cfg.devices.extra_dim()
 }
 
 /// Visits every exported counter as a `(name, value)` pair, in canonical
 /// order: the 133 baseline HPCs, then (only when the configuration enables
-/// the energy sensor) the `energy.*` counters.
+/// the energy sensor) the `energy.*` counters, then (only when the device
+/// subsystem is enabled) the `irq.*`/`dma.*` counters.
 ///
 /// This is the sampling hot path's primitive: it reads counters straight off
 /// the simulator with no intermediate allocation.
@@ -50,6 +54,12 @@ pub fn for_each_hpc(cpu: &Cpu, mut f: impl FnMut(&'static str, f64)) {
     if sensor.energy {
         let e = crate::energy::energy_counters(cpu, &sensor.weights);
         for (name, val) in crate::energy::ENERGY_NAMES.iter().zip(e) {
+            f(name, val as f64);
+        }
+    }
+    if let Some(s) = cpu.device_stats() {
+        let d = crate::device::device_counters(s);
+        for (name, val) in crate::device::DEVICE_NAMES.iter().zip(d) {
             f(name, val as f64);
         }
     }
@@ -401,11 +411,11 @@ pub fn hpc_index(name: &str) -> Option<usize> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::CpuConfig;
     use crate::energy::{SensorConfig, ENERGY_DIM};
+    use crate::schema::FeatureSchema;
 
     fn energy_cfg() -> CpuConfig {
         CpuConfig {
@@ -418,9 +428,20 @@ mod tests {
     fn vector_matches_base_dim() {
         let cpu = Cpu::new(CpuConfig::default());
         assert_eq!(hpc_vector(&cpu).len(), HPC_BASE_DIM);
-        assert_eq!(hpc_names().len(), HPC_BASE_DIM);
-        assert_eq!(hpc_dim(), HPC_BASE_DIM);
+        assert_eq!(FeatureSchema::baseline().dim(), HPC_BASE_DIM);
         assert_eq!(dim_for(&CpuConfig::default()), HPC_BASE_DIM);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_schema() {
+        // External-facing compat only: the shims must keep answering with
+        // the baseline schema. Internal callers use FeatureSchema.
+        assert_eq!(hpc_dim(), FeatureSchema::baseline().dim());
+        let schema = FeatureSchema::baseline();
+        for (shim, schema_name) in hpc_names().iter().zip(schema.names()) {
+            assert_eq!(*shim, schema_name);
+        }
     }
 
     #[test]
@@ -436,17 +457,47 @@ mod tests {
     }
 
     #[test]
+    fn device_subsystem_appends_tail_after_energy() {
+        use crate::device::{DeviceConfig, DEVICE_DIM};
+        let cfg = CpuConfig {
+            devices: DeviceConfig::builder()
+                .enabled(true)
+                .timer_period(500)
+                .build()
+                .unwrap(),
+            ..energy_cfg()
+        };
+        assert_eq!(dim_for(&cfg), HPC_BASE_DIM + ENERGY_DIM + DEVICE_DIM);
+        let cpu = Cpu::new(cfg);
+        let pairs = hpc_pairs(&cpu);
+        assert_eq!(pairs[HPC_BASE_DIM].0, "energy.core");
+        assert_eq!(pairs[HPC_BASE_DIM + ENERGY_DIM].0, "irq.timerFires");
+        assert_eq!(pairs.last().unwrap().0, "dma.portStealCycles");
+    }
+
+    #[test]
     fn disabled_sensor_emits_exactly_baseline() {
         let cpu = Cpu::new(CpuConfig::default());
         let pairs = hpc_pairs(&cpu);
         assert_eq!(pairs.len(), HPC_BASE_DIM);
-        assert!(pairs.iter().all(|(n, _)| !n.starts_with("energy.")));
+        assert!(pairs
+            .iter()
+            .all(|(n, _)| !n.starts_with("energy.") && !n.starts_with("irq.")));
     }
 
     #[test]
     fn names_are_unique() {
-        let names = hpc_names();
-        let mut sorted: Vec<_> = names.to_vec();
+        let cfg = CpuConfig {
+            devices: crate::device::DeviceConfig::builder()
+                .enabled(true)
+                .timer_period(500)
+                .build()
+                .unwrap(),
+            ..energy_cfg()
+        };
+        let schema = FeatureSchema::for_config(&cfg);
+        let names = schema.names_vec();
+        let mut sorted: Vec<_> = names.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), names.len(), "duplicate HPC names");
@@ -463,7 +514,7 @@ mod tests {
         for ((i, (name, val)), (v, fv)) in
             pairs.iter().enumerate().zip(vec.iter().zip(filled.iter()))
         {
-            assert_eq!(hpc_names()[i], *name);
+            assert_eq!(base_hpc_names()[i], *name);
             assert_eq!(val.to_bits(), v.to_bits());
             assert_eq!(val.to_bits(), fv.to_bits());
         }

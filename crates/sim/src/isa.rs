@@ -212,6 +212,11 @@ pub enum Op {
     },
     /// Return: pops the RAS (the Spectre-RSB surface).
     Ret,
+    /// Interrupt return: ends a service routine and resumes at the pc the
+    /// interrupt controller saved at delivery (next instruction when no
+    /// interrupt is in service). Resolves at commit, like [`Op::Ret`], but
+    /// against the controller's saved pc instead of the return stack.
+    IRet,
     /// `dst = current cycle`. Serializing: waits for all older instructions
     /// to complete, like `lfence; rdtsc`.
     RdCycle {
@@ -262,6 +267,7 @@ impl std::fmt::Display for Op {
             Op::JmpInd { base } => write!(f, "jmpr  {base}"),
             Op::Call { target } => write!(f, "call  @{target}"),
             Op::Ret => write!(f, "ret"),
+            Op::IRet => write!(f, "iret"),
             Op::RdCycle { dst } => write!(f, "rdcycle {dst}"),
             Op::Fence => write!(f, "fence"),
             Op::Syscall => write!(f, "syscall"),
@@ -307,7 +313,12 @@ impl Op {
     pub fn is_control(&self) -> bool {
         matches!(
             self,
-            Op::Branch { .. } | Op::Jmp { .. } | Op::JmpInd { .. } | Op::Call { .. } | Op::Ret
+            Op::Branch { .. }
+                | Op::Jmp { .. }
+                | Op::JmpInd { .. }
+                | Op::Call { .. }
+                | Op::Ret
+                | Op::IRet
         )
     }
 
@@ -332,6 +343,11 @@ pub struct Program {
     name: String,
     instrs: Vec<Op>,
     fault_handler: Option<usize>,
+    /// Per-vector interrupt service routine entry points (vector 0 = timer,
+    /// vector 1 = DMA). Serde-defaulted so pre-device serialized programs
+    /// still load.
+    #[serde(default)]
+    irq_handlers: [Option<usize>; crate::device::NUM_IRQ_VECTORS],
 }
 
 impl Program {
@@ -342,6 +358,7 @@ impl Program {
             name: name.into(),
             instrs,
             fault_handler: None,
+            irq_handlers: [None; crate::device::NUM_IRQ_VECTORS],
         }
     }
 
@@ -374,6 +391,25 @@ impl Program {
     /// Sets the fault handler target.
     pub fn set_fault_handler(&mut self, target: Option<usize>) {
         self.fault_handler = target;
+    }
+
+    /// Entry point of the service routine for IRQ `vector`, or `None` when
+    /// the program installs no handler (the raise is then dropped).
+    pub fn irq_handler(&self, vector: usize) -> Option<usize> {
+        self.irq_handlers.get(vector).copied().flatten()
+    }
+
+    /// All per-vector handler entry points.
+    pub fn irq_handlers(&self) -> [Option<usize>; crate::device::NUM_IRQ_VECTORS] {
+        self.irq_handlers
+    }
+
+    /// Installs (or clears) the service routine for IRQ `vector`.
+    ///
+    /// # Panics
+    /// Panics if `vector >= NUM_IRQ_VECTORS`.
+    pub fn set_irq_handler(&mut self, vector: usize, target: Option<usize>) {
+        self.irq_handlers[vector] = target;
     }
 
     /// Borrow the instruction stream.
@@ -429,6 +465,7 @@ pub struct ProgramBuilder {
     pending: Vec<(usize, LabelId)>,
     labels: Vec<Option<usize>>,
     fault_handler: Option<LabelId>,
+    irq_handlers: [Option<LabelId>; crate::device::NUM_IRQ_VECTORS],
 }
 
 /// An opaque label handle issued by [`ProgramBuilder::forward_label`] /
@@ -445,6 +482,7 @@ impl ProgramBuilder {
             pending: Vec::new(),
             labels: Vec::new(),
             fault_handler: None,
+            irq_handlers: [None; crate::device::NUM_IRQ_VECTORS],
         }
     }
 
@@ -479,6 +517,15 @@ impl ProgramBuilder {
     /// Routes architectural faults to `label` (signal-handler analog).
     pub fn on_fault(&mut self, label: LabelId) {
         self.fault_handler = Some(label);
+    }
+
+    /// Routes IRQ `vector` to the service routine at `label` (which must
+    /// end with [`ProgramBuilder::iret`]).
+    ///
+    /// # Panics
+    /// Panics if `vector >= NUM_IRQ_VECTORS`.
+    pub fn on_irq(&mut self, vector: usize, label: LabelId) {
+        self.irq_handlers[vector] = Some(label);
     }
 
     /// Emits a raw instruction.
@@ -558,6 +605,11 @@ impl ProgramBuilder {
         self.push(Op::Ret)
     }
 
+    /// Return from an interrupt service routine.
+    pub fn iret(&mut self) -> &mut Self {
+        self.push(Op::IRet)
+    }
+
     /// Serializing cycle-counter read.
     pub fn rdcycle(&mut self, dst: Reg) -> &mut Self {
         self.push(Op::RdCycle { dst })
@@ -605,8 +657,14 @@ impl ProgramBuilder {
         let fault_handler = self
             .fault_handler
             .map(|l| self.labels[l.0].expect("unbound fault handler label"));
+        let irq_handlers = self
+            .irq_handlers
+            .map(|h| h.map(|l| self.labels[l.0].expect("unbound irq handler label")));
         let mut p = Program::from_instructions(self.name, self.instrs);
         p.set_fault_handler(fault_handler);
+        for (v, h) in irq_handlers.into_iter().enumerate() {
+            p.set_irq_handler(v, h);
+        }
         p
     }
 }
@@ -757,6 +815,7 @@ mod tests {
             Op::JmpInd { base: r1 },
             Op::Call { target: 2 },
             Op::Ret,
+            Op::IRet,
             Op::RdCycle { dst: r1 },
             Op::Fence,
             Op::Syscall,
@@ -768,10 +827,30 @@ mod tests {
         let text = p.disassemble();
         for needle in [
             "li", "add", "xori", "ld", "st", "clflush", "prefetch", "blt", "jmp", "jmpr", "call",
-            "ret", "rdcycle", "fence", "syscall", "rdrand", "nop", "halt",
+            "ret", "iret", "rdcycle", "fence", "syscall", "rdrand", "nop", "halt",
         ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }
-        assert_eq!(text.lines().count(), 19); // header + 18 instructions
+        assert_eq!(text.lines().count(), 20); // header + 19 instructions
+    }
+
+    #[test]
+    fn irq_handlers_via_builder() {
+        let mut b = ProgramBuilder::new("t");
+        let h = b.forward_label();
+        b.on_irq(1, h);
+        b.nop();
+        b.halt();
+        b.bind(h);
+        b.iret();
+        let p = b.build();
+        assert_eq!(p.irq_handler(0), None);
+        assert_eq!(p.irq_handler(1), Some(2));
+        assert_eq!(p.irq_handler(99), None, "out-of-range vector reads None");
+        assert_eq!(p.fetch(2), Some(Op::IRet));
+        assert!(Op::IRet.is_control());
+        assert!(!Op::IRet.is_serializing());
+        assert_eq!(Op::IRet.dst(), None);
+        assert_eq!(Op::IRet.sources(), [None, None]);
     }
 }

@@ -50,6 +50,7 @@ pub mod branch;
 pub mod cache;
 pub mod config;
 pub mod cpu;
+pub mod device;
 pub mod energy;
 pub mod hpc;
 pub mod isa;
@@ -62,10 +63,15 @@ pub mod tlb;
 pub use cache::Cache;
 pub use config::{CacheConfig, CpuConfig, MitigationMode, SchedulerKind};
 pub use cpu::{Cpu, HpcSample, RunResult, SampleSchedule, SampledCursor, SampledStep};
+pub use device::{
+    DeviceConfig, DeviceConfigBuilder, DeviceStats, DmaConfig, TimerConfig, DEVICE_DIM,
+    DEVICE_NAMES, DMA_DST_BASE, DMA_LINE_BYTES, DMA_SRC_BASE, NUM_IRQ_VECTORS,
+};
 pub use energy::{EnergyWeights, SensorConfig, SensorConfigBuilder, ENERGY_DIM, ENERGY_NAMES};
+// The deprecated `hpc::hpc_dim`/`hpc::hpc_names` shims stay reachable
+// through the `hpc` module for external compat, but are no longer
+// re-exported at the crate root: `FeatureSchema` is the supported API.
 pub use hpc::{dim_for, for_each_hpc, hpc_index, hpc_vector, hpc_vector_into, HPC_BASE_DIM};
-#[allow(deprecated)]
-pub use hpc::{hpc_dim, hpc_names};
 pub use isa::{Program, ProgramBuilder};
 pub use schema::{FeatureSchema, Modality};
 pub use snapshot::{Snapshot, SnapshotError};

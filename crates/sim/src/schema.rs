@@ -29,17 +29,21 @@ pub enum Modality {
     Hpc,
     /// Energy-model counter (`energy.*`, weighted event sums).
     Energy,
+    /// Asynchronous-event device counter (`irq.*`/`dma.*`,
+    /// `crate::device`).
+    Device,
     /// Engineered feature appended by `evax-core`'s feature engineering.
     Engineered,
 }
 
 impl Modality {
     /// Stable single-character tag used in fingerprints and artifact
-    /// headers (`h`/`e`/`g`).
+    /// headers (`h`/`e`/`d`/`g`).
     pub fn tag(self) -> char {
         match self {
             Modality::Hpc => 'h',
             Modality::Energy => 'e',
+            Modality::Device => 'd',
             Modality::Engineered => 'g',
         }
     }
@@ -49,6 +53,7 @@ impl Modality {
         match c {
             'h' => Some(Modality::Hpc),
             'e' => Some(Modality::Energy),
+            'd' => Some(Modality::Device),
             'g' => Some(Modality::Engineered),
             _ => None,
         }
@@ -108,33 +113,57 @@ impl FeatureSchema {
         FeatureSchema::build(names, modalities)
     }
 
+    /// The baseline columns with the optional sensor tails appended in
+    /// canonical order: `energy.*` ([`Modality::Energy`]), then
+    /// `irq.*`/`dma.*` ([`Modality::Device`]) — the order
+    /// [`crate::hpc::for_each_hpc`] visits counters.
+    fn with_tails(energy: bool, devices: bool) -> FeatureSchema {
+        let mut names: Vec<Cow<'static, str>> = crate::hpc::base_hpc_names()
+            .iter()
+            .map(|&n| Cow::Borrowed(n))
+            .collect();
+        let mut modalities = vec![Modality::Hpc; names.len()];
+        if energy {
+            for &n in ENERGY_NAMES.iter() {
+                names.push(Cow::Borrowed(n));
+                modalities.push(Modality::Energy);
+            }
+        }
+        if devices {
+            for &n in crate::device::DEVICE_NAMES.iter() {
+                names.push(Cow::Borrowed(n));
+                modalities.push(Modality::Device);
+            }
+        }
+        FeatureSchema::build(names, modalities)
+    }
+
     /// The schema a [`Cpu`](crate::cpu::Cpu) built from `cfg` exports:
     /// the baseline counters, plus the `energy.*` tail when the energy
-    /// sensor is enabled.
+    /// sensor is enabled, plus the `irq.*`/`dma.*` tail when the device
+    /// subsystem is enabled.
     pub fn for_config(cfg: &CpuConfig) -> FeatureSchema {
-        FeatureSchema::for_dim(crate::hpc::HPC_BASE_DIM + cfg.sensor.extra_dim())
+        FeatureSchema::with_tails(cfg.sensor.energy, cfg.devices.enabled)
     }
 
     /// Best-effort schema recovery from a bare width (for datasets and
-    /// artifacts that recorded only their dimension): the baseline schema
-    /// at the baseline width, baseline + energy tail at that width, and
-    /// anonymous columns otherwise.
+    /// artifacts that recorded only their dimension): each known
+    /// baseline-plus-tails width maps to its schema, and any other width
+    /// gets anonymous columns. The four tail combinations have pairwise
+    /// distinct widths (`ENERGY_DIM != DEVICE_DIM`), so the mapping is
+    /// unambiguous.
     pub fn for_dim(dim: usize) -> FeatureSchema {
+        use crate::device::DEVICE_DIM;
         use crate::energy::ENERGY_DIM;
         use crate::hpc::HPC_BASE_DIM;
         if dim == HPC_BASE_DIM {
             FeatureSchema::baseline()
         } else if dim == HPC_BASE_DIM + ENERGY_DIM {
-            let mut names: Vec<Cow<'static, str>> = crate::hpc::base_hpc_names()
-                .iter()
-                .map(|&n| Cow::Borrowed(n))
-                .collect();
-            let mut modalities = vec![Modality::Hpc; names.len()];
-            for &n in ENERGY_NAMES.iter() {
-                names.push(Cow::Borrowed(n));
-                modalities.push(Modality::Energy);
-            }
-            FeatureSchema::build(names, modalities)
+            FeatureSchema::with_tails(true, false)
+        } else if dim == HPC_BASE_DIM + DEVICE_DIM {
+            FeatureSchema::with_tails(false, true)
+        } else if dim == HPC_BASE_DIM + ENERGY_DIM + DEVICE_DIM {
+            FeatureSchema::with_tails(true, true)
         } else {
             FeatureSchema::anonymous(dim)
         }
@@ -319,9 +348,54 @@ mod tests {
 
     #[test]
     fn modality_tags_round_trip() {
-        for m in [Modality::Hpc, Modality::Energy, Modality::Engineered] {
+        for m in [
+            Modality::Hpc,
+            Modality::Energy,
+            Modality::Device,
+            Modality::Engineered,
+        ] {
             assert_eq!(Modality::from_tag(m.tag()), Some(m));
         }
         assert_eq!(Modality::from_tag('x'), None);
+    }
+
+    #[test]
+    fn device_tail_changes_dim_and_fingerprint() {
+        use crate::device::{DeviceConfig, DEVICE_DIM};
+        let cfg = CpuConfig {
+            devices: DeviceConfig::builder()
+                .enabled(true)
+                .timer_period(500)
+                .build()
+                .unwrap(),
+            ..CpuConfig::default()
+        };
+        let s = FeatureSchema::for_config(&cfg);
+        assert_eq!(s.dim(), HPC_BASE_DIM + DEVICE_DIM);
+        assert_eq!(s.count(Modality::Device), DEVICE_DIM);
+        assert_eq!(s.name(HPC_BASE_DIM), "irq.timerFires");
+        assert_eq!(s.name(s.dim() - 1), "dma.portStealCycles");
+        assert_ne!(s.fingerprint(), FeatureSchema::baseline().fingerprint());
+        assert_eq!(FeatureSchema::for_dim(s.dim()), s);
+    }
+
+    #[test]
+    fn energy_plus_device_tails_stack_in_order() {
+        use crate::device::{DeviceConfig, DEVICE_DIM};
+        let cfg = CpuConfig {
+            sensor: SensorConfig::builder().energy(true).build().unwrap(),
+            devices: DeviceConfig::builder()
+                .enabled(true)
+                .timer_period(500)
+                .build()
+                .unwrap(),
+            ..CpuConfig::default()
+        };
+        let s = FeatureSchema::for_config(&cfg);
+        assert_eq!(s.dim(), HPC_BASE_DIM + ENERGY_DIM + DEVICE_DIM);
+        assert_eq!(s.name(HPC_BASE_DIM), "energy.core");
+        assert_eq!(s.name(HPC_BASE_DIM + ENERGY_DIM), "irq.timerFires");
+        assert_eq!(s.modality(HPC_BASE_DIM + ENERGY_DIM), Modality::Device);
+        assert_eq!(FeatureSchema::for_dim(s.dim()), s);
     }
 }
